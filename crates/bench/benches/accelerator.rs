@@ -1,0 +1,50 @@
+//! Criterion bench: cost of the hardware models themselves and of quantized
+//! token decoding in the simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opal_hw::accelerator::{Accelerator, AcceleratorKind};
+use opal_model::{Model, ModelConfig, QuantScheme};
+
+fn bench_energy_model(c: &mut Criterion) {
+    let model = ModelConfig::llama2_70b();
+    let mut group = c.benchmark_group("energy_per_token_model");
+    for kind in [
+        AcceleratorKind::Bf16,
+        AcceleratorKind::Owq,
+        AcceleratorKind::OpalW4A47,
+        AcceleratorKind::OpalW3A35,
+    ] {
+        let acc = Accelerator::new(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &acc, |b, acc| {
+            b.iter(|| acc.energy_per_token(black_box(&model), black_box(1024)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_step(c: &mut Criterion) {
+    let config = ModelConfig::tiny();
+    let mut group = c.benchmark_group("decode_step_tiny");
+    for (name, scheme) in [
+        ("bf16", QuantScheme::bf16()),
+        ("mxopal_w4a47", QuantScheme::mxopal_w4a47()),
+        ("mxopal_w3a35_log2", QuantScheme::mxopal_w3a35().with_log2_softmax(5)),
+    ] {
+        let model = Model::new(config.clone(), scheme, 1).expect("valid scheme");
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || model.begin_decode(),
+                |mut state| {
+                    for t in [1u32, 5, 9, 13] {
+                        black_box(model.decode_step(&mut state, t));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy_model, bench_decode_step);
+criterion_main!(benches);

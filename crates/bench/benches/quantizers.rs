@@ -1,0 +1,77 @@
+//! Criterion bench: software throughput of the three activation quantizers
+//! and the OWQ weight quantizer.
+//!
+//! This measures the *simulator's* cost (relevant when reproducing the
+//! accuracy tables), not hardware latency — the hardware cost model lives
+//! in `opal-hw`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opal_quant::{MinMaxQuantizer, MxIntQuantizer, MxOpalQuantizer, OwqQuantizer, Quantizer};
+use opal_tensor::rng::TensorRng;
+use opal_tensor::Matrix;
+
+fn activation(len: usize) -> Vec<f32> {
+    let mut rng = TensorRng::seed(99);
+    let channels = rng.distinct_indices(len, (len / 100).max(1));
+    rng.outlier_vector(len, 1.0, &channels, 40.0)
+}
+
+fn bench_activation_quantizers(c: &mut Criterion) {
+    let x = activation(4096);
+    let mut group = c.benchmark_group("activation_qdq_4096");
+    let quantizers: Vec<(&str, Box<dyn Quantizer>)> = vec![
+        ("minmax8", Box::new(MinMaxQuantizer::new(8, 128).expect("valid"))),
+        ("mxint8", Box::new(MxIntQuantizer::new(8, 128).expect("valid"))),
+        ("mxopal8_n4", Box::new(MxOpalQuantizer::new(8, 128, 4).expect("valid"))),
+        ("mxopal4_n4", Box::new(MxOpalQuantizer::new(4, 128, 4).expect("valid"))),
+        ("mxopal3_n4", Box::new(MxOpalQuantizer::new(3, 128, 4).expect("valid"))),
+    ];
+    for (name, q) in &quantizers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), q, |b, q| {
+            b.iter(|| q.quantize_dequantize(black_box(&x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_size_sweep(c: &mut Criterion) {
+    let x = activation(4096);
+    let mut group = c.benchmark_group("mxopal_block_size");
+    for k in [32usize, 64, 128, 256] {
+        let q = MxOpalQuantizer::new(4, k, 4.min(k - 1)).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &q, |b, q| {
+            b.iter(|| q.quantize_dequantize(black_box(&x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_owq(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(3);
+    let w = rng.normal_matrix(512, 512, 0.0, 0.02);
+    let calib = vec![1.0f32; 512];
+    c.bench_function("owq_w4_512x512", |b| {
+        let q = OwqQuantizer::w4();
+        b.iter(|| q.quantize(black_box(&w), black_box(&calib)));
+    });
+}
+
+fn bench_matrix_rows(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(5);
+    let m = rng.normal_matrix(64, 512, 0.0, 1.0);
+    let q = MxOpalQuantizer::new(7, 128, 4).expect("valid");
+    c.bench_function("quantize_matrix_rows_64x512", |b| {
+        b.iter(|| opal_quant::quantize_matrix_rows(black_box(&q), black_box(&m)));
+    });
+    // Keep Matrix in scope for type inference clarity.
+    let _: &Matrix = &m;
+}
+
+criterion_group!(
+    benches,
+    bench_activation_quantizers,
+    bench_block_size_sweep,
+    bench_owq,
+    bench_matrix_rows
+);
+criterion_main!(benches);

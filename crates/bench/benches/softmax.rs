@@ -1,0 +1,43 @@
+//! Criterion bench: exact softmax vs the log2-based unit, including the
+//! shift-and-accumulate `Attn·V` path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opal_softmax::{attn_v_exact, exact_softmax, Log2Softmax};
+use opal_tensor::rng::TensorRng;
+
+fn bench_softmax_row(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(17);
+    let mut group = c.benchmark_group("softmax_row");
+    for len in [128usize, 1024, 4096] {
+        let scores: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.5)).collect();
+        group.bench_with_input(BenchmarkId::new("exact", len), &scores, |b, s| {
+            b.iter(|| exact_softmax(black_box(s)));
+        });
+        let sm = Log2Softmax::new(5);
+        group.bench_with_input(BenchmarkId::new("log2", len), &scores, |b, s| {
+            b.iter(|| sm.probs(black_box(s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_attn_v(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(19);
+    let seq = 512;
+    let d = 128;
+    let scores: Vec<f32> = (0..seq).map(|_| rng.normal(0.0, 1.0)).collect();
+    let v = rng.normal_matrix(seq, d, 0.0, 1.0);
+    let sm = Log2Softmax::new(5);
+
+    let mut group = c.benchmark_group("attn_v_512x128");
+    group.bench_function("exact", |b| {
+        b.iter(|| attn_v_exact(black_box(&scores), black_box(&v)));
+    });
+    group.bench_function("log2_shift_acc", |b| {
+        b.iter(|| sm.attn_v(black_box(&scores), black_box(&v)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_softmax_row, bench_attn_v);
+criterion_main!(benches);

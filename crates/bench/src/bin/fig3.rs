@@ -1,0 +1,68 @@
+//! Fig. 2 / Fig. 3 — what each 2-bit quantizer does to one 128-element
+//! activation block with an outlier (extracted from the model's o_proj
+//! input, as in the paper's Llama2-7B decoder block 2).
+//!
+//! ```sh
+//! cargo run -p opal-bench --bin fig3
+//! ```
+
+use opal_bench::header;
+use opal_model::{ActivationCapture, Model, ModelConfig, QuantScheme, Site};
+use opal_quant::{MinMaxQuantizer, MxIntQuantizer, MxOpalQuantizer, Quantizer};
+use opal_tensor::stats::{min_max, mse};
+
+fn main() {
+    header("Fig. 3: MinMax2 vs MXINT2 vs MX-OPAL2 on a real o_proj input block");
+
+    // Extract the input to the projection layer of decoder block 1 (the
+    // paper uses block 2 of 32; our proxy has 4 blocks) from the BF16 model.
+    let config = ModelConfig::llama2_7b().proxy(128, 4, 192);
+    let model = Model::new(config, QuantScheme::bf16(), 7).expect("valid scheme");
+    let mut cap = ActivationCapture::new(1, 4);
+    let tokens: Vec<u32> = (0..16u32).map(|i| (i * 37) % 192).collect();
+    model.forward_recorded(&tokens, &mut cap);
+    // The paper extracts the o_proj *input channel* data from Llama2-7B; in
+    // real checkpoints that tensor inherits the residual stream's channel
+    // outliers. Our synthetic model concentrates its outliers in the
+    // post-LayerNorm tensors (see opal-model::weights), so we probe the
+    // attention input — the same "one strong outlier per 128-block" regime
+    // as the paper's figure.
+    let acts = cap.activations(Site::QkvInput).expect("captured attention input");
+    let x: Vec<f32> = acts.row(3)[..128.min(acts.cols())].to_vec();
+
+    let (lo, hi) = min_max(&x).expect("non-empty");
+    let max_abs_idx = x
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    println!("block: 128 elems in [{lo:+.3}, {hi:+.3}], outlier |x|max at {max_abs_idx}");
+
+    let quantizers: Vec<Box<dyn Quantizer>> = vec![
+        Box::new(MinMaxQuantizer::new(2, 128).expect("valid")),
+        Box::new(MxIntQuantizer::new(2, 128).expect("valid")),
+        Box::new(MxOpalQuantizer::new(2, 128, 1).expect("valid")),
+    ];
+
+    println!("\n{:<10} {:>12} {:>8} {:>22}", "format", "MSE", "levels", "small-value survival");
+    for q in &quantizers {
+        let y = q.quantize_dequantize(&x);
+        // Distinct reconstruction levels used (Fig. 3's visual).
+        let mut levels: Vec<i64> = y.iter().map(|&v| (v * 1e4) as i64).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        // How many small values survive (non-zero reconstruction)?
+        let survivors = x
+            .iter()
+            .zip(&y)
+            .filter(|(&xv, &yv)| xv.abs() < hi.abs().max(lo.abs()) * 0.1 && yv != 0.0)
+            .count();
+        println!("{:<10} {:>12.6} {:>8} {:>18}/128", q.name(), mse(&x, &y), levels.len(), survivors);
+    }
+
+    println!("\nExpected shape (paper Fig. 3): MXINT2 collapses nearly all");
+    println!("non-outliers into one bin around zero; MX-OPAL2 moves the shared");
+    println!("scale to the 2nd-largest exponent and recovers the distribution;");
+    println!("MinMax2 sits in between (outlier widens its range).");
+}

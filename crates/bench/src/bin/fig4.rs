@@ -1,0 +1,84 @@
+//! Fig. 4 — relative MSE (normalized to MinMax) of MXINT and MX-OPAL at
+//! n = 1, 2, 4, 8 preserved outliers, measured on the six MxV input tensors
+//! of a decoder block, plus the Eq. (1) memory-overhead table.
+//!
+//! Paper reference points: MXINT averages 3.79× (b=8) and 8.21× (b=4) the
+//! MinMax error; preserving n = 4 outliers reaches MinMax parity; OMEM at
+//! (k=128, n=4) is 1.027 (b=8) / ~1.09 (b=4).
+//!
+//! ```sh
+//! cargo run -p opal-bench --bin fig4
+//! ```
+
+use opal_bench::{header, vs_paper};
+use opal_model::{ActivationCapture, Model, ModelConfig, QuantScheme, Site};
+use opal_quant::analysis::{average_rows, relative_mse_row, RelativeMseRow};
+use opal_quant::overhead::omem;
+
+fn capture_tensors() -> Vec<(String, Vec<f32>)> {
+    // The paper probes the 20th decoder block of Llama2-7B; our proxy has
+    // 5 layers, so we probe a late one (index 3).
+    let mut config = ModelConfig::llama2_7b().proxy(160, 5, 192);
+    // Late decoder blocks of Llama2-7B carry the strongest channel
+    // outliers (the paper probes block 20 of 32); crank the synthetic
+    // outlier gain accordingly.
+    config.outlier_gain = 80.0;
+    let model = Model::new(config, QuantScheme::bf16(), 20).expect("valid scheme");
+    let mut cap = ActivationCapture::new(3, 24);
+    let tokens: Vec<u32> = (0..24u32).map(|i| (i * 61 + 5) % 192).collect();
+    model.forward_recorded(&tokens, &mut cap);
+    Site::fig4_sites()
+        .into_iter()
+        .map(|(site, label)| {
+            let m = cap.activations(site).expect("captured");
+            (label.to_owned(), m.as_slice().to_vec())
+        })
+        .collect()
+}
+
+fn run_bits(bits: u32, tensors: &[(String, Vec<f32>)]) -> Vec<RelativeMseRow> {
+    let ns = [1usize, 2, 4, 8];
+    println!("\n--- b = {bits} (sign+mantissa bits) ---");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "tensor", "MXINT", "n=1", "n=2", "n=4", "n=8"
+    );
+    let mut rows = Vec::new();
+    for (label, x) in tensors {
+        let row = relative_mse_row(label, x, bits, 128, &ns).expect("valid config");
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            row.label, row.mxint_rel, row.mxopal_rel[0], row.mxopal_rel[1], row.mxopal_rel[2],
+            row.mxopal_rel[3]
+        );
+        rows.push(row);
+    }
+    let (mxint_avg, opal_avg) = average_rows(&rows);
+    println!(
+        "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}   <- Avg. (rel. to MinMax = 1.0)",
+        "Avg.", mxint_avg, opal_avg[0], opal_avg[1], opal_avg[2], opal_avg[3]
+    );
+    // The paper's headline: MX-OPAL (n=4) has 3.79x / 8.21x lower error
+    // than MXINT at b=8 / b=4.
+    let ratio = mxint_avg / opal_avg[2];
+    let paper_ratio = if bits == 8 { 3.79 } else { 8.21 };
+    println!("MXINT error / MX-OPAL(n=4) error: {}", vs_paper(ratio, paper_ratio));
+    rows
+}
+
+fn main() {
+    header("Fig. 4: relative quantization MSE on decoder-block MxV inputs");
+    let tensors = capture_tensors();
+    run_bits(8, &tensors);
+    run_bits(4, &tensors);
+
+    header("Eq. (1): MX-OPAL memory overhead (k = 128)");
+    println!("{:<6} {:>12} {:>12}", "n", "OMEM b=8", "OMEM b=4");
+    for n in [1usize, 2, 4, 8] {
+        println!("{:<6} {:>12.3} {:>12.3}", n, omem(128, n, 8), omem(128, n, 4));
+    }
+    println!("paper b=8 row (n=1,2,4,8): 1.004 1.012 1.027 1.058  (Eq. (1) exact)");
+    println!("paper b=4 row:             1.024 1.046 1.092 1.185  (paper table sits");
+    println!("  ~0.8% above its own Eq. (1); we print the formula values)");
+    println!("\n§3.2 check: k=128, n=4, b=8 -> {}", vs_paper(omem(128, 4, 8), 1.027));
+}

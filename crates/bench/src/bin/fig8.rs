@@ -1,0 +1,99 @@
+//! Fig. 8 — per-token energy (Llama2-70B) and chip area of OPAL-3/5 and
+//! OPAL-4/7 versus the OWQ and BF16 baseline accelerators.
+//!
+//! Paper reference points: OWQ saves 32.5 % vs BF16; OPAL saves
+//! 38.6 %/58.6 % (4/7) and 53.5 %/68.6 % (3/5) vs OWQ/BF16; the area drops
+//! 2.4–3.1× vs BF16; 96.9 % of operations run on INT hardware.
+//!
+//! ```sh
+//! cargo run -p opal-bench --bin fig8
+//! ```
+
+use opal_bench::header;
+use opal_hw::accelerator::{energy_saving, Accelerator, AcceleratorKind};
+use opal_model::ModelConfig;
+
+fn main() {
+    header("Fig. 8(a): energy per generated token, Llama2-70B @ context 1024");
+    let model = ModelConfig::llama2_70b();
+    let seq = 1024;
+
+    let kinds = [
+        AcceleratorKind::Bf16,
+        AcceleratorKind::Owq,
+        AcceleratorKind::OpalW4A47,
+        AcceleratorKind::OpalW3A35,
+    ];
+    let energies: Vec<_> = kinds
+        .iter()
+        .map(|&k| (k, Accelerator::new(k).energy_per_token(&model, seq)))
+        .collect();
+
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "design", "core (J)", "access (J)", "W-leak (J)", "A-leak (J)", "total (J)"
+    );
+    for (k, e) in &energies {
+        println!(
+            "{:<10} {:>10.3} {:>12.3} {:>12.3} {:>12.3} {:>10.3}",
+            k.name(),
+            e.core_j,
+            e.mem_access_j,
+            e.weight_leak_j,
+            e.act_leak_j,
+            e.total_j()
+        );
+    }
+
+    let get = |k: AcceleratorKind| &energies.iter().find(|(kk, _)| *kk == k).unwrap().1;
+    let bf16 = get(AcceleratorKind::Bf16);
+    let owq = get(AcceleratorKind::Owq);
+    let o47 = get(AcceleratorKind::OpalW4A47);
+    let o35 = get(AcceleratorKind::OpalW3A35);
+
+    println!("\nSavings (measured vs paper):");
+    println!(
+        "  OWQ      vs BF16: {:>5.1}%  (paper 32.5%)",
+        100.0 * energy_saving(owq, bf16)
+    );
+    println!(
+        "  OPAL-4/7 vs OWQ : {:>5.1}%  (paper 38.6%)   vs BF16: {:>5.1}% (paper 58.6%)",
+        100.0 * energy_saving(o47, owq),
+        100.0 * energy_saving(o47, bf16)
+    );
+    println!(
+        "  OPAL-3/5 vs OWQ : {:>5.1}%  (paper 53.5%)   vs BF16: {:>5.1}% (paper 68.6%)",
+        100.0 * energy_saving(o35, owq),
+        100.0 * energy_saving(o35, bf16)
+    );
+
+    header("Fig. 8(b): chip area");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>10}",
+        "design", "core mm²", "W-buf mm²", "A-buf mm²", "total mm²"
+    );
+    let bf16_area = Accelerator::new(AcceleratorKind::Bf16).area().total_mm2();
+    for &k in &kinds {
+        let a = Accelerator::new(k).area();
+        println!(
+            "{:<10} {:>10.2} {:>12.2} {:>12.2} {:>10.2}   ({:.2}x smaller than BF16)",
+            k.name(),
+            a.core_mm2,
+            a.weight_buf_mm2,
+            a.act_buf_mm2,
+            a.total_mm2(),
+            bf16_area / a.total_mm2()
+        );
+    }
+    println!("paper: OPAL reduces area by 2.4x (4/7) to 3.1x (3/5) vs BF16");
+
+    header("§6: operation mix under OPAL W4A4/7");
+    let f = Accelerator::new(AcceleratorKind::OpalW4A47).int_mac_fraction(&model, seq);
+    println!("INT-hardware share of operations: {:.1}% (paper 96.9%)", 100.0 * f);
+
+    header("Context-length sensitivity (OPAL-4/7, J/token)");
+    for s in [128usize, 512, 1024, 2048, 4096] {
+        let e = Accelerator::new(AcceleratorKind::OpalW4A47).energy_per_token(&model, s);
+        println!("  context {s:>5}: {:.3} J", e.total_j());
+    }
+}

@@ -1,0 +1,78 @@
+//! Performance model cross-check: derive token latency from the workload +
+//! core throughput + DRAM bandwidth and compare with the paper's quoted
+//! 1.98 s/token (Llama2-70B on OPAL), then sweep the design space.
+//!
+//! ```sh
+//! cargo run -p opal-bench --bin perf_model
+//! ```
+
+use opal_bench::{header, vs_paper};
+use opal_hw::performance::{token_latency, tokens_per_second, Platform};
+use opal_hw::workload::DataFormat;
+use opal_model::ModelConfig;
+
+fn main() {
+    header("Derived token latency (memory vs compute)");
+    let p = Platform::reference();
+    println!(
+        "platform: {} cores @ {:.1} GHz, {:.0} GB/s DRAM\n",
+        p.cores,
+        p.clock_hz / 1e9,
+        p.dram_bw / 1e9
+    );
+
+    println!(
+        "{:<12} {:<10} {:>12} {:>12} {:>10} {:>8}",
+        "model", "format", "mem (s)", "compute (s)", "total (s)", "tok/s"
+    );
+    for model in [
+        ModelConfig::llama2_7b(),
+        ModelConfig::llama2_13b(),
+        ModelConfig::llama2_70b(),
+    ] {
+        for (name, fmt) in [
+            ("BF16", DataFormat::bf16()),
+            ("OPAL-4/7", DataFormat::opal_w4a47()),
+            ("OPAL-3/5", DataFormat::opal_w3a35()),
+        ] {
+            let lat = token_latency(&model, &fmt, &p, 1024);
+            println!(
+                "{:<12} {:<10} {:>12.4} {:>12.4} {:>10.3} {:>8.2}",
+                model.name,
+                name,
+                lat.memory_s,
+                lat.compute_s,
+                lat.total_s(),
+                1.0 / lat.total_s()
+            );
+        }
+    }
+
+    let anchor = token_latency(
+        &ModelConfig::llama2_70b(),
+        &DataFormat::opal_w4a47(),
+        &p,
+        1024,
+    )
+    .total_s();
+    println!("\nLlama2-70B OPAL-4/7 latency: {}", vs_paper(anchor, 1.98));
+
+    header("Bandwidth sweep: when does generation stop being memory-bound?");
+    let model = ModelConfig::llama2_7b();
+    for bw_gb in [10.0f64, 20.0, 50.0, 100.0, 400.0, 1000.0] {
+        let plat = Platform { dram_bw: bw_gb * 1e9, ..Platform::reference() };
+        let lat = token_latency(&model, &DataFormat::opal_w4a47(), &plat, 1024);
+        println!(
+            "  {:>6.0} GB/s: {:>8.2} tok/s  ({})",
+            bw_gb,
+            1.0 / lat.total_s(),
+            if lat.is_memory_bound() { "memory-bound" } else { "compute-bound" }
+        );
+    }
+
+    header("Context-length sweep (Llama2-70B, OPAL-4/7)");
+    for seq in [128usize, 1024, 4096, 16384] {
+        let t = tokens_per_second(&ModelConfig::llama2_70b(), &DataFormat::opal_w4a47(), &p, seq);
+        println!("  context {seq:>6}: {t:.3} tok/s");
+    }
+}

@@ -1,0 +1,72 @@
+//! §4.2 / §4.3.3 — the log2-based softmax ablation: approximation quality,
+//! end-to-end perplexity impact (paper: <0.4 PPL), and the hardware unit
+//! savings (32.3 % area / 35.7 % power / 1.56× power efficiency).
+//!
+//! ```sh
+//! cargo run -p opal-bench --bin softmax_ablation --release
+//! ```
+
+use opal_bench::header;
+use opal_hw::units::{ConventionalSoftmaxUnit, Log2SoftmaxUnit};
+use opal_model::{eval, Model, ModelConfig, QuantScheme};
+use opal_softmax::metrics::{kl_divergence, total_variation};
+use opal_softmax::{exact_softmax, Log2Softmax};
+use opal_tensor::rng::TensorRng;
+
+fn main() {
+    header("Log2 softmax: distribution-level approximation quality");
+    let mut rng = TensorRng::seed(5);
+    let sm = Log2Softmax::new(5);
+    let mut kl_sum = 0.0;
+    let mut tv_sum = 0.0;
+    let trials = 200;
+    for _ in 0..trials {
+        let scores: Vec<f32> = (0..32).map(|_| rng.normal(0.0, 1.5)).collect();
+        let p = exact_softmax(&scores);
+        let q = sm.probs(&scores);
+        kl_sum += kl_divergence(&p, &q);
+        tv_sum += total_variation(&p, &q);
+    }
+    println!("mean KL(exact ‖ log2) over {trials} random score rows: {:.4} nats", kl_sum / trials as f64);
+    println!("mean total-variation distance: {:.4}", tv_sum / trials as f64);
+
+    header("End-to-end PPL impact of the log2 softmax (paper: <0.4 PPL)");
+    let config = ModelConfig::llama2_7b().proxy(128, 4, 192);
+    let teacher = Model::new(config.clone(), QuantScheme::bf16(), 42).expect("valid");
+    let stream = eval::sample_stream(&teacher, 112, 31);
+
+    for base in [QuantScheme::bf16(), QuantScheme::mxopal_w4a47(), QuantScheme::mxopal_w3a35()] {
+        let name = base.name.clone();
+        let exact = Model::new(config.clone(), base.clone(), 42).expect("valid");
+        let log2 = Model::new(config.clone(), base.with_log2_softmax(5), 42).expect("valid");
+        let p_exact = eval::perplexity(&exact, &stream);
+        let p_log2 = eval::perplexity(&log2, &stream);
+        println!(
+            "{name:<18} exact softmax PPL {p_exact:>8.3} | log2 softmax PPL {p_log2:>8.3} | Δ {:+.3}",
+            p_log2 - p_exact
+        );
+    }
+
+    header("Softmax unit hardware (from the synthesized-unit model)");
+    let l = Log2SoftmaxUnit;
+    let c = ConventionalSoftmaxUnit;
+    println!(
+        "area  : log2 {:.0} µm² vs conventional {:.0} µm² (saving {:.1}%, paper 32.3%)",
+        l.area_um2(),
+        c.area_um2(),
+        100.0 * (1.0 - l.area_um2() / c.area_um2())
+    );
+    println!(
+        "power : log2 {:.2} mW vs conventional {:.2} mW (saving {:.1}%, paper 35.7%)",
+        l.power_mw(),
+        c.power_mw(),
+        100.0 * (1.0 - l.power_mw() / c.power_mw())
+    );
+    let t = opal_hw::tech::Tech::cmos65();
+    println!(
+        "energy: {:.2} pJ vs {:.2} pJ per score -> {:.2}x power efficiency (paper 1.56x)",
+        l.elem_energy_pj(&t),
+        c.elem_energy_pj(&t),
+        c.elem_energy_pj(&t) / l.elem_energy_pj(&t)
+    );
+}

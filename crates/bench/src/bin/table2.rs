@@ -1,0 +1,101 @@
+//! Table 2 — Llama2 family on two language-modeling streams ("Wiki", "C4")
+//! and two zero-shot multiple-choice tasks ("ARC", "PIQA"), comparing OWQ
+//! weight-only baselines against MX-OPAL activation quantization.
+//!
+//! Shape to reproduce: at W4A4/7 MX-OPAL costs ≈ +0.24 PPL and ≈ −0.4 %
+//! accuracy versus OWQ W4A16; at W3A3/5 ≈ +0.6 PPL and ≈ −1.7 % accuracy.
+//!
+//! ```sh
+//! cargo run -p opal-bench --bin table2 --release
+//! ```
+
+use opal_bench::header;
+use opal_model::{eval, Model, ModelConfig, QuantScheme};
+
+struct Row {
+    model: String,
+    scheme: String,
+    wiki: f64,
+    c4: f64,
+    arc: f64,
+    piqa: f64,
+}
+
+fn main() {
+    header("Table 2: language modeling + zero-shot QA (proxy tasks)");
+    println!("('Wiki'/'C4' = two disjoint teacher streams; 'ARC'/'PIQA' = two");
+    println!(" multiple-choice batteries with different seeds — DESIGN.md §2)\n");
+
+    let models = vec![
+        ("Llama2-7B".to_owned(), ModelConfig::llama2_7b().proxy(128, 4, 192)),
+        ("Llama2-13B".to_owned(), ModelConfig::llama2_13b().proxy(160, 5, 192)),
+        ("Llama2-70B".to_owned(), ModelConfig::llama2_70b().proxy(192, 6, 192)),
+    ];
+    let schemes = vec![
+        QuantScheme::owq_w4a16(),
+        QuantScheme::mxopal_w4a47(),
+        QuantScheme::owq_w3a16(),
+        QuantScheme::mxopal_w3a35(),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, config) in &models {
+        let teacher =
+            Model::new(config.clone(), QuantScheme::bf16(), 42).expect("bf16 valid");
+        let wiki_stream = eval::sample_stream(&teacher, 104, 11);
+        let c4_stream = eval::sample_stream(&teacher, 104, 22);
+        for scheme in &schemes {
+            let m = Model::new(config.clone(), scheme.clone(), 42).expect("valid scheme");
+            let wiki = eval::perplexity(&m, &wiki_stream);
+            let c4 = eval::perplexity(&m, &c4_stream);
+            let arc = eval::multiple_choice(&teacher, &m, 64, 333).accuracy * 100.0;
+            let piqa = eval::multiple_choice(&teacher, &m, 64, 777).accuracy * 100.0;
+            rows.push(Row {
+                model: name.clone(),
+                scheme: scheme.name.clone(),
+                wiki,
+                c4,
+                arc,
+                piqa,
+            });
+        }
+    }
+
+    println!(
+        "{:<12} {:<18} {:>8} {:>8} {:>7} {:>7}",
+        "model", "scheme", "Wiki↓", "C4↓", "ARC↑", "PIQA↑"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<18} {:>8.3} {:>8.3} {:>7.1} {:>7.1}",
+            r.model, r.scheme, r.wiki, r.c4, r.arc, r.piqa
+        );
+    }
+
+    // Shape summary: cost of activation quantization vs weight-only, per
+    // weight width.
+    let avg = |f: &dyn Fn(&Row) -> f64, scheme: &str| -> f64 {
+        let sel: Vec<f64> = rows.iter().filter(|r| r.scheme == scheme).map(f).collect();
+        sel.iter().sum::<f64>() / sel.len() as f64
+    };
+    let d_ppl_4 = (avg(&|r| r.wiki, "W4A4/7 (MX-OPAL)") + avg(&|r| r.c4, "W4A4/7 (MX-OPAL)")
+        - avg(&|r| r.wiki, "W4A16 (OWQ)")
+        - avg(&|r| r.c4, "W4A16 (OWQ)"))
+        / 2.0;
+    let d_acc_4 = (avg(&|r| r.arc, "W4A4/7 (MX-OPAL)") + avg(&|r| r.piqa, "W4A4/7 (MX-OPAL)")
+        - avg(&|r| r.arc, "W4A16 (OWQ)")
+        - avg(&|r| r.piqa, "W4A16 (OWQ)"))
+        / 2.0;
+    let d_ppl_3 = (avg(&|r| r.wiki, "W3A3/5 (MX-OPAL)") + avg(&|r| r.c4, "W3A3/5 (MX-OPAL)")
+        - avg(&|r| r.wiki, "W3A16 (OWQ)")
+        - avg(&|r| r.c4, "W3A16 (OWQ)"))
+        / 2.0;
+    let d_acc_3 = (avg(&|r| r.arc, "W3A3/5 (MX-OPAL)") + avg(&|r| r.piqa, "W3A3/5 (MX-OPAL)")
+        - avg(&|r| r.arc, "W3A16 (OWQ)")
+        - avg(&|r| r.piqa, "W3A16 (OWQ)"))
+        / 2.0;
+
+    println!("\nCost of MX-OPAL activation quantization vs weight-only OWQ:");
+    println!("  W4A4/7: ΔPPL {d_ppl_4:+.3} (paper +0.241), Δacc {d_acc_4:+.2}% (paper −0.36%)");
+    println!("  W3A3/5: ΔPPL {d_ppl_3:+.3} (paper +0.601), Δacc {d_acc_3:+.2}% (paper −1.65%)");
+}

@@ -1,0 +1,84 @@
+//! Table 3 — area and power breakdown of one OPAL core (W4A4/7, 65 nm).
+//!
+//! ```sh
+//! cargo run -p opal-bench --bin table3
+//! ```
+
+use opal_bench::{header, vs_paper};
+use opal_hw::core::OpalCore;
+use opal_hw::units::{ConventionalSoftmaxUnit, Log2SoftmaxUnit, MuConfig};
+
+fn main() {
+    header("Table 3: area & power breakdown of one OPAL core (W4A4/7)");
+    let core = OpalCore::new(MuConfig::w4a47());
+    let rows = core.breakdown();
+    let total_area = core.area_um2();
+    let total_power = core.power_mw();
+
+    let paper = [
+        ("Compute Lanes", 670_126.34, 229.65),
+        ("Data distributors", 139_713.48, 63.20),
+        ("Log2-based Softmax Unit", 76_330.92, 27.62),
+        ("MX-OPAL Quantizer", 34_670.88, 14.11),
+        ("FP Adder Tree", 8_470.80, 1.28),
+    ];
+
+    println!(
+        "{:<26} {:>14} {:>8} {:>12} {:>8}",
+        "component", "area (µm²)", "share", "power (mW)", "share"
+    );
+    for (row, (pname, parea, ppow)) in rows.iter().zip(paper) {
+        assert_eq!(row.component, pname);
+        println!(
+            "{:<26} {:>14.2} {:>7.2}% {:>12.2} {:>7.2}%",
+            row.component,
+            row.area_um2,
+            100.0 * row.area_um2 / total_area,
+            row.power_mw,
+            100.0 * row.power_mw / total_power,
+        );
+        println!(
+            "{:<26} {:>14.2} {:>8} {:>12.2}   <- paper",
+            "", parea, "", ppow
+        );
+    }
+    println!("\nTotal area : {}", vs_paper(total_area, 929_312.41));
+    println!("Total power: {}", vs_paper(total_power, 335.85));
+
+    header("§4.3.3: log2 softmax unit vs conventional softmax unit");
+    let l = Log2SoftmaxUnit;
+    let c = ConventionalSoftmaxUnit;
+    println!(
+        "area : {:>10.0} vs {:>10.0} µm²  -> saving {:.1}% (paper 32.3%)",
+        l.area_um2(),
+        c.area_um2(),
+        100.0 * (1.0 - l.area_um2() / c.area_um2())
+    );
+    println!(
+        "power: {:>10.2} vs {:>10.2} mW   -> saving {:.1}% (paper 35.7%)",
+        l.power_mw(),
+        c.power_mw(),
+        100.0 * (1.0 - l.power_mw() / c.power_mw())
+    );
+
+    header("§5.2: core throughput by INT-MU mode");
+    for (mode, macs) in [
+        (opal_hw::units::MuMode::HighHigh, 256),
+        (opal_hw::units::MuMode::LowHigh, 512),
+        (opal_hw::units::MuMode::LowLow, 1024),
+    ] {
+        let got = core.macs_per_cycle(mode);
+        println!("{mode:?}: {got} MACs/cycle (paper {macs})");
+        assert_eq!(got, macs);
+    }
+
+    header("W3A3/5 core variant");
+    let small = OpalCore::new(MuConfig::w3a35());
+    println!(
+        "area {:.0} µm² ({:.1}% of the 4/7 core), power {:.1} mW ({:.1}%)",
+        small.area_um2(),
+        100.0 * small.area_um2() / total_area,
+        small.power_mw(),
+        100.0 * small.power_mw() / total_power
+    );
+}

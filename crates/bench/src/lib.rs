@@ -1,0 +1,55 @@
+//! Shared helpers for the OPAL experiment regenerators.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §4 for the index) and prints a paper-vs-measured
+//! comparison. Everything is seeded and deterministic.
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n{}", "=".repeat(title.len().max(20)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(20)));
+}
+
+/// Formats a measured-vs-paper pair with the relative deviation.
+pub fn vs_paper(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return format!("{measured:.3} (paper: n/a)");
+    }
+    let dev = 100.0 * (measured - paper) / paper;
+    format!("{measured:.3} (paper {paper:.3}, {dev:+.1}%)")
+}
+
+/// The proxy model family used by the accuracy benches: runnable stand-ins
+/// for the paper's checkpoints (see DESIGN.md §2 for the substitution
+/// argument). Returns `(display name, config)`.
+pub fn accuracy_proxies() -> Vec<(String, opal_model::ModelConfig)> {
+    use opal_model::ModelConfig;
+    vec![
+        ("Llama2-7B".into(), ModelConfig::llama2_7b().proxy(128, 4, 192)),
+        ("Llama2-13B".into(), ModelConfig::llama2_13b().proxy(160, 5, 192)),
+        ("OPT-6.7B".into(), ModelConfig::opt_6_7b().proxy(128, 4, 192)),
+        ("OPT-13B".into(), ModelConfig::opt_13b().proxy(160, 5, 192)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_paper_formats() {
+        let s = vs_paper(1.1, 1.0);
+        assert!(s.contains("+10.0%"));
+        assert!(vs_paper(1.0, 0.0).contains("n/a"));
+    }
+
+    #[test]
+    fn proxies_are_runnable_sizes() {
+        for (_, c) in accuracy_proxies() {
+            assert!(c.d_model <= 256);
+            assert!(c.n_layers <= 6);
+            assert_eq!(c.d_model % c.n_heads, 0);
+        }
+    }
+}

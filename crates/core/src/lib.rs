@@ -1,0 +1,56 @@
+//! # OPAL: Outlier-Preserved Microscaling Quantization Accelerator
+//!
+//! A full reproduction of the DAC'24 paper "OPAL: Outlier-Preserved
+//! Microscaling Quantization Accelerator for Generative Large Language
+//! Models" as a Rust workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`opal_numerics`] | bit-exact bfloat16 and the shift-based quantization datapath |
+//! | [`opal_tensor`] | dense f32 tensors + NN primitives |
+//! | [`opal_quant`] | MinMax / MXINT / MX-OPAL activation quantizers, OWQ weights |
+//! | [`opal_softmax`] | exact and log2-based (Eq. 3) softmax |
+//! | [`opal_model`] | decoder-only LLM simulator with quantization hook points |
+//! | [`opal_hw`] | OPAL core, SRAM, workload and accelerator energy models |
+//!
+//! This crate is the façade: it re-exports the pieces and offers
+//! [`OpalPipeline`], an end-to-end "quantize → evaluate accuracy → map to
+//! hardware" flow.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use opal::{ModelConfig, OpalPipeline, OperatingPoint};
+//!
+//! let config = ModelConfig::tiny();
+//! let pipeline = OpalPipeline::new(config, OperatingPoint::W4A47, 42)?;
+//! let report = pipeline.evaluate(32, 7);
+//! assert!(report.quantized_ppl >= report.baseline_ppl * 0.9);
+//! assert!(report.energy.total_j() > 0.0);
+//! # Ok::<(), opal_quant::QuantError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+
+pub use pipeline::{OpalPipeline, OperatingPoint, PipelineReport};
+
+pub use opal_hw::accelerator::{Accelerator, AcceleratorKind, AreaBreakdown, EnergyBreakdown};
+pub use opal_model::{Model, ModelConfig, QuantScheme};
+pub use opal_quant::{
+    MinMaxQuantizer, MxIntQuantizer, MxOpalQuantizer, OwqQuantizer, QuantError, Quantizer,
+};
+pub use opal_softmax::Log2Softmax;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::{
+        Accelerator, AcceleratorKind, Log2Softmax, MinMaxQuantizer, Model, ModelConfig,
+        MxIntQuantizer, MxOpalQuantizer, OpalPipeline, OperatingPoint, OwqQuantizer, QuantError,
+        QuantScheme, Quantizer,
+    };
+    pub use opal_model::eval;
+    pub use opal_tensor::Matrix;
+}

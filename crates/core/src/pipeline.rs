@@ -1,0 +1,208 @@
+//! End-to-end pipeline: quantize a model, score its accuracy against the
+//! full-precision teacher, and map it onto the OPAL accelerator.
+
+use opal_hw::accelerator::{Accelerator, AcceleratorKind, AreaBreakdown, EnergyBreakdown};
+use opal_model::{eval, Model, ModelConfig, QuantScheme};
+use opal_quant::QuantError;
+use opal_tensor::ops;
+
+/// The two OPAL operating points of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OperatingPoint {
+    /// W4A4/7 with MX-OPAL activations and the log2 softmax.
+    W4A47,
+    /// W3A3/5 — the most aggressive configuration.
+    W3A35,
+}
+
+impl OperatingPoint {
+    /// The quantization scheme this point runs (including log2 softmax).
+    pub fn scheme(&self) -> QuantScheme {
+        match self {
+            OperatingPoint::W4A47 => QuantScheme::mxopal_w4a47().with_log2_softmax(5),
+            OperatingPoint::W3A35 => QuantScheme::mxopal_w3a35().with_log2_softmax(5),
+        }
+    }
+
+    /// The matching hardware design point.
+    pub fn accelerator_kind(&self) -> AcceleratorKind {
+        match self {
+            OperatingPoint::W4A47 => AcceleratorKind::OpalW4A47,
+            OperatingPoint::W3A35 => AcceleratorKind::OpalW3A35,
+        }
+    }
+}
+
+/// The combined accuracy + hardware report of one pipeline evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineReport {
+    /// Perplexity of the full-precision teacher on the eval stream.
+    pub baseline_ppl: f64,
+    /// Perplexity of the quantized model on the same stream.
+    pub quantized_ppl: f64,
+    /// Per-token energy of the OPAL design for this model.
+    pub energy: EnergyBreakdown,
+    /// Per-token energy of the BF16 baseline accelerator.
+    pub baseline_energy: EnergyBreakdown,
+    /// OPAL chip area.
+    pub area: AreaBreakdown,
+    /// Fraction of operations executed on INT hardware.
+    pub int_fraction: f64,
+}
+
+impl PipelineReport {
+    /// Perplexity increase over the baseline (the paper reports <1).
+    pub fn ppl_increase(&self) -> f64 {
+        self.quantized_ppl - self.baseline_ppl
+    }
+
+    /// Energy saving versus the BF16 accelerator, in `[0, 1]`.
+    pub fn energy_saving(&self) -> f64 {
+        1.0 - self.energy.total_j() / self.baseline_energy.total_j()
+    }
+}
+
+/// The end-to-end OPAL flow for one model and operating point.
+///
+/// # Example
+///
+/// ```
+/// use opal::{ModelConfig, OpalPipeline, OperatingPoint};
+///
+/// let p = OpalPipeline::new(ModelConfig::tiny(), OperatingPoint::W3A35, 3)?;
+/// let tokens = p.generate(&[1, 2, 3], 5);
+/// assert_eq!(tokens.len(), 5);
+/// # Ok::<(), opal_quant::QuantError>(())
+/// ```
+#[derive(Debug)]
+pub struct OpalPipeline {
+    config: ModelConfig,
+    point: OperatingPoint,
+    teacher: Model,
+    student: Model,
+    accelerator: Accelerator,
+}
+
+impl OpalPipeline {
+    /// Builds the teacher (BF16) and quantized student models plus the
+    /// hardware model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QuantError`] if the operating point's quantizers reject
+    /// the configuration (should not happen for the built-in points).
+    pub fn new(
+        config: ModelConfig,
+        point: OperatingPoint,
+        seed: u64,
+    ) -> Result<Self, QuantError> {
+        let teacher = Model::new(config.clone(), QuantScheme::bf16(), seed)?;
+        let student = Model::new(config.clone(), point.scheme(), seed)?;
+        let accelerator = Accelerator::new(point.accelerator_kind());
+        Ok(OpalPipeline { config, point, teacher, student, accelerator })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The operating point.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.point
+    }
+
+    /// The full-precision teacher model.
+    pub fn teacher(&self) -> &Model {
+        &self.teacher
+    }
+
+    /// The quantized student model.
+    pub fn student(&self) -> &Model {
+        &self.student
+    }
+
+    /// Runs the accuracy proxy and the hardware model.
+    ///
+    /// `eval_tokens` is the evaluation stream length (longer = tighter
+    /// perplexity estimates); `seed` controls the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eval_tokens < 2`.
+    pub fn evaluate(&self, eval_tokens: usize, seed: u64) -> PipelineReport {
+        let stream = eval::sample_stream(&self.teacher, eval_tokens, seed);
+        let baseline_ppl = eval::perplexity(&self.teacher, &stream);
+        let quantized_ppl = eval::perplexity(&self.student, &stream);
+        let seq = eval_tokens.max(64);
+        let energy = self.accelerator.energy_per_token(&self.config, seq);
+        let baseline_energy =
+            Accelerator::new(AcceleratorKind::Bf16).energy_per_token(&self.config, seq);
+        PipelineReport {
+            baseline_ppl,
+            quantized_ppl,
+            energy,
+            baseline_energy,
+            area: self.accelerator.area(),
+            int_fraction: self.accelerator.int_mac_fraction(&self.config, seq),
+        }
+    }
+
+    /// Greedy generation with the quantized model: decodes `prompt` then
+    /// emits `n` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or contains out-of-range tokens.
+    pub fn generate(&self, prompt: &[u32], n: usize) -> Vec<u32> {
+        assert!(!prompt.is_empty(), "empty prompt");
+        let mut state = self.student.begin_decode();
+        let mut logits = Vec::new();
+        for &t in prompt {
+            logits = self.student.decode_step(&mut state, t);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = ops::argmax(&logits).unwrap_or(0) as u32;
+            out.push(t);
+            logits = self.student.decode_step(&mut state, t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_runs_both_points() {
+        for point in [OperatingPoint::W4A47, OperatingPoint::W3A35] {
+            let p = OpalPipeline::new(ModelConfig::tiny(), point, 5).unwrap();
+            let r = p.evaluate(24, 3);
+            assert!(r.baseline_ppl > 1.0);
+            assert!(r.quantized_ppl.is_finite());
+            assert!(r.energy.total_j() > 0.0);
+            assert!(r.energy_saving() > 0.3, "saving {}", r.energy_saving());
+            assert!(r.int_fraction > 0.9);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = OpalPipeline::new(ModelConfig::tiny(), OperatingPoint::W4A47, 9).unwrap();
+        let a = p.generate(&[1, 2], 6);
+        let b = p.generate(&[1, 2], 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn scheme_wiring() {
+        assert!(OperatingPoint::W4A47.scheme().name.contains("W4A4/7"));
+        assert_eq!(
+            OperatingPoint::W3A35.accelerator_kind(),
+            AcceleratorKind::OpalW3A35
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! The OPAL compute lane and core (Fig. 6(a)), reproducing Table 3.
+
+use crate::tech::Tech;
+use crate::units::{
+    DataDistributor, FpAdderTree, FpUnit, IntAdderTree, IntMu, Log2SoftmaxUnit, MuConfig, MuMode,
+    MxOpalQuantizerUnit,
+};
+
+/// One compute lane: 32 INT multiply units, 4 FP units for outliers, and an
+/// INT adder tree (§4.3.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComputeLane {
+    mu: IntMu,
+}
+
+impl ComputeLane {
+    /// INT MUs per lane.
+    pub const INT_MUS: usize = 32;
+    /// FP units per lane.
+    pub const FP_UNITS: usize = 4;
+
+    /// Builds a lane for the given bit-width configuration.
+    pub fn new(config: MuConfig) -> Self {
+        ComputeLane { mu: IntMu::new(config) }
+    }
+
+    /// The lane's INT MU.
+    pub fn mu(&self) -> IntMu {
+        self.mu
+    }
+
+    /// Integer MACs per cycle in `mode` (32 MUs × 4 multipliers × packing):
+    /// 128 in high-high, 256 in low-high, 512 in low-low.
+    pub fn macs_per_cycle(&self, mode: MuMode) -> u32 {
+        Self::INT_MUS as u32 * self.mu.macs_per_cycle(mode)
+    }
+
+    /// Lane area in µm².
+    pub fn area_um2(&self) -> f64 {
+        Self::INT_MUS as f64 * self.mu.area_um2()
+            + Self::FP_UNITS as f64 * FpUnit.area_um2()
+            + IntAdderTree.area_um2()
+    }
+
+    /// Lane power in mW at full utilization.
+    pub fn power_mw(&self) -> f64 {
+        Self::INT_MUS as f64 * self.mu.power_mw()
+            + Self::FP_UNITS as f64 * FpUnit.power_mw()
+            + IntAdderTree.power_mw()
+    }
+}
+
+/// One row of the Table 3 breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BreakdownRow {
+    /// Component name as printed in Table 3.
+    pub component: &'static str,
+    /// Area in µm².
+    pub area_um2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// The full OPAL core: eight lanes, eight data distributors, the FP adder
+/// tree, the log2 softmax unit and the MX-OPAL quantizer (Fig. 6(a)).
+///
+/// # Example
+///
+/// ```
+/// use opal_hw::core::OpalCore;
+/// use opal_hw::units::MuConfig;
+///
+/// let core = OpalCore::new(MuConfig::w4a47());
+/// // Paper §5.2: "eight lanes … capable of computing 32 × 8 = 256 MACs in
+/// // the high-high mode … 512 and 1,024 in the low-high and low-low modes".
+/// assert_eq!(core.macs_per_cycle(opal_hw::units::MuMode::HighHigh), 256);
+/// assert_eq!(core.macs_per_cycle(opal_hw::units::MuMode::LowLow), 1024);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpalCore {
+    lane: ComputeLane,
+}
+
+impl OpalCore {
+    /// Lanes per core.
+    pub const LANES: usize = 8;
+
+    /// Builds a core for the given bit-width configuration.
+    pub fn new(config: MuConfig) -> Self {
+        OpalCore { lane: ComputeLane::new(config) }
+    }
+
+    /// The core's lane model.
+    pub fn lane(&self) -> ComputeLane {
+        self.lane
+    }
+
+    /// Integer MACs per cycle across all eight lanes.
+    ///
+    /// Note the §5.2 text counts one MAC per INT MU per cycle in high-high
+    /// mode (32 × 8 = 256): each MU's four multipliers cooperate on one
+    /// high-high product pair group. Packing doubles/quadruples that in
+    /// low-high/low-low, giving 512 / 1,024.
+    pub fn macs_per_cycle(&self, mode: MuMode) -> u32 {
+        Self::LANES as u32 * ComputeLane::INT_MUS as u32 * mode.throughput_factor()
+    }
+
+    /// The Table 3 breakdown (component rows plus the implicit total).
+    pub fn breakdown(&self) -> Vec<BreakdownRow> {
+        vec![
+            BreakdownRow {
+                component: "Compute Lanes",
+                area_um2: Self::LANES as f64 * self.lane.area_um2(),
+                power_mw: Self::LANES as f64 * self.lane.power_mw(),
+            },
+            BreakdownRow {
+                component: "Data distributors",
+                area_um2: Self::LANES as f64 * DataDistributor.area_um2(),
+                power_mw: Self::LANES as f64 * DataDistributor.power_mw(),
+            },
+            BreakdownRow {
+                component: "Log2-based Softmax Unit",
+                area_um2: Log2SoftmaxUnit.area_um2(),
+                power_mw: Log2SoftmaxUnit.power_mw(),
+            },
+            BreakdownRow {
+                component: "MX-OPAL Quantizer",
+                area_um2: MxOpalQuantizerUnit.area_um2(),
+                power_mw: MxOpalQuantizerUnit.power_mw(),
+            },
+            BreakdownRow {
+                component: "FP Adder Tree",
+                area_um2: FpAdderTree.area_um2(),
+                power_mw: FpAdderTree.power_mw(),
+            },
+        ]
+    }
+
+    /// Total core area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.breakdown().iter().map(|r| r.area_um2).sum()
+    }
+
+    /// Total core power in mW at full utilization.
+    pub fn power_mw(&self) -> f64 {
+        self.breakdown().iter().map(|r| r.power_mw).sum()
+    }
+
+    /// Average energy per integer MAC at a given mode, from the tech model.
+    pub fn int_mac_energy_pj(&self, tech: &Tech, mode: MuMode) -> f64 {
+        self.lane.mu().mac_energy_pj(tech, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(x: f64, total: f64) -> f64 {
+        100.0 * x / total
+    }
+
+    #[test]
+    fn table3_totals_match_paper() {
+        // Table 3: total 929,312.41 µm², 335.85 mW for the W4A4/7 core.
+        let core = OpalCore::new(MuConfig::w4a47());
+        let area = core.area_um2();
+        let power = core.power_mw();
+        assert!(
+            (area - 929_312.41).abs() / 929_312.41 < 0.01,
+            "core area {area} vs paper 929312"
+        );
+        assert!(
+            (power - 335.85).abs() / 335.85 < 0.01,
+            "core power {power} vs paper 335.85"
+        );
+    }
+
+    #[test]
+    fn table3_fractions_match_paper() {
+        let core = OpalCore::new(MuConfig::w4a47());
+        let rows = core.breakdown();
+        let area = core.area_um2();
+        let power = core.power_mw();
+        // Paper fractions: lanes 72.11%/68.38%, distributors 15.03%/18.82%,
+        // softmax 8.21%/8.22%, quantizer 3.73%/4.20%, fp tree 0.91%/0.38%.
+        let expect = [
+            (72.11, 68.38),
+            (15.03, 18.82),
+            (8.21, 8.22),
+            (3.73, 4.20),
+            (0.91, 0.38),
+        ];
+        for (row, (ea, ep)) in rows.iter().zip(expect) {
+            let pa = pct(row.area_um2, area);
+            let pp = pct(row.power_mw, power);
+            assert!((pa - ea).abs() < 1.0, "{}: area {pa:.2}% vs {ea}%", row.component);
+            assert!((pp - ep).abs() < 1.0, "{}: power {pp:.2}% vs {ep}%", row.component);
+        }
+    }
+
+    #[test]
+    fn throughput_matches_section_5_2() {
+        let core = OpalCore::new(MuConfig::w4a47());
+        assert_eq!(core.macs_per_cycle(MuMode::HighHigh), 256);
+        assert_eq!(core.macs_per_cycle(MuMode::LowHigh), 512);
+        assert_eq!(core.macs_per_cycle(MuMode::LowLow), 1024);
+    }
+
+    #[test]
+    fn w3a35_core_is_smaller() {
+        let big = OpalCore::new(MuConfig::w4a47());
+        let small = OpalCore::new(MuConfig::w3a35());
+        assert!(small.area_um2() < big.area_um2());
+        assert!(small.power_mw() < big.power_mw());
+    }
+}

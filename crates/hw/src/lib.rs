@@ -1,0 +1,39 @@
+//! Hardware models of the OPAL accelerator and its baselines.
+//!
+//! The paper evaluates OPAL with synthesized RTL (Synopsys DC, 65 nm) plus
+//! CACTI for SRAM. This crate reproduces that evaluation stack as analytical
+//! models calibrated against every number the paper publishes:
+//!
+//! * [`units`] / [`core`] — the OPAL core microarchitecture (Fig. 6/7):
+//!   reconfigurable INT multiply units with low-low / low-high / high-high
+//!   modes, compute lanes, data distributors, the log2 softmax unit and the
+//!   MX-OPAL quantizer, composing to Table 3's area/power breakdown.
+//! * [`sram`] — CACTI-like access/leakage/area trends.
+//! * [`workload`] — per-token operation counts and data volumes for a
+//!   decoder LLM under each data format (the §6 "96.9 % INT" claim).
+//! * [`accelerator`] — chip-level energy/area for the BF16, OWQ and OPAL
+//!   designs (Fig. 8).
+//! * [`roofline`] — the GPU GEMM model behind the Fig. 1 motivation.
+//!
+//! # Example
+//!
+//! ```
+//! use opal_hw::core::OpalCore;
+//! use opal_hw::units::MuConfig;
+//!
+//! let core = OpalCore::new(MuConfig::w4a47());
+//! assert!((core.power_mw() - 335.85).abs() < 3.5); // Table 3 total
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod core;
+pub mod lane_sim;
+pub mod performance;
+pub mod roofline;
+pub mod sram;
+pub mod tech;
+pub mod units;
+pub mod workload;

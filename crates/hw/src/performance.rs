@@ -1,0 +1,194 @@
+//! Token-latency and throughput model.
+//!
+//! The energy comparison of Fig. 8 anchors leakage on the paper's quoted
+//! 1.98 s/token for Llama2-70B. This module derives latency from first
+//! principles — per-mode compute cycles on the OPAL core's reconfigurable
+//! lanes versus DRAM streaming time — so the anchor can be cross-checked
+//! and the compute/memory crossover explored (generation is memory-bound,
+//! §1's motivation 1).
+
+use opal_model::ModelConfig;
+
+use crate::core::OpalCore;
+use crate::units::{MuConfig, MuMode};
+use crate::workload::{DataFormat, TokenWorkload};
+
+/// Platform parameters of a deployed OPAL chip.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Platform {
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Number of OPAL cores on the chip.
+    pub cores: usize,
+    /// Sustained DRAM bandwidth in bytes/s.
+    pub dram_bw: f64,
+}
+
+impl Platform {
+    /// The reference deployment used throughout: a modest edge-class memory
+    /// system (the paper's 1.98 s/token for a ~40 GB weight stream implies
+    /// ≈ 20 GB/s of sustained bandwidth).
+    pub fn reference() -> Self {
+        Platform { clock_hz: 1.0e9, cores: 4, dram_bw: 20.0e9 }
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Platform::reference()
+    }
+}
+
+/// Latency breakdown of one generated token.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TokenLatency {
+    /// Time to stream weights + KV from DRAM, seconds.
+    pub memory_s: f64,
+    /// Time to execute all MACs on the core array, seconds.
+    pub compute_s: f64,
+}
+
+impl TokenLatency {
+    /// Effective token latency (compute overlaps the weight stream;
+    /// whichever is longer dominates).
+    pub fn total_s(&self) -> f64 {
+        self.memory_s.max(self.compute_s)
+    }
+
+    /// `true` when DRAM streaming dominates.
+    pub fn is_memory_bound(&self) -> bool {
+        self.memory_s >= self.compute_s
+    }
+}
+
+/// Computes the per-token latency of `model` under `format` on `platform`.
+///
+/// Compute time accounts for the mode-dependent throughput of the
+/// reconfigurable INT MUs: low-low MACs retire 4× faster than high-high
+/// (Fig. 7), shift-accumulates ride the low-low rate, and FP-path MACs run
+/// on the 4-per-lane FP units.
+///
+/// # Panics
+///
+/// Panics if `seq_len == 0`.
+pub fn token_latency(
+    model: &ModelConfig,
+    format: &DataFormat,
+    platform: &Platform,
+    seq_len: usize,
+) -> TokenLatency {
+    let wl = TokenWorkload::new(model, format, seq_len);
+    let memory_s = (wl.weight_bytes + wl.kv_bytes) / platform.dram_bw;
+
+    let core = OpalCore::new(MuConfig::w4a47());
+    let per_core_hh = f64::from(core.macs_per_cycle(MuMode::HighHigh));
+    let macs_per_s =
+        |mode: MuMode| per_core_hh * f64::from(mode.throughput_factor()) * platform.clock_hz
+            * platform.cores as f64;
+    let fp_macs_per_s = (OpalCore::LANES * crate::core::ComputeLane::FP_UNITS) as f64
+        * platform.clock_hz
+        * platform.cores as f64;
+
+    let m = &wl.macs;
+    let compute_s = if format.integer_compute {
+        m.low_low as f64 / macs_per_s(MuMode::LowLow)
+            + m.low_high as f64 / macs_per_s(MuMode::LowHigh)
+            + m.high_high as f64 / macs_per_s(MuMode::HighHigh)
+            + m.shift_acc as f64 / macs_per_s(MuMode::LowLow)
+            + m.fp as f64 / fp_macs_per_s
+    } else {
+        // BF16/OWQ datapath: everything on FP units; assume an
+        // iso-throughput FP array matching the OPAL high-high rate.
+        m.total() as f64 / macs_per_s(MuMode::HighHigh)
+    };
+
+    TokenLatency { memory_s, compute_s }
+}
+
+/// Tokens per second for a given configuration.
+pub fn tokens_per_second(
+    model: &ModelConfig,
+    format: &DataFormat,
+    platform: &Platform,
+    seq_len: usize,
+) -> f64 {
+    1.0 / token_latency(model, format, platform, seq_len).total_s()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama70b_latency_near_paper_anchor() {
+        // The paper: 1.98 s/token for Llama2-70B on OPAL. Our derived
+        // latency must land in the same regime (the weight stream at
+        // ~20 GB/s dominates).
+        let lat = token_latency(
+            &ModelConfig::llama2_70b(),
+            &DataFormat::opal_w4a47(),
+            &Platform::reference(),
+            1024,
+        );
+        assert!(lat.is_memory_bound(), "single-batch generation is memory-bound");
+        assert!(
+            (1.5..2.6).contains(&lat.total_s()),
+            "latency {} vs paper 1.98 s",
+            lat.total_s()
+        );
+    }
+
+    #[test]
+    fn generation_is_memory_bound_across_the_family() {
+        let p = Platform::reference();
+        for m in [
+            ModelConfig::llama2_7b(),
+            ModelConfig::llama2_13b(),
+            ModelConfig::llama2_70b(),
+        ] {
+            let lat = token_latency(&m, &DataFormat::opal_w4a47(), &p, 512);
+            assert!(lat.is_memory_bound(), "{}", m.name);
+            // Compute headroom: at least 5x faster than memory.
+            assert!(lat.compute_s < lat.memory_s / 2.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn quantization_speeds_up_generation() {
+        let p = Platform::reference();
+        let m = ModelConfig::llama2_13b();
+        let bf16 = tokens_per_second(&m, &DataFormat::bf16(), &p, 512);
+        let opal = tokens_per_second(&m, &DataFormat::opal_w4a47(), &p, 512);
+        // ~3.9x smaller weight stream -> ~3.9x faster generation.
+        let speedup = opal / bf16;
+        assert!((3.3..4.2).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn compute_bound_on_a_beefy_memory_system() {
+        // Crank DRAM bandwidth until compute becomes the limit; the model
+        // must flip to compute-bound rather than extrapolate nonsense.
+        let p = Platform { clock_hz: 1.0e9, cores: 1, dram_bw: 2.0e12 };
+        let lat = token_latency(&ModelConfig::llama2_7b(), &DataFormat::opal_w4a47(), &p, 512);
+        assert!(!lat.is_memory_bound());
+        assert!(lat.total_s() > 0.0);
+    }
+
+    #[test]
+    fn opal35_streams_less_and_is_faster() {
+        let p = Platform::reference();
+        let m = ModelConfig::llama2_70b();
+        let t47 = tokens_per_second(&m, &DataFormat::opal_w4a47(), &p, 1024);
+        let t35 = tokens_per_second(&m, &DataFormat::opal_w3a35(), &p, 1024);
+        assert!(t35 > t47);
+    }
+
+    #[test]
+    fn longer_context_is_slower() {
+        let p = Platform::reference();
+        let m = ModelConfig::llama2_7b();
+        let short = token_latency(&m, &DataFormat::opal_w4a47(), &p, 64).total_s();
+        let long = token_latency(&m, &DataFormat::opal_w4a47(), &p, 4096).total_s();
+        assert!(long > short);
+    }
+}

@@ -1,0 +1,116 @@
+//! CACTI-like SRAM model: access energy, leakage and area versus capacity.
+//!
+//! The paper uses CACTI 6.0 to estimate on-chip memory energy "including the
+//! leakage power" (§5.2). This module reproduces the first-order CACTI
+//! trends at 65 nm: access energy grows with the square root of capacity
+//! (bitline/wordline length), leakage and area grow linearly.
+
+use crate::tech::Tech;
+
+/// An on-chip SRAM macro of a given capacity.
+///
+/// # Example
+///
+/// ```
+/// use opal_hw::sram::Sram;
+/// use opal_hw::tech::Tech;
+///
+/// let tech = Tech::cmos65();
+/// let gb = Sram::new(512.0); // the paper's 512 KB global buffer
+/// assert!(gb.leakage_mw(&tech) > 100.0); // hundreds of mW at 65 nm
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sram {
+    kb: f64,
+}
+
+impl Sram {
+    /// Creates an SRAM of `kb` kilobytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kb` is not positive and finite.
+    pub fn new(kb: f64) -> Self {
+        assert!(kb.is_finite() && kb > 0.0, "SRAM capacity must be positive");
+        Sram { kb }
+    }
+
+    /// Capacity in KB.
+    pub fn kb(&self) -> f64 {
+        self.kb
+    }
+
+    /// Read/write energy per byte in pJ (square-root capacity scaling,
+    /// anchored at a 64 KB macro).
+    pub fn access_pj_per_byte(&self, tech: &Tech) -> f64 {
+        tech.sram_pj_per_byte_64k * (self.kb / 64.0).sqrt().max(0.5)
+    }
+
+    /// Leakage power in mW (linear in capacity).
+    pub fn leakage_mw(&self, tech: &Tech) -> f64 {
+        tech.sram_leak_mw_per_kb * self.kb
+    }
+
+    /// Area in µm² (linear in capacity).
+    pub fn area_um2(&self, tech: &Tech) -> f64 {
+        tech.sram_um2_per_kb * self.kb
+    }
+
+    /// Energy in joules to move `bytes` through this SRAM once.
+    pub fn access_energy_j(&self, tech: &Tech, bytes: f64) -> f64 {
+        bytes * self.access_pj_per_byte(tech) * 1e-12
+    }
+
+    /// Leakage energy in joules over `seconds`.
+    pub fn leakage_energy_j(&self, tech: &Tech, seconds: f64) -> f64 {
+        self.leakage_mw(tech) * 1e-3 * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_energy_scales_with_sqrt_capacity() {
+        let t = Tech::cmos65();
+        let small = Sram::new(64.0);
+        let big = Sram::new(256.0);
+        let ratio = big.access_pj_per_byte(&t) / small.access_pj_per_byte(&t);
+        assert!((ratio - 2.0).abs() < 1e-9, "4x capacity -> 2x access energy");
+    }
+
+    #[test]
+    fn leakage_linear() {
+        let t = Tech::cmos65();
+        let a = Sram::new(128.0).leakage_mw(&t);
+        let b = Sram::new(256.0).leakage_mw(&t);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_floor_for_tiny_arrays() {
+        let t = Tech::cmos65();
+        let tiny = Sram::new(2.0); // the 2 KB softmax buffer
+        assert!(tiny.access_pj_per_byte(&t) >= 0.5 * t.sram_pj_per_byte_64k);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_capacity() {
+        Sram::new(0.0);
+    }
+
+    #[test]
+    fn energy_units() {
+        let t = Tech::cmos65();
+        let s = Sram::new(64.0);
+        // 1 GB at 0.9 pJ/B = 0.9 mJ.
+        let e = s.access_energy_j(&t, 1e9);
+        assert!((e - 0.9e-3).abs() < 1e-6);
+        // Leakage: leak-per-KB × 64 KB over 1 s.
+        let l = s.leakage_energy_j(&t, 1.0);
+        let expect = t.sram_leak_mw_per_kb * 64.0 * 1e-3;
+        assert!((l - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! 65 nm technology constants.
+//!
+//! The paper synthesizes RTL with Synopsys Design Compiler at 65 nm and uses
+//! CACTI for SRAM. We cannot run either tool, so this module carries per-op
+//! energy and per-unit area/power constants *calibrated so the composed
+//! models reproduce the paper's published numbers* (Table 3 breakdown, the
+//! softmax-unit savings, and the Fig. 8 energy/area comparisons) while
+//! staying within the plausible range of published 65 nm datapoints
+//! (Horowitz ISSCC'14 scaled up from 45 nm, CACTI 6.0 at 65 nm).
+//!
+//! Every constant is documented with what it was calibrated against; the
+//! `table3` test in [`crate::core`] and the `fig8` bench check the composed
+//! results.
+
+/// Per-operation energies in picojoules and unit area/power constants for a
+/// 65 nm process at nominal voltage, 1 GHz.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tech {
+    /// Energy of one INT multiply-accumulate, low-low mode (e.g. 4×4-bit).
+    pub int_mac_lowlow_pj: f64,
+    /// Energy of one INT MAC, low-high mode (e.g. 4×7-bit).
+    pub int_mac_lowhigh_pj: f64,
+    /// Energy of one INT MAC, high-high mode (e.g. 7×7-bit).
+    pub int_mac_highhigh_pj: f64,
+    /// Energy of one bfloat16 MAC (multiplier + adder-tree share).
+    pub fp_mac_pj: f64,
+    /// Energy of one shift-and-accumulate step (the log2-softmax `Attn·V`).
+    pub shift_acc_pj: f64,
+    /// Energy of quantizing one element in the shift-based MX-OPAL
+    /// quantizer (comparators + shifter share).
+    pub quantize_elem_pj: f64,
+    /// Energy of one exp/code evaluation in the log2 softmax unit.
+    pub softmax_elem_pj: f64,
+    /// Energy of one exp+divide in a conventional FP softmax unit
+    /// (1.56× the log2 unit per §1, bullet 2).
+    pub softmax_conventional_elem_pj: f64,
+    /// Per-element routing energy in a data distributor.
+    pub distribute_elem_pj: f64,
+    /// DRAM access energy per byte (HBM-class, amortized).
+    pub dram_pj_per_byte: f64,
+    /// Baseline SRAM access energy per byte for a 64 KB macro; larger
+    /// arrays scale by `sqrt(capacity/64KB)` (CACTI trend).
+    pub sram_pj_per_byte_64k: f64,
+    /// SRAM leakage power per KB (65 nm high-speed cells, CACTI-like).
+    pub sram_leak_mw_per_kb: f64,
+    /// SRAM area per KB in µm².
+    pub sram_um2_per_kb: f64,
+}
+
+impl Tech {
+    /// The calibrated 65 nm operating point used throughout the paper
+    /// reproduction.
+    pub fn cmos65() -> Self {
+        Tech {
+            // Horowitz ISSCC'14 (45 nm) scaled ~1.6× to 65 nm: 8-bit int
+            // mult ≈ 0.32 pJ, add ≈ 0.05 pJ. Reconfigurable 4×4 / 4×7 / 7×7
+            // modes land below that.
+            int_mac_lowlow_pj: 0.08,
+            int_mac_lowhigh_pj: 0.14,
+            int_mac_highhigh_pj: 0.24,
+            // fp16 mult ≈ 1.1 pJ + add ≈ 0.4 pJ at 45 nm → ~2.3 pJ at 65 nm;
+            // bf16's 8-bit mantissa multiplier is cheaper.
+            fp_mac_pj: 1.9,
+            shift_acc_pj: 0.06,
+            quantize_elem_pj: 0.35,
+            softmax_elem_pj: 2.4,
+            // §2 contribution list: conventional softmax consumes 1.56× the
+            // power of the log2-based unit.
+            softmax_conventional_elem_pj: 2.4 * 1.56,
+            distribute_elem_pj: 0.30,
+            // HBM2-class energy/bit ≈ 4–7 pJ/bit; amortized per byte.
+            dram_pj_per_byte: 40.0,
+            sram_pj_per_byte_64k: 0.9,
+            // CACTI 6.0, 65 nm HP: a 512 KB array leaks a few hundred mW.
+            sram_leak_mw_per_kb: 0.80,
+            sram_um2_per_kb: 1500.0,
+        }
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Tech::cmos65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_mac_energies() {
+        let t = Tech::cmos65();
+        assert!(t.int_mac_lowlow_pj < t.int_mac_lowhigh_pj);
+        assert!(t.int_mac_lowhigh_pj < t.int_mac_highhigh_pj);
+        assert!(t.int_mac_highhigh_pj < t.fp_mac_pj / 4.0, "INT must be ≫ cheaper than FP");
+        assert!(t.shift_acc_pj < t.int_mac_lowlow_pj);
+    }
+
+    #[test]
+    fn softmax_power_ratio_matches_paper() {
+        let t = Tech::cmos65();
+        let ratio = t.softmax_conventional_elem_pj / t.softmax_elem_pj;
+        assert!((ratio - 1.56).abs() < 1e-9, "paper: 1.56× power saving");
+    }
+}

@@ -1,0 +1,724 @@
+//! The quantized decoder-only transformer and its generation loop.
+
+use std::collections::HashMap;
+
+use opal_quant::{QuantError, Quantizer};
+use opal_softmax::Log2Softmax;
+use opal_tensor::ops;
+use opal_tensor::Matrix;
+
+use crate::config::{Arch, ModelConfig};
+use crate::scheme::{QuantScheme, SoftmaxKind};
+use crate::weights::{generate_weights, ModelWeights};
+
+/// The observation points inside a decoder block (Fig. 5): the inputs of
+/// every MxV the paper quantizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Post-LayerNorm input shared by the Q/K/V projections (low-bit).
+    QkvInput,
+    /// Query vectors after RoPE (input of `Q·Kᵀ`, high-bit).
+    Query,
+    /// Key vectors after RoPE (input of `Q·Kᵀ`, high-bit).
+    Key,
+    /// Value vectors (input of `Attn·V`, high-bit).
+    Value,
+    /// Attention output entering the projection layer (high-bit).
+    ProjInput,
+    /// Post-LayerNorm input of FC1 (low-bit).
+    Fc1Input,
+    /// FFN hidden activation entering FC2 (high-bit).
+    Fc2Input,
+}
+
+impl Site {
+    /// The six sites reported in Fig. 4, in the paper's column order.
+    pub fn fig4_sites() -> [(Site, &'static str); 6] {
+        [
+            (Site::Query, "query"),
+            (Site::Key, "key"),
+            (Site::Value, "value"),
+            (Site::ProjInput, "proj"),
+            (Site::Fc1Input, "fc1"),
+            (Site::Fc2Input, "fc2"),
+        ]
+    }
+}
+
+/// Observer of intermediate activations during decoding.
+pub trait Recorder {
+    /// Called once per site per decoded token with the (unquantized)
+    /// activation vector.
+    fn record(&mut self, layer: usize, site: Site, x: &[f32]);
+}
+
+/// Collects per-channel second moments `E[x_i²]` — the OWQ sensitivity
+/// statistic — at the four weight-input sites.
+#[derive(Debug, Default)]
+pub struct SecondMomentRecorder {
+    sums: HashMap<(usize, Site), (Vec<f64>, u64)>,
+}
+
+impl SecondMomentRecorder {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The mean second moment per channel at `(layer, site)`, or `None` if
+    /// never recorded.
+    pub fn second_moment(&self, layer: usize, site: Site) -> Option<Vec<f32>> {
+        self.sums.get(&(layer, site)).map(|(s, n)| {
+            s.iter().map(|&v| (v / *n as f64) as f32).collect()
+        })
+    }
+}
+
+impl Recorder for SecondMomentRecorder {
+    fn record(&mut self, layer: usize, site: Site, x: &[f32]) {
+        let entry = self
+            .sums
+            .entry((layer, site))
+            .or_insert_with(|| (vec![0.0; x.len()], 0));
+        for (s, &v) in entry.0.iter_mut().zip(x) {
+            *s += f64::from(v) * f64::from(v);
+        }
+        entry.1 += 1;
+    }
+}
+
+/// Captures raw activation rows at every site of one target layer (used to
+/// build the Fig. 3 / Fig. 4 tensors).
+#[derive(Debug)]
+pub struct ActivationCapture {
+    target_layer: usize,
+    rows: HashMap<Site, Vec<Vec<f32>>>,
+    max_rows: usize,
+}
+
+impl ActivationCapture {
+    /// Captures up to `max_rows` activation vectors per site at
+    /// `target_layer`.
+    pub fn new(target_layer: usize, max_rows: usize) -> Self {
+        ActivationCapture { target_layer, rows: HashMap::new(), max_rows }
+    }
+
+    /// The captured activations at `site` as a matrix (one row per token),
+    /// or `None` if nothing was captured.
+    pub fn activations(&self, site: Site) -> Option<Matrix> {
+        let rows = self.rows.get(&site)?;
+        let first = rows.first()?;
+        let mut m = Matrix::zeros(rows.len(), first.len());
+        for (r, row) in rows.iter().enumerate() {
+            m.row_mut(r).copy_from_slice(row);
+        }
+        Some(m)
+    }
+}
+
+impl Recorder for ActivationCapture {
+    fn record(&mut self, layer: usize, site: Site, x: &[f32]) {
+        if layer != self.target_layer {
+            return;
+        }
+        let rows = self.rows.entry(site).or_default();
+        if rows.len() < self.max_rows {
+            rows.push(x.to_vec());
+        }
+    }
+}
+
+struct ReadyLayer {
+    // All stored transposed (d_out × d_in) so a token step is a matvec.
+    wq_t: Matrix,
+    wk_t: Matrix,
+    wv_t: Matrix,
+    wo_t: Matrix,
+    w_gate_t: Option<Matrix>,
+    w_up_t: Matrix,
+    w_down_t: Matrix,
+    attn_gain: Vec<f32>,
+    attn_bias: Vec<f32>,
+    ffn_gain: Vec<f32>,
+    ffn_bias: Vec<f32>,
+}
+
+/// Per-layer key/value cache for incremental decoding.
+#[derive(Debug, Default)]
+struct LayerCache {
+    k: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+/// Decoding state: the position counter and KV caches.
+pub struct DecodeState {
+    pos: usize,
+    layers: Vec<LayerCache>,
+}
+
+impl DecodeState {
+    /// Number of tokens decoded so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
+impl std::fmt::Debug for DecodeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DecodeState(pos={}, layers={})", self.pos, self.layers.len())
+    }
+}
+
+/// A decoder-only transformer executing under a [`QuantScheme`].
+///
+/// The model is built from deterministic synthetic weights (see
+/// [`crate::weights`]); with [`WeightScheme::Owq`] the weights are
+/// calibrated and quantized at construction. All activation quantization
+/// happens token-by-token at the Fig. 5 hook points during decoding.
+///
+/// # Example
+///
+/// ```
+/// use opal_model::{Model, ModelConfig, QuantScheme};
+///
+/// let model = Model::new(ModelConfig::tiny(), QuantScheme::bf16(), 42)?;
+/// let logits = model.forward(&[1, 2, 3]);
+/// assert_eq!(logits.rows(), 3);
+/// assert_eq!(logits.cols(), model.config().vocab);
+/// # Ok::<(), opal_quant::QuantError>(())
+/// ```
+pub struct Model {
+    config: ModelConfig,
+    scheme: QuantScheme,
+    embedding: Matrix,
+    unembedding: Matrix,
+    final_norm_gain: Vec<f32>,
+    final_norm_bias: Vec<f32>,
+    layers: Vec<ReadyLayer>,
+    outlier_channels: Vec<usize>,
+    low_q: Option<Box<dyn Quantizer>>,
+    high_q: Option<Box<dyn Quantizer>>,
+    log2_softmax: Option<Log2Softmax>,
+    rope_theta: f32,
+    /// Final logit scale. A random (untrained) unembedding produces logits
+    /// with standard deviation ≈ √d_model, which would make the model
+    /// near-deterministic (PPL → 1) and hide quantization effects entirely;
+    /// scaling to ≈2.5 standard deviations gives the teacher an entropy
+    /// profile comparable to a trained LLM on natural text (PPL in the
+    /// single digits against a few-hundred-token vocabulary).
+    logit_scale: f32,
+}
+
+impl Model {
+    /// Builds a model with synthetic weights from `seed`, quantized
+    /// according to `scheme`.
+    ///
+    /// With OWQ weights this runs a short calibration pass (48 tokens of a
+    /// deterministic stream) on the unquantized model to collect the OWQ
+    /// channel sensitivities, exactly mirroring the paper's use of a
+    /// calibration set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QuantError`] if the scheme's quantizer parameters are
+    /// invalid.
+    pub fn new(config: ModelConfig, scheme: QuantScheme, seed: u64) -> Result<Self, QuantError> {
+        let raw = generate_weights(&config, seed);
+        Self::from_weights(config, scheme, raw, seed)
+    }
+
+    /// Builds a model from explicit raw weights (mainly for tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QuantError`] if the scheme's quantizer parameters are
+    /// invalid.
+    pub fn from_weights(
+        config: ModelConfig,
+        scheme: QuantScheme,
+        raw: ModelWeights,
+        seed: u64,
+    ) -> Result<Self, QuantError> {
+        let (low_q, high_q) = match &scheme.acts {
+            Some(a) => (Some(a.low_quantizer()?), Some(a.high_quantizer()?)),
+            None => (None, None),
+        };
+        let log2_softmax = match scheme.softmax {
+            SoftmaxKind::Exact => None,
+            SoftmaxKind::Log2 { bits } => Some(Log2Softmax::new(bits)),
+        };
+
+        let processed = match scheme.weights.quantizer()? {
+            None => process_bf16(&raw),
+            Some(owq) => {
+                // Calibration pass on the unquantized model.
+                let fp = Model {
+                    config: config.clone(),
+                    scheme: QuantScheme::bf16(),
+                    embedding: raw.embedding.clone(),
+                    unembedding: raw.unembedding.clone(),
+                    final_norm_gain: raw.final_norm_gain.clone(),
+                    final_norm_bias: raw.final_norm_bias.clone(),
+                    layers: process_identity(&raw),
+                    outlier_channels: raw.outlier_channels.clone(),
+                    low_q: None,
+                    high_q: None,
+                    log2_softmax: None,
+                    rope_theta: 10_000.0,
+                    logit_scale: 2.5 / (config.d_model as f32).sqrt(),
+                };
+                let mut rec = SecondMomentRecorder::new();
+                let mut state = fp.begin_decode();
+                let mut token = (seed % config.vocab as u64) as u32;
+                for _ in 0..48.min(4 * config.vocab) {
+                    let logits = fp.decode_step_recorded(&mut state, token, Some(&mut rec));
+                    token = ops::argmax(&logits).unwrap_or(0) as u32;
+                    // Perturb deterministically to avoid degenerate loops.
+                    token = (token.wrapping_mul(31).wrapping_add(state.pos() as u32))
+                        % config.vocab as u32;
+                }
+                process_owq(&raw, &owq, &rec)
+            }
+        };
+
+        let logit_scale = 2.5 / (config.d_model as f32).sqrt();
+        Ok(Model {
+            config,
+            scheme,
+            embedding: raw.embedding,
+            unembedding: raw.unembedding,
+            final_norm_gain: raw.final_norm_gain,
+            final_norm_bias: raw.final_norm_bias,
+            layers: processed,
+            outlier_channels: raw.outlier_channels,
+            low_q,
+            high_q,
+            log2_softmax,
+            rope_theta: 10_000.0,
+            logit_scale,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The active quantization scheme.
+    pub fn scheme(&self) -> &QuantScheme {
+        &self.scheme
+    }
+
+    /// The persistent activation-outlier channel indices.
+    pub fn outlier_channels(&self) -> &[usize] {
+        &self.outlier_channels
+    }
+
+    /// Starts a fresh decoding session.
+    pub fn begin_decode(&self) -> DecodeState {
+        DecodeState {
+            pos: 0,
+            layers: (0..self.config.n_layers).map(|_| LayerCache::default()).collect(),
+        }
+    }
+
+    /// Decodes one token, returning the next-token logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of vocabulary range.
+    pub fn decode_step(&self, state: &mut DecodeState, token: u32) -> Vec<f32> {
+        self.decode_step_recorded(state, token, None)
+    }
+
+    /// As [`Model::decode_step`], optionally reporting activations to a
+    /// [`Recorder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of vocabulary range.
+    pub fn decode_step_recorded(
+        &self,
+        state: &mut DecodeState,
+        token: u32,
+        mut recorder: Option<&mut dyn Recorder>,
+    ) -> Vec<f32> {
+        assert!((token as usize) < self.config.vocab, "token {token} out of range");
+        let d = self.config.d_model;
+        let dh = self.config.head_dim();
+        let pos = state.pos;
+        let inv_sqrt_dh = 1.0 / (dh as f32).sqrt();
+
+        let mut h: Vec<f32> = self.embedding.row(token as usize).to_vec();
+
+        for (l, lw) in self.layers.iter().enumerate() {
+            // ---- attention ----
+            let x = self.norm(&h, &lw.attn_gain, &lw.attn_bias);
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(l, Site::QkvInput, &x);
+            }
+            let xq = self.quant_low(&x);
+            let mut q = lw.wq_t.matvec(&xq);
+            let mut k = lw.wk_t.matvec(&xq);
+            let v = lw.wv_t.matvec(&xq);
+            for head in 0..self.config.n_heads {
+                let s = head * dh;
+                ops::rope_row(&mut q[s..s + dh], pos, self.rope_theta);
+                ops::rope_row(&mut k[s..s + dh], pos, self.rope_theta);
+            }
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(l, Site::Query, &q);
+                rec.record(l, Site::Key, &k);
+                rec.record(l, Site::Value, &v);
+            }
+            let qq = self.quant_high(&q);
+            let kq = self.quant_high(&k);
+            let vq = self.quant_high(&v);
+            let cache = &mut state.layers[l];
+            cache.k.push(kq);
+            cache.v.push(vq);
+
+            let mut ctx = vec![0.0f32; d];
+            let seq = cache.k.len();
+            let mut scores = vec![0.0f32; seq];
+            for head in 0..self.config.n_heads {
+                let s = head * dh;
+                let q_h = &qq[s..s + dh];
+                for (j, k_row) in cache.k.iter().enumerate() {
+                    let dot: f64 = q_h
+                        .iter()
+                        .zip(&k_row[s..s + dh])
+                        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                        .sum();
+                    scores[j] = dot as f32 * inv_sqrt_dh;
+                }
+                let weights = match &self.log2_softmax {
+                    None => {
+                        let mut w = vec![0.0f32; seq];
+                        ops::softmax_into(&scores, &mut w);
+                        w
+                    }
+                    Some(sm) => sm.probs(&scores),
+                };
+                for (j, &w) in weights.iter().enumerate() {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let v_row = &cache.v[j][s..s + dh];
+                    for (c, &vv) in ctx[s..s + dh].iter_mut().zip(v_row) {
+                        *c += w * vv;
+                    }
+                }
+            }
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(l, Site::ProjInput, &ctx);
+            }
+            let ctxq = self.quant_high(&ctx);
+            let o = lw.wo_t.matvec(&ctxq);
+            for (hh, oo) in h.iter_mut().zip(&o) {
+                *hh += oo;
+            }
+
+            // ---- FFN ----
+            let x2 = self.norm(&h, &lw.ffn_gain, &lw.ffn_bias);
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(l, Site::Fc1Input, &x2);
+            }
+            let x2q = self.quant_low(&x2);
+            let a: Vec<f32> = match (&lw.w_gate_t, self.config.arch) {
+                (Some(gate), _) => {
+                    let g = gate.matvec(&x2q);
+                    let u = lw.w_up_t.matvec(&x2q);
+                    g.iter().zip(&u).map(|(&gv, &uv)| ops::silu(gv) * uv).collect()
+                }
+                (None, _) => lw.w_up_t.matvec(&x2q).iter().map(|&v| ops::relu(v)).collect(),
+            };
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(l, Site::Fc2Input, &a);
+            }
+            let aq = self.quant_high(&a);
+            let down = lw.w_down_t.matvec(&aq);
+            for (hh, dd) in h.iter_mut().zip(&down) {
+                *hh += dd;
+            }
+        }
+
+        state.pos += 1;
+        let hn = self.norm(&h, &self.final_norm_gain, &self.final_norm_bias);
+        let mut logits = self.unembedding.matvec(&hn);
+        for v in &mut logits {
+            *v *= self.logit_scale;
+        }
+        logits
+    }
+
+    /// Full-sequence forward pass: runs the incremental decoder over
+    /// `tokens` and stacks the per-position next-token logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains out-of-range ids.
+    pub fn forward(&self, tokens: &[u32]) -> Matrix {
+        assert!(!tokens.is_empty(), "empty token sequence");
+        let mut state = self.begin_decode();
+        let mut out = Matrix::zeros(tokens.len(), self.config.vocab);
+        for (i, &t) in tokens.iter().enumerate() {
+            let logits = self.decode_step(&mut state, t);
+            out.row_mut(i).copy_from_slice(&logits);
+        }
+        out
+    }
+
+    /// As [`Model::forward`] with a recorder attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains out-of-range ids.
+    pub fn forward_recorded(&self, tokens: &[u32], recorder: &mut dyn Recorder) -> Matrix {
+        assert!(!tokens.is_empty(), "empty token sequence");
+        let mut state = self.begin_decode();
+        let mut out = Matrix::zeros(tokens.len(), self.config.vocab);
+        for (i, &t) in tokens.iter().enumerate() {
+            let logits = self.decode_step_recorded(&mut state, t, Some(recorder));
+            out.row_mut(i).copy_from_slice(&logits);
+        }
+        out
+    }
+
+    fn norm(&self, x: &[f32], gain: &[f32], bias: &[f32]) -> Vec<f32> {
+        let m = Matrix::from_row_slice(x);
+        let normed = match self.config.arch {
+            Arch::Llama => ops::rms_norm(&m, gain, 1e-5),
+            Arch::Opt => ops::layer_norm(&m, gain, bias, 1e-5),
+        };
+        normed.into_vec()
+    }
+
+    fn quant_low(&self, x: &[f32]) -> Vec<f32> {
+        match &self.low_q {
+            Some(q) => q.quantize_dequantize(x),
+            None => bf16_roundtrip(x),
+        }
+    }
+
+    fn quant_high(&self, x: &[f32]) -> Vec<f32> {
+        match &self.high_q {
+            Some(q) => q.quantize_dequantize(x),
+            None => bf16_roundtrip(x),
+        }
+    }
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Model({} under {}, {} layers, d={})",
+            self.config.name, self.scheme.name, self.config.n_layers, self.config.d_model
+        )
+    }
+}
+
+fn bf16_roundtrip(x: &[f32]) -> Vec<f32> {
+    x.iter()
+        .map(|&v| opal_numerics::Bf16::from_f32(v).to_f32())
+        .collect()
+}
+
+fn bf16_matrix(m: &Matrix) -> Matrix {
+    m.map(|v| opal_numerics::Bf16::from_f32(v).to_f32())
+}
+
+fn process_identity(raw: &ModelWeights) -> Vec<ReadyLayer> {
+    raw.layers
+        .iter()
+        .map(|l| ReadyLayer {
+            wq_t: l.wq.transpose(),
+            wk_t: l.wk.transpose(),
+            wv_t: l.wv.transpose(),
+            wo_t: l.wo.transpose(),
+            w_gate_t: l.w_gate.as_ref().map(Matrix::transpose),
+            w_up_t: l.w_up.transpose(),
+            w_down_t: l.w_down.transpose(),
+            attn_gain: l.attn_norm_gain.clone(),
+            attn_bias: l.attn_norm_bias.clone(),
+            ffn_gain: l.ffn_norm_gain.clone(),
+            ffn_bias: l.ffn_norm_bias.clone(),
+        })
+        .collect()
+}
+
+fn process_bf16(raw: &ModelWeights) -> Vec<ReadyLayer> {
+    raw.layers
+        .iter()
+        .map(|l| ReadyLayer {
+            wq_t: bf16_matrix(&l.wq).transpose(),
+            wk_t: bf16_matrix(&l.wk).transpose(),
+            wv_t: bf16_matrix(&l.wv).transpose(),
+            wo_t: bf16_matrix(&l.wo).transpose(),
+            w_gate_t: l.w_gate.as_ref().map(|m| bf16_matrix(m).transpose()),
+            w_up_t: bf16_matrix(&l.w_up).transpose(),
+            w_down_t: bf16_matrix(&l.w_down).transpose(),
+            attn_gain: l.attn_norm_gain.clone(),
+            attn_bias: l.attn_norm_bias.clone(),
+            ffn_gain: l.ffn_norm_gain.clone(),
+            ffn_bias: l.ffn_norm_bias.clone(),
+        })
+        .collect()
+}
+
+fn process_owq(
+    raw: &ModelWeights,
+    owq: &opal_quant::OwqQuantizer,
+    rec: &SecondMomentRecorder,
+) -> Vec<ReadyLayer> {
+    raw.layers
+        .iter()
+        .enumerate()
+        .map(|(l, lw)| {
+            let d = lw.wq.rows();
+            let ff = lw.w_up.cols();
+            let qkv_stats = rec
+                .second_moment(l, Site::QkvInput)
+                .unwrap_or_else(|| vec![1.0; d]);
+            let proj_stats = rec
+                .second_moment(l, Site::ProjInput)
+                .unwrap_or_else(|| vec![1.0; d]);
+            let fc1_stats = rec
+                .second_moment(l, Site::Fc1Input)
+                .unwrap_or_else(|| vec![1.0; d]);
+            let fc2_stats = rec
+                .second_moment(l, Site::Fc2Input)
+                .unwrap_or_else(|| vec![1.0; ff]);
+            ReadyLayer {
+                wq_t: owq.quantize(&lw.wq, &qkv_stats).dequantized().transpose(),
+                wk_t: owq.quantize(&lw.wk, &qkv_stats).dequantized().transpose(),
+                wv_t: owq.quantize(&lw.wv, &qkv_stats).dequantized().transpose(),
+                wo_t: owq.quantize(&lw.wo, &proj_stats).dequantized().transpose(),
+                w_gate_t: lw
+                    .w_gate
+                    .as_ref()
+                    .map(|g| owq.quantize(g, &fc1_stats).dequantized().transpose()),
+                w_up_t: owq.quantize(&lw.w_up, &fc1_stats).dequantized().transpose(),
+                w_down_t: owq.quantize(&lw.w_down, &fc2_stats).dequantized().transpose(),
+                attn_gain: lw.attn_norm_gain.clone(),
+                attn_bias: lw.attn_norm_bias.clone(),
+                ffn_gain: lw.ffn_norm_gain.clone(),
+                ffn_bias: lw.ffn_norm_bias.clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::QuantScheme;
+
+    fn tiny_model(scheme: QuantScheme) -> Model {
+        Model::new(ModelConfig::tiny(), scheme, 42).expect("valid scheme")
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let m = tiny_model(QuantScheme::bf16());
+        let logits = m.forward(&[1, 2, 3, 4]);
+        assert_eq!(logits.rows(), 4);
+        assert_eq!(logits.cols(), 64);
+        for r in 0..4 {
+            assert!(logits.row(r).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn decode_matches_forward() {
+        let m = tiny_model(QuantScheme::bf16());
+        let tokens = [5u32, 9, 1, 33, 7];
+        let full = m.forward(&tokens);
+        let mut state = m.begin_decode();
+        for (i, &t) in tokens.iter().enumerate() {
+            let step = m.decode_step(&mut state, t);
+            for (a, b) in full.row(i).iter().zip(&step) {
+                assert_eq!(a, b, "position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let a = tiny_model(QuantScheme::mxopal_w4a47());
+        let b = tiny_model(QuantScheme::mxopal_w4a47());
+        let la = a.forward(&[3, 1, 4]);
+        let lb = b.forward(&[3, 1, 4]);
+        assert_eq!(la.as_slice(), lb.as_slice());
+    }
+
+    #[test]
+    fn quantization_changes_logits_but_stays_close() {
+        let base = tiny_model(QuantScheme::bf16());
+        let quant = tiny_model(QuantScheme::mxopal_w4a47());
+        let tokens = [2u32, 8, 20, 11];
+        let lb = base.forward(&tokens);
+        let lq = quant.forward(&tokens);
+        assert_ne!(lb.as_slice(), lq.as_slice());
+        // Logit perturbation should be bounded (not exploding).
+        let mse = opal_tensor::stats::mse(lb.as_slice(), lq.as_slice());
+        let var = opal_tensor::stats::variance(lb.as_slice());
+        assert!(mse < var, "quantization noise ({mse}) must not swamp signal ({var})");
+    }
+
+    #[test]
+    fn post_norm_activations_have_outliers() {
+        // The core premise: the tensors quantized to low bits exhibit
+        // channel outliers.
+        let m = tiny_model(QuantScheme::bf16());
+        let mut cap = ActivationCapture::new(0, 8);
+        m.forward_recorded(&[1, 2, 3, 4, 5, 6, 7, 8], &mut cap);
+        let x = cap.activations(Site::QkvInput).expect("captured");
+        let kurt = opal_tensor::stats::excess_kurtosis(x.as_slice());
+        assert!(kurt > 5.0, "post-norm activations must be heavy-tailed, kurtosis {kurt}");
+    }
+
+    #[test]
+    fn recorder_sites_all_fire() {
+        let m = tiny_model(QuantScheme::bf16());
+        let mut cap = ActivationCapture::new(1, 4);
+        m.forward_recorded(&[1, 2, 3], &mut cap);
+        for (site, _) in Site::fig4_sites() {
+            assert!(cap.activations(site).is_some(), "site {site:?} not recorded");
+        }
+        assert!(cap.activations(Site::QkvInput).is_some());
+    }
+
+    #[test]
+    fn owq_calibration_runs() {
+        let m = tiny_model(QuantScheme::owq_w4a16());
+        let logits = m.forward(&[1, 2, 3]);
+        assert!(logits.row(2).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log2_softmax_scheme_runs() {
+        let m = tiny_model(QuantScheme::mxopal_w4a47().with_log2_softmax(5));
+        let logits = m.forward(&[4, 4, 4, 4]);
+        assert!(logits.row(3).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_vocab_token() {
+        let m = tiny_model(QuantScheme::bf16());
+        let mut s = m.begin_decode();
+        m.decode_step(&mut s, 64);
+    }
+
+    #[test]
+    fn second_moment_recorder_math() {
+        let mut rec = SecondMomentRecorder::new();
+        rec.record(0, Site::QkvInput, &[1.0, 2.0]);
+        rec.record(0, Site::QkvInput, &[3.0, 0.0]);
+        let sm = rec.second_moment(0, Site::QkvInput).unwrap();
+        assert_eq!(sm, vec![5.0, 2.0]); // (1+9)/2, (4+0)/2
+        assert!(rec.second_moment(1, Site::QkvInput).is_none());
+    }
+}

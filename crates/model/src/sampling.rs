@@ -1,0 +1,171 @@
+//! Token sampling strategies for the generation loop.
+//!
+//! The paper targets single-batch *generation*; these are the decoding
+//! policies a deployment would run on top of the quantized model: greedy,
+//! temperature, top-k and nucleus (top-p) sampling, all deterministic under
+//! a seeded RNG.
+
+use opal_tensor::ops;
+use opal_tensor::rng::TensorRng;
+
+use crate::infer::{DecodeState, Model};
+
+/// A decoding policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Sampler {
+    /// Always pick the most likely token.
+    Greedy,
+    /// Soften/sharpen the distribution by `temperature` then sample.
+    Temperature(f32),
+    /// Keep only the `k` most likely tokens, renormalize, sample.
+    TopK(usize),
+    /// Keep the smallest set of tokens with cumulative probability ≥ `p`.
+    TopP(f32),
+}
+
+impl Sampler {
+    /// Chooses a token from `logits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is empty, or on invalid parameters
+    /// (`temperature <= 0`, `k == 0`, `p` outside `(0, 1]`).
+    pub fn pick(&self, logits: &[f32], rng: &mut TensorRng) -> u32 {
+        assert!(!logits.is_empty(), "empty logits");
+        match *self {
+            Sampler::Greedy => ops::argmax(logits).expect("non-empty") as u32,
+            Sampler::Temperature(t) => {
+                assert!(t > 0.0, "temperature must be positive");
+                let scaled: Vec<f32> = logits.iter().map(|&l| l / t).collect();
+                let mut p = vec![0.0f32; scaled.len()];
+                ops::softmax_into(&scaled, &mut p);
+                rng.weighted_index(&p) as u32
+            }
+            Sampler::TopK(k) => {
+                assert!(k > 0, "k must be positive");
+                let mut idx: Vec<usize> = (0..logits.len()).collect();
+                idx.sort_by(|&a, &b| logits[b].total_cmp(&logits[a]));
+                let kept = &idx[..k.min(idx.len())];
+                let sub: Vec<f32> = kept.iter().map(|&i| logits[i]).collect();
+                let mut p = vec![0.0f32; sub.len()];
+                ops::softmax_into(&sub, &mut p);
+                kept[rng.weighted_index(&p)] as u32
+            }
+            Sampler::TopP(p_keep) => {
+                assert!((0.0..=1.0).contains(&p_keep) && p_keep > 0.0, "p must be in (0, 1]");
+                let mut probs = vec![0.0f32; logits.len()];
+                ops::softmax_into(logits, &mut probs);
+                let mut idx: Vec<usize> = (0..probs.len()).collect();
+                idx.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]));
+                let mut cum = 0.0f32;
+                let mut cutoff = idx.len();
+                for (rank, &i) in idx.iter().enumerate() {
+                    cum += probs[i];
+                    if cum >= p_keep {
+                        cutoff = rank + 1;
+                        break;
+                    }
+                }
+                let kept = &idx[..cutoff];
+                let sub: Vec<f32> = kept.iter().map(|&i| probs[i]).collect();
+                kept[rng.weighted_index(&sub)] as u32
+            }
+        }
+    }
+}
+
+/// Generates `n` tokens from `model` after consuming `prompt`, using the
+/// given sampler and seed.
+///
+/// # Panics
+///
+/// Panics if the prompt is empty or contains out-of-range tokens.
+pub fn generate(model: &Model, prompt: &[u32], n: usize, sampler: Sampler, seed: u64) -> Vec<u32> {
+    assert!(!prompt.is_empty(), "empty prompt");
+    let mut rng = TensorRng::seed(seed);
+    let mut state: DecodeState = model.begin_decode();
+    let mut logits = Vec::new();
+    for &t in prompt {
+        logits = model.decode_step(&mut state, t);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = sampler.pick(&logits, &mut rng);
+        out.push(t);
+        logits = model.decode_step(&mut state, t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::scheme::QuantScheme;
+
+    fn model() -> Model {
+        Model::new(ModelConfig::tiny(), QuantScheme::bf16(), 3).expect("valid")
+    }
+
+    #[test]
+    fn greedy_matches_argmax() {
+        let logits = [0.1f32, 2.0, -1.0];
+        let mut rng = TensorRng::seed(1);
+        assert_eq!(Sampler::Greedy.pick(&logits, &mut rng), 1);
+    }
+
+    #[test]
+    fn top_k_only_emits_top_tokens() {
+        let logits = [5.0f32, 4.0, -100.0, -100.0];
+        let mut rng = TensorRng::seed(2);
+        for _ in 0..50 {
+            let t = Sampler::TopK(2).pick(&logits, &mut rng);
+            assert!(t == 0 || t == 1);
+        }
+    }
+
+    #[test]
+    fn top_p_collapses_to_greedy_when_peaked() {
+        // One token holds ~all mass: nucleus of 0.9 keeps just it.
+        let logits = [20.0f32, 0.0, 0.0, 0.0];
+        let mut rng = TensorRng::seed(3);
+        for _ in 0..20 {
+            assert_eq!(Sampler::TopP(0.9).pick(&logits, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn low_temperature_approaches_greedy() {
+        let logits = [1.0f32, 1.4, 0.8];
+        let mut rng = TensorRng::seed(4);
+        for _ in 0..30 {
+            assert_eq!(Sampler::Temperature(0.01).pick(&logits, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let m = model();
+        let a = generate(&m, &[1, 2], 10, Sampler::Temperature(1.0), 7);
+        let b = generate(&m, &[1, 2], 10, Sampler::Temperature(1.0), 7);
+        let c = generate(&m, &[1, 2], 10, Sampler::Temperature(1.0), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&t| (t as usize) < m.config().vocab));
+    }
+
+    #[test]
+    fn samplers_diversify_relative_to_greedy() {
+        let m = model();
+        let greedy = generate(&m, &[5], 12, Sampler::Greedy, 1);
+        let hot = generate(&m, &[5], 12, Sampler::Temperature(2.0), 1);
+        assert_ne!(greedy, hot, "hot sampling must diverge from greedy");
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn rejects_zero_temperature() {
+        let mut rng = TensorRng::seed(0);
+        Sampler::Temperature(0.0).pick(&[1.0, 2.0], &mut rng);
+    }
+}

@@ -1,0 +1,39 @@
+//! Integration test: the Table 1 accuracy ordering must reproduce on the
+//! synthetic model family (this is the paper's headline accuracy claim).
+
+use opal_model::{eval, Model, ModelConfig, QuantScheme};
+
+fn proxy() -> ModelConfig {
+    ModelConfig::llama2_7b().proxy(96, 3, 128)
+}
+
+#[test]
+fn table1_ordering_reproduces() {
+    let cfg = proxy();
+    let teacher = Model::new(cfg.clone(), QuantScheme::bf16(), 11).unwrap();
+    let stream = eval::sample_stream(&teacher, 96, 77);
+
+    let ppl = |scheme: QuantScheme| -> f64 {
+        let m = Model::new(cfg.clone(), scheme, 11).unwrap();
+        eval::perplexity(&m, &stream)
+    };
+
+    let base = ppl(QuantScheme::bf16());
+    let w4a16 = ppl(QuantScheme::owq_w4a16());
+    let mm47 = ppl(QuantScheme::minmax_w4a47());
+    let op47 = ppl(QuantScheme::mxopal_w4a47());
+    let mm35 = ppl(QuantScheme::minmax_w3a35());
+    let op35 = ppl(QuantScheme::mxopal_w3a35());
+
+    println!("base={base:.3} w4a16={w4a16:.3} mm47={mm47:.3} op47={op47:.3} mm35={mm35:.3} op35={op35:.3}");
+
+    // Weight-only quantization barely hurts.
+    assert!(w4a16 < base * 1.5, "OWQ W4A16 ({w4a16}) vs base ({base})");
+    // MX-OPAL beats MinMax at both operating points.
+    assert!(op47 <= mm47 * 1.02, "W4A4/7: MX-OPAL {op47} vs MinMax {mm47}");
+    assert!(op35 < mm35, "W3A3/5: MX-OPAL {op35} vs MinMax {mm35}");
+    // The W3A3/5 MinMax collapse: by far the worst row.
+    assert!(mm35 > op35 * 1.2, "MinMax W3A3/5 must collapse: {mm35} vs {op35}");
+    // MX-OPAL W4A4/7 stays close to the weight-only model.
+    assert!(op47 < w4a16 * 1.6, "OPAL-4/7 {op47} near W4A16 {w4a16}");
+}

@@ -1,0 +1,95 @@
+//! Integer-accumulator to floating-point conversion (the "Int to FP" unit).
+//!
+//! After the INT adder tree reduces a lane's products, the OPAL core rescales
+//! the integer sum by the product of the activation and weight shared scales
+//! and converts it to bfloat16 so it can merge with the outlier FP partial
+//! sums in the FP adder tree. These helpers model that path.
+
+use crate::shift::exp2i;
+use crate::Bf16;
+
+/// Converts an integer accumulator value to `f32` given the combined
+/// power-of-two scale exponent of the multiplied operands.
+///
+/// For an activation block with scale `2^sa` (step for `ba`-bit elements is
+/// `2^(sa - (ba-2))`) and a weight block with step `2^(sw - (bw-2))`, the dot
+/// product of quantized integers must be rescaled by
+/// `2^(sa - ba + 2 + sw - bw + 2)`; pass that exponent as `scale_exp`.
+///
+/// # Example
+///
+/// ```
+/// use opal_numerics::convert::acc_to_f32;
+///
+/// // Accumulated integer 40 with combined scale 2^-3.
+/// assert_eq!(acc_to_f32(40, -3), 5.0);
+/// ```
+pub fn acc_to_f32(acc: i64, scale_exp: i32) -> f32 {
+    // i64 accumulators from <=8-bit products over <=4096-element dots fit
+    // in f64 exactly (|acc| < 2^14 * 2^14 * 2^12 = 2^40 < 2^53).
+    (acc as f64 * f64::from(exp2i(scale_exp))) as f32
+}
+
+/// Converts an integer accumulator to bfloat16 (round-to-nearest-even), the
+/// exact output of the Int-to-FP unit in Fig. 6(a).
+pub fn acc_to_bf16(acc: i64, scale_exp: i32) -> Bf16 {
+    Bf16::from_f32(acc_to_f32(acc, scale_exp))
+}
+
+/// Combined rescale exponent for a product of two shift-quantized operands.
+///
+/// `a_scale`/`w_scale` are the blocks' shared scales (unbiased exponents) and
+/// `a_bits`/`w_bits` their element widths, following the convention of
+/// [`crate::shift_quantize`].
+pub fn product_scale_exp(a_scale: i32, a_bits: u32, w_scale: i32, w_bits: u32) -> i32 {
+    (a_scale - (a_bits as i32 - 2)) + (w_scale - (w_bits as i32 - 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{shift_dequantize, shift_quantize, Rounding};
+
+    #[test]
+    fn acc_to_f32_basic() {
+        assert_eq!(acc_to_f32(0, 5), 0.0);
+        assert_eq!(acc_to_f32(-16, -2), -4.0);
+        assert_eq!(acc_to_f32(7, 0), 7.0);
+    }
+
+    #[test]
+    fn integer_dot_product_matches_dequantized_dot() {
+        // Quantize two small vectors, do an integer MAC + single rescale,
+        // and check it equals the dot product of the dequantized values.
+        let a = [1.0f32, -2.0, 3.5, 0.25];
+        let w = [0.5f32, 0.5, -1.0, 2.0];
+        let (sa, ba) = (2, 5); // covers max |a| = 3.5
+        let (sw, bw) = (1, 4); // covers max |w| = 2.0
+        let mut acc = 0i64;
+        let mut expect = 0.0f64;
+        for (&x, &y) in a.iter().zip(&w) {
+            let qa = shift_quantize(Bf16::from_f32(x), sa, ba, Rounding::NearestEven);
+            let qw = shift_quantize(Bf16::from_f32(y), sw, bw, Rounding::NearestEven);
+            acc += i64::from(qa) * i64::from(qw);
+            expect += f64::from(shift_dequantize(qa, sa, ba))
+                * f64::from(shift_dequantize(qw, sw, bw));
+        }
+        let got = acc_to_f32(acc, product_scale_exp(sa, ba, sw, bw));
+        assert!((f64::from(got) - expect).abs() < 1e-6, "got {got} expect {expect}");
+    }
+
+    #[test]
+    fn bf16_conversion_rounds() {
+        // 257 * 2^0 is not representable in bf16 (needs 9 mantissa bits);
+        // RNE rounds to 256.
+        assert_eq!(acc_to_bf16(257, 0).to_f32(), 256.0);
+        assert_eq!(acc_to_bf16(258, 0).to_f32(), 258.0);
+    }
+
+    #[test]
+    fn product_scale_exponent_formula() {
+        // a: scale 3, 4 bits -> step 2^1; w: scale 0, 3 bits -> step 2^-1.
+        assert_eq!(product_scale_exp(3, 4, 0, 3), 0);
+        assert_eq!(product_scale_exp(0, 8, 0, 8), -12);
+    }
+}

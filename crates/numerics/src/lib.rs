@@ -1,0 +1,38 @@
+//! Bit-exact numeric substrate for the OPAL accelerator reproduction.
+//!
+//! The OPAL paper (DAC'24) manipulates numbers at the *field* level: bfloat16
+//! values are decomposed into sign / exponent / mantissa, mantissas are
+//! shifted by exponent differences to form microscaling integers, and the
+//! log2-based softmax unit subtracts exponent fields directly. This crate
+//! provides those primitives:
+//!
+//! * [`Bf16`] — a software bfloat16 (1 sign, 8 exponent, 7 mantissa bits)
+//!   with round-to-nearest-even conversion from `f32` and direct access to
+//!   every bit field.
+//! * [`shift`] — the shift-based quantization datapath: converting a bfloat16
+//!   element to a `b`-bit signed integer under a block-shared power-of-two
+//!   scale using only a right shift (the operation in Fig. 2 of the paper),
+//!   with both the hardware truncating behaviour and a round-to-nearest
+//!   reference.
+//! * [`convert`] — the "Int to FP" path used at the output of the INT adder
+//!   tree (integer accumulator + shared scale → bfloat16/f32).
+//!
+//! # Example
+//!
+//! ```
+//! use opal_numerics::Bf16;
+//!
+//! let x = Bf16::from_f32(3.25);
+//! assert_eq!(x.to_f32(), 3.25);
+//! assert_eq!(x.unbiased_exponent(), 1); // 3.25 = 1.625 * 2^1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bf16;
+pub mod convert;
+pub mod shift;
+
+pub use bf16::Bf16;
+pub use shift::{shift_dequantize, shift_quantize, Rounding};

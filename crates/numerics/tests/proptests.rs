@@ -1,0 +1,131 @@
+//! Property-based tests of the bit-exact numeric substrate.
+
+use opal_numerics::convert::{acc_to_f32, product_scale_exp};
+use opal_numerics::shift::{exp2i, step_size};
+use opal_numerics::{shift_dequantize, shift_quantize, Bf16, Rounding};
+use proptest::prelude::*;
+
+/// Finite, reasonably-scaled f32s (the range activations live in).
+fn act_value() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-1e4f32..1e4f32),
+        (-1.0f32..1.0f32),
+        (-1e-4f32..1e-4f32),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bf16_roundtrip_is_identity_on_bf16_values(bits in 0u16..0x7F80) {
+        // Every finite bf16 value converts to f32 and back unchanged.
+        let x = Bf16::from_bits(bits);
+        prop_assert_eq!(Bf16::from_f32(x.to_f32()), x);
+        let neg = Bf16::from_bits(bits | 0x8000);
+        prop_assert_eq!(Bf16::from_f32(neg.to_f32()), neg);
+    }
+
+    #[test]
+    fn bf16_conversion_error_within_half_ulp(v in act_value()) {
+        let x = Bf16::from_f32(v);
+        prop_assume!(!x.is_infinite());
+        let back = x.to_f32();
+        // RNE error is bounded by half the spacing at v's magnitude:
+        // ulp = 2^(exp - 7).
+        let exp = if v == 0.0 { -126 } else { v.abs().log2().floor() as i32 };
+        let half_ulp = exp2i(exp - 7) / 2.0;
+        prop_assert!((back - v).abs() <= half_ulp * 1.0001, "v={v} back={back}");
+    }
+
+    #[test]
+    fn bf16_conversion_is_monotone(a in act_value(), b in act_value()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let ql = Bf16::from_f32(lo).to_f32();
+        let qh = Bf16::from_f32(hi).to_f32();
+        prop_assert!(ql <= qh, "monotonicity: {lo} -> {ql}, {hi} -> {qh}");
+    }
+
+    #[test]
+    fn shift_quantize_respects_range(
+        v in act_value(),
+        scale in -20i32..20,
+        bits in 2u32..=8,
+    ) {
+        let q = shift_quantize(Bf16::from_f32(v), scale, bits, Rounding::NearestEven);
+        let qmax = (1i32 << (bits - 1)) - 1;
+        prop_assert!(q.abs() <= qmax, "q={q} outside ±{qmax}");
+        // Sign preserved (or zero).
+        if q != 0 {
+            prop_assert_eq!(q.is_negative(), v < 0.0);
+        }
+    }
+
+    #[test]
+    fn shift_quantize_error_within_step(
+        v in -1000.0f32..1000.0,
+        bits in 2u32..=8,
+    ) {
+        // RNE error is at most half a step away from saturation; the
+        // symmetric-range clamp at ±(2^(b-1)-1) can cost up to one full
+        // step for the largest-magnitude element of a block.
+        let x = Bf16::from_f32(v);
+        prop_assume!(!x.is_zero());
+        let scale = x.unbiased_exponent(); // value sits exactly at the top
+        let q = shift_quantize(x, scale, bits, Rounding::NearestEven);
+        let back = shift_dequantize(q, scale, bits);
+        let step = step_size(scale, bits);
+        prop_assert!(
+            (back - x.to_f32()).abs() <= step + 1e-6,
+            "x={x:?} back={back} step={step}"
+        );
+    }
+
+    #[test]
+    fn truncate_magnitude_never_exceeds_rne(
+        v in act_value(),
+        scale in -10i32..15,
+        bits in 2u32..=8,
+    ) {
+        let x = Bf16::from_f32(v);
+        let t = shift_quantize(x, scale, bits, Rounding::Truncate);
+        let r = shift_quantize(x, scale, bits, Rounding::NearestEven);
+        prop_assert!(t.abs() <= r.abs(), "trunc {t} vs rne {r}");
+        prop_assert!((t - r).abs() <= 1, "truncation differs by at most one code");
+    }
+
+    #[test]
+    fn quantize_dequantize_is_idempotent(
+        v in -100.0f32..100.0,
+        bits in 2u32..=8,
+        scale in -5i32..10,
+    ) {
+        // Quantizing an already-on-grid value reproduces it exactly.
+        let q1 = shift_quantize(Bf16::from_f32(v), scale, bits, Rounding::NearestEven);
+        let back = shift_dequantize(q1, scale, bits);
+        let q2 = shift_quantize(Bf16::from_f32(back), scale, bits, Rounding::NearestEven);
+        prop_assert_eq!(q1, q2, "grid values are fixed points");
+    }
+
+    #[test]
+    fn integer_dot_equals_dequantized_dot(
+        a in proptest::collection::vec(-8.0f32..8.0, 1..64),
+        w in proptest::collection::vec(-1.0f32..1.0, 64),
+    ) {
+        let n = a.len().min(w.len());
+        let (sa, ba) = (3, 7);
+        let (sw, bw) = (0, 4);
+        let mut acc = 0i64;
+        let mut reference = 0.0f64;
+        for i in 0..n {
+            let qa = shift_quantize(Bf16::from_f32(a[i]), sa, ba, Rounding::NearestEven);
+            let qw = shift_quantize(Bf16::from_f32(w[i]), sw, bw, Rounding::NearestEven);
+            acc += i64::from(qa) * i64::from(qw);
+            reference += f64::from(shift_dequantize(qa, sa, ba))
+                * f64::from(shift_dequantize(qw, sw, bw));
+        }
+        let got = acc_to_f32(acc, product_scale_exp(sa, ba, sw, bw));
+        prop_assert!(
+            (f64::from(got) - reference).abs() <= reference.abs() * 1e-5 + 1e-5,
+            "int {got} vs ref {reference}"
+        );
+    }
+}

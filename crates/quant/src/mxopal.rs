@@ -1,0 +1,462 @@
+//! MX-OPAL: the paper's outlier-preserved microscaling format (§3, Fig. 2(c)).
+
+use opal_numerics::{shift_dequantize, shift_quantize, Bf16, Rounding};
+
+use crate::{QuantError, Quantizer};
+
+/// Number of bits used for each block's shared-scale *offset* against the
+/// tensor-wise global scale (§3.1: "store a 4-bit block-wise offset").
+pub const SCALE_OFFSET_BITS: u32 = 4;
+
+const MAX_OFFSET: i32 = (1 << SCALE_OFFSET_BITS) - 1;
+
+/// One encoded MX-OPAL block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MxOpalBlock {
+    /// Offset of this block's shared scale above the tensor's global scale,
+    /// in `0..=15` (stored in 4 bits).
+    pub scale_offset: u8,
+    /// The preserved outliers: `(index within block, bfloat16 value)`.
+    pub outliers: Vec<(u8, Bf16)>,
+    /// Non-outlier integer elements (outlier positions hold 0).
+    pub elements: Vec<i32>,
+}
+
+/// A fully encoded MX-OPAL tensor: global scale + per-block payloads.
+///
+/// This is the wire/SRAM format whose size the paper's Eq. (1) accounts for;
+/// [`MxOpalTensor::storage_bits`] computes the same quantity from the actual
+/// encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MxOpalTensor {
+    /// Tensor-wise global shared scale (unbiased exponent).
+    pub global_scale: i32,
+    /// Encoded blocks, in order.
+    pub blocks: Vec<MxOpalBlock>,
+    bits: u32,
+    block_size: usize,
+    len: usize,
+}
+
+impl MxOpalTensor {
+    /// Reassembles a tensor from its parts (used by the wire decoder in
+    /// [`crate::packing`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks' element counts do not sum to `len`.
+    pub fn from_parts(
+        global_scale: i32,
+        blocks: Vec<MxOpalBlock>,
+        bits: u32,
+        block_size: usize,
+        len: usize,
+    ) -> Self {
+        let total: usize = blocks.iter().map(|b| b.elements.len()).sum();
+        assert_eq!(total, len, "block contents must cover the tensor");
+        MxOpalTensor { global_scale, blocks, bits, block_size, len }
+    }
+
+    /// Decodes the tensor back to real values.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len);
+        for block in &self.blocks {
+            let s = self.global_scale + i32::from(block.scale_offset);
+            let start = out.len();
+            out.extend(
+                block
+                    .elements
+                    .iter()
+                    .map(|&q| shift_dequantize(q, s, self.bits)),
+            );
+            for &(idx, val) in &block.outliers {
+                out[start + idx as usize] = val.to_f32();
+            }
+        }
+        out
+    }
+
+    /// Exact storage footprint of this encoding in bits: `(k−n)` packed
+    /// integer elements + 16-bit bfloat16 outliers + per-outlier indices
+    /// (`ceil(log2 k)` bits each) + 4-bit scale offsets + the 8-bit global
+    /// scale.
+    ///
+    /// This matches the numerator of the paper's Eq. (1),
+    /// `(k−n)·b + 16·n + 4`, except that we additionally count the outlier
+    /// index bits explicitly (Eq. (1) folds them away; for k = 128, n = 4
+    /// they add ~2.7 % to the MX-OPAL payload).
+    pub fn storage_bits(&self) -> usize {
+        let idx_bits = usize::BITS as usize - (self.block_size - 1).leading_zeros() as usize;
+        let mut bits = 8; // global scale
+        for b in &self.blocks {
+            bits += SCALE_OFFSET_BITS as usize;
+            bits += (b.elements.len() - b.outliers.len()) * self.bits as usize;
+            bits += b.outliers.len() * (16 + idx_bits);
+        }
+        bits
+    }
+
+    /// Number of encoded elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total preserved-outlier count across all blocks.
+    pub fn outlier_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.outliers.len()).sum()
+    }
+
+    /// The element bit-width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The block size `k`.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+}
+
+/// The MX-OPAL quantizer: MXINT with the top-`n` outliers of every block of
+/// `k` elements preserved in bfloat16, the shared scale taken from the
+/// (n+1)-th largest magnitude, and block scales encoded as a global exponent
+/// plus 4-bit offsets.
+///
+/// The paper's configuration is `k = 128`, `n = 4`, with `bits` = 3/4 for
+/// post-LayerNorm activations and 5/7 elsewhere.
+///
+/// # Example
+///
+/// ```
+/// use opal_quant::{MxOpalQuantizer, Quantizer};
+///
+/// let q = MxOpalQuantizer::new(3, 128, 4)?;
+/// assert_eq!(q.name(), "MX-OPAL3");
+/// # Ok::<(), opal_quant::QuantError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MxOpalQuantizer {
+    bits: u32,
+    block_size: usize,
+    outliers: usize,
+    rounding: Rounding,
+}
+
+impl MxOpalQuantizer {
+    /// Creates an MX-OPAL quantizer with `bits`-bit non-outlier elements,
+    /// blocks of `block_size`, and `outliers` preserved values per block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QuantError`] if `bits` ∉ `2..=8`, the block is empty, or
+    /// `outliers >= block_size` (the scale needs an (n+1)-th element).
+    pub fn new(bits: u32, block_size: usize, outliers: usize) -> Result<Self, QuantError> {
+        Self::with_rounding(bits, block_size, outliers, Rounding::NearestEven)
+    }
+
+    /// As [`MxOpalQuantizer::new`] with an explicit shift-rounding mode.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MxOpalQuantizer::new`].
+    pub fn with_rounding(
+        bits: u32,
+        block_size: usize,
+        outliers: usize,
+        rounding: Rounding,
+    ) -> Result<Self, QuantError> {
+        if !(2..=8).contains(&bits) {
+            return Err(QuantError::InvalidBits { bits });
+        }
+        if block_size == 0 {
+            return Err(QuantError::InvalidBlockSize { block_size });
+        }
+        if outliers >= block_size {
+            return Err(QuantError::TooManyOutliers { outliers, block_size });
+        }
+        Ok(MxOpalQuantizer { bits, block_size, outliers, rounding })
+    }
+
+    /// The non-outlier element bit-width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The block size `k`.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The preserved-outlier count `n`.
+    pub fn outliers(&self) -> usize {
+        self.outliers
+    }
+
+    /// Encodes a whole tensor: selects per-block outliers and scales, then
+    /// computes the tensor-global scale and 4-bit offsets.
+    ///
+    /// Blocks whose natural scale sits more than 15 exponent steps below the
+    /// tensor maximum are re-quantized at the clamped (higher) scale — extra
+    /// underflow for those blocks, never overflow, mirroring what the
+    /// fixed-width offset field forces on hardware.
+    pub fn quantize(&self, x: &[f32]) -> MxOpalTensor {
+        struct Plan {
+            outlier_idx: Vec<usize>,
+            scale: Option<i32>,
+            bf: Vec<Bf16>,
+        }
+
+        let mut plans = Vec::new();
+        for chunk in x.chunks(self.block_size) {
+            let bf: Vec<Bf16> = chunk.iter().map(|&v| Bf16::from_f32(v)).collect();
+            // Rank indices by |value| descending (bf16 magnitude order).
+            let mut order: Vec<usize> = (0..bf.len()).collect();
+            order.sort_by(|&a, &b| bf[b].abs_cmp(bf[a]));
+            let n = self.outliers.min(bf.len().saturating_sub(1));
+            let outlier_idx: Vec<usize> = order[..n].to_vec();
+            // Shared scale = exponent of the (n+1)-th largest magnitude.
+            let scale_elem = bf[order[n]];
+            let scale = if scale_elem.is_zero() || scale_elem.is_subnormal() {
+                None
+            } else {
+                Some(scale_elem.unbiased_exponent())
+            };
+            plans.push(Plan { outlier_idx, scale, bf });
+        }
+
+        // Global scale: chosen so every block offset fits in 4 bits.
+        // global = max(min_scale, max_scale - 15); blocks below are clamped
+        // *up* (they lose small values to underflow but never overflow).
+        let scales: Vec<i32> = plans.iter().filter_map(|p| p.scale).collect();
+        let global_scale = match (scales.iter().min(), scales.iter().max()) {
+            (Some(&lo), Some(&hi)) => lo.max(hi - MAX_OFFSET),
+            _ => 0,
+        };
+
+        let mut blocks = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            let scale = plan
+                .scale
+                .map(|s| s.clamp(global_scale, global_scale + MAX_OFFSET))
+                .unwrap_or(global_scale);
+            let offset = (scale - global_scale) as u8;
+            let mut elements = vec![0i32; plan.bf.len()];
+            for (i, &v) in plan.bf.iter().enumerate() {
+                if plan.outlier_idx.contains(&i) {
+                    continue;
+                }
+                elements[i] = shift_quantize(v, scale, self.bits, self.rounding);
+            }
+            let mut outliers: Vec<(u8, Bf16)> = plan
+                .outlier_idx
+                .iter()
+                .map(|&i| (i as u8, plan.bf[i]))
+                .collect();
+            outliers.sort_by_key(|&(i, _)| i);
+            blocks.push(MxOpalBlock { scale_offset: offset, outliers, elements });
+        }
+
+        MxOpalTensor {
+            global_scale,
+            blocks,
+            bits: self.bits,
+            block_size: self.block_size,
+            len: x.len(),
+        }
+    }
+}
+
+impl Quantizer for MxOpalQuantizer {
+    fn quantize_dequantize(&self, x: &[f32]) -> Vec<f32> {
+        self.quantize(x).dequantize()
+    }
+
+    fn name(&self) -> String {
+        format!("MX-OPAL{}", self.bits)
+    }
+
+    fn storage_bits(&self, len: usize) -> usize {
+        let blocks = len.div_ceil(self.block_size);
+        let idx_bits = usize::BITS as usize - (self.block_size - 1).leading_zeros() as usize;
+        // Full blocks carry `outliers` preserved values; a short final block
+        // carries at most `len_final - 1`.
+        let full_blocks = len / self.block_size;
+        let tail = len % self.block_size;
+        let total_outliers = full_blocks * self.outliers.min(self.block_size - 1)
+            + if tail > 0 { self.outliers.min(tail - 1) } else { 0 };
+        8 + blocks * SCALE_OFFSET_BITS as usize
+            + total_outliers * (16 + idx_bits)
+            + (len - total_outliers) * self.bits as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MxIntQuantizer;
+    use opal_tensor::stats::mse;
+
+    fn outlier_block(k: usize) -> Vec<f32> {
+        let mut x: Vec<f32> = (0..k)
+            .map(|i| (((i * 37 + 11) % 41) as f32 / 41.0 - 0.5) * 0.8)
+            .collect();
+        x[k / 3] = 24.0; // single large outlier
+        x
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(MxOpalQuantizer::new(4, 128, 128).is_err());
+        assert!(MxOpalQuantizer::new(1, 128, 4).is_err());
+        assert!(MxOpalQuantizer::new(4, 0, 0).is_err());
+        assert!(MxOpalQuantizer::new(4, 128, 127).is_ok());
+    }
+
+    #[test]
+    fn outliers_preserved_exactly() {
+        let q = MxOpalQuantizer::new(3, 128, 4).unwrap();
+        let mut x = outlier_block(128);
+        x[7] = -19.5; // bf16-exact
+        x[80] = 12.25;
+        let y = q.quantize_dequantize(&x);
+        assert_eq!(y[128 / 3], 24.0);
+        assert_eq!(y[7], -19.5);
+        assert_eq!(y[80], 12.25);
+    }
+
+    #[test]
+    fn scale_comes_from_n_plus_first() {
+        // Block: one huge outlier (2^10), rest around 2^0. With n=1 the
+        // shared scale must be 0-ish, not 10.
+        let q = MxOpalQuantizer::new(4, 8, 1).unwrap();
+        let x = [1024.0f32, 1.5, -1.2, 0.9, 1.1, -0.7, 0.4, 1.3];
+        let t = q.quantize(&x);
+        let s = t.global_scale + i32::from(t.blocks[0].scale_offset);
+        assert_eq!(s, 0, "scale must track the 2nd largest element (1.5)");
+    }
+
+    #[test]
+    fn beats_mxint_on_outlier_data() {
+        // The headline effect (Fig. 3 / Fig. 4): preserving outliers slashes
+        // the MSE relative to MXINT at the same bit-width.
+        for bits in [2u32, 3, 4, 8] {
+            let x = outlier_block(128);
+            let mxint = MxIntQuantizer::new(bits, 128).unwrap();
+            let mxopal = MxOpalQuantizer::new(bits, 128, 4).unwrap();
+            let e_int = mse(&x, &mxint.quantize_dequantize(&x));
+            let e_opal = mse(&x, &mxopal.quantize_dequantize(&x));
+            assert!(
+                e_opal < e_int / 2.0,
+                "bits={bits}: opal {e_opal} should be well below mxint {e_int}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_outlier_data_matches_mxint_closely() {
+        // Without outliers the (n+1)-th exponent ~= max exponent, so
+        // MX-OPAL degenerates to MXINT accuracy (or slightly better).
+        let x: Vec<f32> = (0..128).map(|i| ((i as f32) * 0.49).sin()).collect();
+        let mxint = MxIntQuantizer::new(4, 128).unwrap();
+        let mxopal = MxOpalQuantizer::new(4, 128, 4).unwrap();
+        let e_int = mse(&x, &mxint.quantize_dequantize(&x));
+        let e_opal = mse(&x, &mxopal.quantize_dequantize(&x));
+        assert!(e_opal <= e_int * 1.05, "opal {e_opal} vs mxint {e_int}");
+    }
+
+    #[test]
+    fn roundtrip_length_and_partial_blocks() {
+        let q = MxOpalQuantizer::new(5, 16, 2).unwrap();
+        let x = outlier_block(39);
+        let y = q.quantize_dequantize(&x);
+        assert_eq!(y.len(), 39);
+    }
+
+    #[test]
+    fn offsets_fit_four_bits() {
+        let q = MxOpalQuantizer::new(4, 16, 1).unwrap();
+        // Wild inter-block dynamic range: block scales span >> 15 exponents.
+        let mut x = vec![0.0f32; 64];
+        for i in 0..16 {
+            x[i] = 1e-6 * (1.0 + i as f32 * 0.01);
+        }
+        for i in 16..32 {
+            x[i] = 1e6 * (1.0 + i as f32 * 0.01);
+        }
+        for i in 32..64 {
+            x[i] = (i as f32 - 48.0) * 0.1;
+        }
+        let t = q.quantize(&x);
+        for b in &t.blocks {
+            assert!(i32::from(b.scale_offset) <= MAX_OFFSET);
+        }
+        // Large block must not overflow: the clamp direction is upward.
+        let y = t.dequantize();
+        for i in 16..32 {
+            assert!(
+                (y[i] - x[i]).abs() / x[i] < 0.2,
+                "large values survive: {} vs {}",
+                y[i],
+                x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_input() {
+        let q = MxOpalQuantizer::new(4, 128, 4).unwrap();
+        let x = vec![0.0f32; 256];
+        assert_eq!(q.quantize_dequantize(&x), x);
+    }
+
+    #[test]
+    fn zero_outliers_degenerates_to_mxint() {
+        let q0 = MxOpalQuantizer::new(4, 64, 0).unwrap();
+        let mxint = MxIntQuantizer::new(4, 64).unwrap();
+        let x: Vec<f32> = (0..64).map(|i| ((i * 29 % 31) as f32 - 15.0) * 0.3).collect();
+        let a = q0.quantize_dequantize(&x);
+        let b = mxint.quantize_dequantize(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outlier_count_and_storage() {
+        let q = MxOpalQuantizer::new(8, 128, 4).unwrap();
+        let x = outlier_block(256);
+        let t = q.quantize(&x);
+        assert_eq!(t.outlier_count(), 8); // 4 per block × 2 blocks
+        assert_eq!(t.len(), 256);
+        // Packed size and a-priori size agree.
+        assert_eq!(t.storage_bits(), q.storage_bits(256));
+    }
+
+    #[test]
+    fn memory_overhead_close_to_eq1() {
+        // Eq. (1): k=128, n=4, b=8 -> OMEM ≈ 1.092... with 16-bit outliers
+        // and a 4-bit offset; our explicit 7-bit indices add ~2.7% more.
+        let q = MxOpalQuantizer::new(8, 128, 4).unwrap();
+        let mxint = MxIntQuantizer::new(8, 128).unwrap();
+        let ratio = q.storage_bits(128 * 64) as f64 / mxint.storage_bits(128 * 64) as f64;
+        let eq1 = crate::overhead::omem(128, 4, 8);
+        assert!(
+            (ratio - eq1).abs() < 0.03,
+            "packed ratio {ratio} vs Eq.(1) {eq1}"
+        );
+    }
+
+    #[test]
+    fn elements_respect_bit_range() {
+        let q = MxOpalQuantizer::new(3, 32, 2).unwrap();
+        let t = q.quantize(&outlier_block(96));
+        for b in &t.blocks {
+            for &e in &b.elements {
+                assert!(e.abs() <= 3, "3-bit magnitude bound");
+            }
+        }
+    }
+}

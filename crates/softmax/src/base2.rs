@@ -1,0 +1,154 @@
+//! Base-2 softmax baselines: the integer-friendly exponential and a
+//! Softermax-style online unit (Stevens et al., DAC'21 — cited by the paper
+//! as prior softmax-approximation work).
+//!
+//! These give the OPAL log2-softmax something to be compared *against*
+//! beyond the exact FP unit: Softermax replaces `e^x` with `2^x` and
+//! normalizes online; the i-exp path evaluates `2^x` with one shift and a
+//! linear fractional correction (no FP transcendentals).
+
+use opal_numerics::shift::exp2i;
+use opal_tensor::Matrix;
+
+use crate::weighted_value_sum;
+
+/// Shift-friendly `2^x`: split `x` into integer and fractional parts and
+/// approximate `2^f ≈ 1 + f·(0.3431·f + 0.6568)` (max relative error
+/// ≈ 0.3 %, a standard quadratic used by integer softmax units).
+pub fn exp2_approx(x: f32) -> f32 {
+    if x < -126.0 {
+        return 0.0;
+    }
+    if x >= 128.0 {
+        return f32::INFINITY;
+    }
+    let n = x.floor();
+    let f = x - n;
+    let frac = 1.0 + f * (0.3431 * f + 0.6568);
+    frac * exp2i(n as i32)
+}
+
+/// A Softermax-style unit: softmax with base 2 instead of base e, computed
+/// with a running maximum and running denominator (online normalization).
+///
+/// `softermax(x)_i = 2^(x_i − max) / Σ_j 2^(x_j − max)`
+///
+/// The exponent evaluations use [`exp2_approx`], i.e. shifts plus a small
+/// multiplier — but unlike OPAL's Eq. (3) unit it still needs a divider for
+/// the final normalization, which is where OPAL's area/power win comes
+/// from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Softermax;
+
+impl Softermax {
+    /// Creates the unit.
+    pub fn new() -> Self {
+        Softermax
+    }
+
+    /// The base-2 probability vector (sums to 1).
+    pub fn probs(&self, scores: &[f32]) -> Vec<f32> {
+        if scores.is_empty() {
+            return Vec::new();
+        }
+        // Online pass: track running max and rescale the running sum, as
+        // the hardware does to keep one pass over the scores.
+        let mut running_max = f32::NEG_INFINITY;
+        let mut running_sum = 0.0f32;
+        for &s in scores {
+            if s > running_max {
+                running_sum *= exp2_approx(running_max - s);
+                running_max = s;
+            }
+            running_sum += exp2_approx(s - running_max);
+        }
+        scores
+            .iter()
+            .map(|&s| exp2_approx(s - running_max) / running_sum)
+            .collect()
+    }
+
+    /// `softermax(scores) · V`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores.len() != v.rows()`.
+    pub fn attn_v(&self, scores: &[f32], v: &Matrix) -> Vec<f32> {
+        let p = self.probs(scores);
+        weighted_value_sum(&p, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_softmax;
+    use opal_tensor::rng::TensorRng;
+
+    #[test]
+    fn exp2_approx_accuracy() {
+        for i in -300..=300 {
+            let x = i as f32 * 0.05;
+            let exact = 2.0f64.powf(f64::from(x)) as f32;
+            let got = exp2_approx(x);
+            let rel = ((got - exact) / exact).abs();
+            assert!(rel < 4e-3, "x={x}: {got} vs {exact} (rel {rel})");
+        }
+        assert_eq!(exp2_approx(-200.0), 0.0);
+        assert!(exp2_approx(200.0).is_infinite());
+    }
+
+    #[test]
+    fn exp2_exact_on_integers() {
+        for e in -10..=10 {
+            assert_eq!(exp2_approx(e as f32), 2.0f32.powi(e));
+        }
+    }
+
+    #[test]
+    fn softermax_is_a_distribution() {
+        let sm = Softermax::new();
+        let p = sm.probs(&[1.0, -2.0, 0.5, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn softermax_sharper_than_softmax_but_same_ranking() {
+        // Base-2 tempering: same argmax ordering as exact softmax.
+        let scores = [0.2f32, 1.7, -0.4, 0.9];
+        let sm = Softermax::new().probs(&scores);
+        let ex = exact_softmax(&scores);
+        let rank = |p: &[f32]| {
+            let mut idx: Vec<usize> = (0..p.len()).collect();
+            idx.sort_by(|&a, &b| p[b].total_cmp(&p[a]));
+            idx
+        };
+        assert_eq!(rank(&sm), rank(&ex));
+    }
+
+    #[test]
+    fn online_pass_matches_two_pass() {
+        // The online (running max) computation must equal the naive
+        // two-pass base-2 softmax.
+        let mut rng = TensorRng::seed(6);
+        for _ in 0..20 {
+            let scores: Vec<f32> = (0..24).map(|_| rng.normal(0.0, 3.0)).collect();
+            let online = Softermax::new().probs(&scores);
+            let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let raw: Vec<f32> = scores.iter().map(|&s| exp2_approx(s - max)).collect();
+            let sum: f32 = raw.iter().sum();
+            // The online rescales compound the ~0.3 % exp2_approx error a
+            // few times; probabilities stay within ~1e-3 of the two-pass.
+            for (a, b) in online.iter().zip(raw.iter().map(|&r| r / sum)) {
+                assert!((a - b).abs() < 2e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_scores() {
+        assert!(Softermax::new().probs(&[]).is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the softmax approximations.
+
+use opal_softmax::{exact_softmax, weighted_value_sum, Log2Softmax};
+use opal_tensor::Matrix;
+use proptest::prelude::*;
+
+fn scores() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-12.0f32..12.0, 1..64)
+}
+
+proptest! {
+    #[test]
+    fn exact_softmax_is_a_distribution(s in scores()) {
+        let p = exact_softmax(&s);
+        let sum: f64 = p.iter().map(|&v| f64::from(v)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0f32).contains(&v)));
+    }
+
+    #[test]
+    fn log2_codes_bounded_and_argmax_preserved(s in scores(), bits in 1u32..=6) {
+        let sm = Log2Softmax::new(bits);
+        let codes = sm.codes(&s);
+        prop_assert_eq!(codes.len(), s.len());
+        for &c in &codes {
+            prop_assert!(c <= sm.max_code());
+        }
+        // The highest score always receives the smallest code.
+        let best = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        let min_code = codes.iter().copied().min().unwrap();
+        prop_assert_eq!(codes[best], min_code);
+    }
+
+    #[test]
+    fn log2_weights_are_powers_of_two_in_unit_interval(s in scores()) {
+        let sm = Log2Softmax::new(5);
+        for p in sm.probs(&s) {
+            prop_assert!(p > 0.0 && p <= 1.0);
+            let l = p.log2();
+            prop_assert!((l - l.round()).abs() < 1e-6, "{p}");
+        }
+    }
+
+    #[test]
+    fn log2_weight_within_one_octave_of_exact_probability(s in scores()) {
+        // |log2(q) - log2(p)| <= ~1.2: half-octave rounding plus the ±1
+        // mantissa-comparator approximation, before clipping.
+        let sm = Log2Softmax::new(6);
+        let exact = exact_softmax(&s);
+        let approx = sm.probs(&s);
+        for (&p, &q) in exact.iter().zip(&approx) {
+            if p > 1e-8 && f64::from(q) > f64::from(opal_numerics::shift::exp2i(-62)) {
+                let dl = (f64::from(q).log2() - f64::from(p).log2()).abs();
+                // Skip entries clipped at the code ceiling.
+                if q > opal_numerics::shift::exp2i(-(i32::from(sm.max_code()))) * 0.99 {
+                    prop_assert!(dl <= 2.1, "log2 gap {dl} (p={p}, q={q})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_value_sum_is_linear(
+        w in proptest::collection::vec(0.0f32..1.0, 8),
+        scale in 0.1f32..4.0,
+    ) {
+        let v = Matrix::from_fn(8, 3, |r, c| (r * 3 + c) as f32 * 0.25 - 1.0);
+        let base = weighted_value_sum(&w, &v);
+        let scaled_w: Vec<f32> = w.iter().map(|&x| x * scale).collect();
+        let scaled = weighted_value_sum(&scaled_w, &v);
+        for (a, b) in base.iter().zip(&scaled) {
+            prop_assert!((a * scale - b).abs() < 1e-3, "{} vs {}", a * scale, b);
+        }
+    }
+
+    #[test]
+    fn attn_v_never_exceeds_value_row_bounds_much(s in scores()) {
+        // With weights summing to <= len (each <= 1), the output of the
+        // shift-accumulate is bounded by sum of |V| rows.
+        let sm = Log2Softmax::new(5);
+        let n = s.len();
+        let v = Matrix::from_fn(n, 2, |r, _| if r % 2 == 0 { 1.0 } else { -1.0 });
+        let out = sm.attn_v(&s, &v);
+        for o in out {
+            prop_assert!(o.abs() <= n as f32 + 1e-3);
+        }
+    }
+}

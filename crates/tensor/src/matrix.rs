@@ -1,0 +1,476 @@
+//! Row-major dense `f32` matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f32` matrix.
+///
+/// This is the single tensor type of the workspace: vectors are `1 × n` or
+/// `n × 1` matrices, activations for a token sequence are `seq_len × d_model`.
+///
+/// # Example
+///
+/// ```
+/// use opal_tensor::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Creates a matrix from a generator function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { data, rows, cols }
+    }
+
+    /// Creates a matrix from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { data, rows: rows.len(), cols }
+    }
+
+    /// Creates a matrix taking ownership of a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { data, rows, cols }
+    }
+
+    /// Creates a single-row matrix from a slice.
+    pub fn from_row_slice(row: &[f32]) -> Self {
+        Matrix { data: row.to_vec(), rows: 1, cols: row.len() }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// Accumulates in `f64` per output element so quantization-error studies
+    /// are not polluted by accumulation error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+            let mut acc = vec![0.0f64; rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let a = f64::from(a);
+                for (j, &b) in b_row.iter().enumerate() {
+                    acc[j] += a * f64::from(b);
+                }
+            }
+            for (o, a) in out_row.iter_mut().zip(&acc) {
+                *o = *a as f32;
+            }
+        }
+        out
+    }
+
+    /// Matrix product with the transpose of `rhs`: `self · rhsᵀ`.
+    ///
+    /// Used for `Q · Kᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "dimension mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0f64;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += f64::from(a) * f64::from(b);
+                }
+                out.data[r * rhs.rows + j] = acc as f32;
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols`.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        self.iter_rows()
+            .map(|row| {
+                row.iter()
+                    .zip(v)
+                    .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                    .sum::<f64>() as f32
+            })
+            .collect()
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        Matrix {
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        Matrix {
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Horizontal slice: rows `[start, end)` as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn rows_range(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "bad row range {start}..{end}");
+        Matrix {
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+            rows: end - start,
+            cols: self.cols,
+        }
+    }
+
+    /// Vertical slice: columns `[start, end)` as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn cols_range(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "bad col range {start}..{end}");
+        let width = end - start;
+        let mut data = Vec::with_capacity(self.rows * width);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.data[r * self.cols + start..r * self.cols + end]);
+        }
+        Matrix { data, rows: self.rows, cols: width }
+    }
+
+    /// Concatenates `self` and `rhs` along columns (`[self | rhs]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "row count mismatch");
+        let mut data = Vec::with_capacity(self.len() + rhs.len());
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(rhs.row(r));
+        }
+        Matrix { data, rows: self.rows, cols: self.cols + rhs.cols }
+    }
+
+    /// Appends the rows of `rhs` below `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ (unless `self` is empty).
+    pub fn vcat(&self, rhs: &Matrix) -> Matrix {
+        if self.is_empty() && self.rows == 0 {
+            return rhs.clone();
+        }
+        assert_eq!(self.cols, rhs.cols, "column count mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&rhs.data);
+        Matrix { data, rows: self.rows + rhs.rows, cols: self.cols }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            let row = self.row(r);
+            let head: Vec<String> = row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                head.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
+        }
+        if self.rows > show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 2)], 12.0);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(m.col(1), vec![1.0, 11.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_t_equals_matmul_of_transpose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = Matrix::from_fn(5, 4, |r, c| (r * c) as f32 * 0.1 - 0.3);
+        let direct = a.matmul_t(&b);
+        let via_t = a.matmul(&b.transpose());
+        for (x, y) in direct.as_slice().iter().zip(via_t.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r + c) as f32);
+        let v = [1.0, 2.0, 3.0];
+        let got = a.matvec(&v);
+        let expect = a.matmul(&Matrix::from_vec(3, 1, v.to_vec()));
+        assert_eq!(got, expect.as_slice());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(4, 7, |r, c| (r * 7 + c) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn slices_and_concat() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let top = m.rows_range(0, 2);
+        let bottom = m.rows_range(2, 4);
+        assert_eq!(top.vcat(&bottom), m);
+        let left = m.cols_range(0, 2);
+        let right = m.cols_range(2, 4);
+        assert_eq!(left.hcat(&right), m);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = Matrix::from_fn(3, 3, |r, c| (r as f32) * 1.5 - c as f32);
+        assert_eq!(m.matmul(&Matrix::identity(3)), m);
+        assert_eq!(Matrix::identity(3).matmul(&m), m);
+    }
+
+    #[test]
+    fn map_add_hadamard_scale() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0]]);
+        assert_eq!(m.map(f32::abs).as_slice(), &[1.0, 2.0]);
+        assert_eq!(m.add(&m).as_slice(), &[2.0, -4.0]);
+        assert_eq!(m.hadamard(&m).as_slice(), &[1.0, 4.0]);
+        assert_eq!(m.scale(-1.0).as_slice(), &[-1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

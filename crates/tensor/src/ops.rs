@@ -1,0 +1,280 @@
+//! Neural-network primitives used by the transformer simulator.
+
+use crate::Matrix;
+
+/// LayerNorm over the last dimension of each row, with learnable gain and
+/// bias (the OPT family uses LayerNorm).
+///
+/// # Panics
+///
+/// Panics if `gain` / `bias` lengths differ from the row width.
+pub fn layer_norm(x: &Matrix, gain: &[f32], bias: &[f32], eps: f32) -> Matrix {
+    assert_eq!(gain.len(), x.cols(), "gain length mismatch");
+    assert_eq!(bias.len(), x.cols(), "bias length mismatch");
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let mean = row.iter().map(|&v| f64::from(v)).sum::<f64>() / row.len() as f64;
+        let var = row
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
+            / row.len() as f64;
+        let inv = 1.0 / (var + f64::from(eps)).sqrt();
+        let out_row = out.row_mut(r);
+        for (i, &v) in row.iter().enumerate() {
+            out_row[i] = (((f64::from(v) - mean) * inv) as f32) * gain[i] + bias[i];
+        }
+    }
+    out
+}
+
+/// RMSNorm over the last dimension of each row (the Llama family uses
+/// RMSNorm: no mean subtraction, no bias).
+///
+/// # Panics
+///
+/// Panics if `gain.len() != x.cols()`.
+pub fn rms_norm(x: &Matrix, gain: &[f32], eps: f32) -> Matrix {
+    assert_eq!(gain.len(), x.cols(), "gain length mismatch");
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let ms = row.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>()
+            / row.len() as f64;
+        let inv = 1.0 / (ms + f64::from(eps)).sqrt();
+        let out_row = out.row_mut(r);
+        for (i, &v) in row.iter().enumerate() {
+            out_row[i] = ((f64::from(v) * inv) as f32) * gain[i];
+        }
+    }
+    out
+}
+
+/// Numerically stable softmax applied independently to each row.
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        softmax_into(row, out.row_mut(r));
+    }
+    out
+}
+
+/// Numerically stable softmax of a single slice into `out`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != x.len()`.
+pub fn softmax_into(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "output length mismatch");
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f64;
+    for (o, &v) in out.iter_mut().zip(x) {
+        let e = f64::from(v - max).exp();
+        *o = e as f32;
+        sum += e;
+    }
+    let inv = (1.0 / sum) as f32;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+/// SiLU (swish) activation: `x * sigmoid(x)` (Llama FFN).
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// GELU activation, tanh approximation (OPT FFN uses ReLU historically, GPT
+/// uses GELU; we expose both and let the model config choose).
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + ((0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh()))
+}
+
+/// ReLU activation.
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Applies rotary position embedding in-place to a `seq_len × head_dim` block
+/// of query or key vectors, starting at absolute position `pos0`.
+///
+/// Pairs dimension `2i`/`2i+1` are rotated by angle `pos / theta^(2i/d)`.
+///
+/// # Panics
+///
+/// Panics if the head dimension is odd.
+pub fn rope_in_place(x: &mut Matrix, pos0: usize, theta: f32) {
+    for r in 0..x.rows() {
+        let pos = pos0 + r;
+        rope_row(x.row_mut(r), pos, theta);
+    }
+}
+
+/// Applies rotary position embedding to a single head-vector at absolute
+/// position `pos`.
+///
+/// # Panics
+///
+/// Panics if the vector length is odd.
+pub fn rope_row(row: &mut [f32], pos: usize, theta: f32) {
+    let d = row.len();
+    assert!(d % 2 == 0, "RoPE requires an even head dimension");
+    let pos = pos as f32;
+    for i in 0..d / 2 {
+        let freq = theta.powf(-2.0 * i as f32 / d as f32);
+        let (sin, cos) = (pos * freq).sin_cos();
+        let (a, b) = (row[2 * i], row[2 * i + 1]);
+        row[2 * i] = a * cos - b * sin;
+        row[2 * i + 1] = a * sin + b * cos;
+    }
+}
+
+/// Index of the maximum element (first occurrence).
+///
+/// Returns `None` for an empty slice.
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+}
+
+/// `log(sum(exp(x)))` computed stably.
+pub fn log_sum_exp(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max.is_infinite() {
+        return max;
+    }
+    let sum: f64 = x.iter().map(|&v| f64::from(v - max).exp()).sum();
+    max + sum.ln() as f32
+}
+
+/// Cross-entropy of a logits row against a target index, in nats.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn cross_entropy(logits: &[f32], target: usize) -> f32 {
+    assert!(target < logits.len(), "target {target} out of range");
+    log_sum_exp(logits) - logits[target]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn layer_norm_normalizes() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let g = vec![1.0; 4];
+        let b = vec![0.0; 4];
+        let y = layer_norm(&x, &g, &b, 1e-5);
+        let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = y.row(0).iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert_close(mean, 0.0, 1e-6);
+        assert_close(var, 1.0, 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_gain_bias() {
+        let x = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let y = layer_norm(&x, &[2.0, 2.0], &[1.0, 1.0], 1e-9);
+        assert_close(y[(0, 0)], 3.0, 1e-4);
+        assert_close(y[(0, 1)], -1.0, 1e-4);
+    }
+
+    #[test]
+    fn rms_norm_unit_rms() {
+        let x = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let y = rms_norm(&x, &[1.0, 1.0], 0.0);
+        let ms: f32 = y.row(0).iter().map(|v| v * v).sum::<f32>() / 2.0;
+        assert_close(ms, 1.0, 1e-5);
+        // Direction preserved.
+        assert_close(y[(0, 1)] / y[(0, 0)], 4.0 / 3.0, 1e-5);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1001.0, 1002.0, 1003.0]]);
+        let y = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f32 = y.row(r).iter().sum();
+            assert_close(s, 1.0, 1e-6);
+        }
+        // shift invariance: both rows identical
+        for c in 0..3 {
+            assert_close(y[(0, c)], y[(1, c)], 1e-6);
+        }
+        assert!(y[(0, 2)] > y[(0, 1)] && y[(0, 1)] > y[(0, 0)]);
+    }
+
+    #[test]
+    fn activations_reference_points() {
+        assert_close(silu(0.0), 0.0, 1e-9);
+        assert!(silu(5.0) > 4.9);
+        assert_close(gelu(0.0), 0.0, 1e-9);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert_eq!(relu(-3.0), 0.0);
+        assert_eq!(relu(3.0), 3.0);
+    }
+
+    #[test]
+    fn rope_preserves_norm_and_is_position_dependent() {
+        let mut a = Matrix::from_rows(&[&[1.0, 0.0, 0.5, 0.5]]);
+        let before: f32 = a.row(0).iter().map(|v| v * v).sum();
+        rope_in_place(&mut a, 3, 10000.0);
+        let after: f32 = a.row(0).iter().map(|v| v * v).sum();
+        assert_close(before, after, 1e-5);
+
+        let mut b = Matrix::from_rows(&[&[1.0, 0.0, 0.5, 0.5]]);
+        rope_in_place(&mut b, 4, 10000.0);
+        assert!(a.as_slice() != b.as_slice(), "rotation must depend on position");
+    }
+
+    #[test]
+    fn rope_relative_property() {
+        // <RoPE(q,m), RoPE(k,n)> depends only on m-n.
+        let q = [0.3f32, -0.7, 1.1, 0.2];
+        let k = [0.9f32, 0.4, -0.5, 0.8];
+        let dot = |m: usize, n: usize| -> f32 {
+            let mut qm = Matrix::from_row_slice(&q);
+            let mut kn = Matrix::from_row_slice(&k);
+            rope_in_place(&mut qm, m, 10000.0);
+            rope_in_place(&mut kn, n, 10000.0);
+            qm.row(0).iter().zip(kn.row(0)).map(|(a, b)| a * b).sum()
+        };
+        assert_close(dot(5, 3), dot(9, 7), 1e-4);
+        assert_close(dot(2, 2), dot(11, 11), 1e-4);
+    }
+
+    #[test]
+    fn argmax_and_lse() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        let lse = log_sum_exp(&[0.0, 0.0]);
+        assert_close(lse, std::f32::consts::LN_2, 1e-6);
+        // stability with large values
+        assert_close(log_sum_exp(&[1000.0, 1000.0]), 1000.0 + std::f32::consts::LN_2, 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform() {
+        let ce = cross_entropy(&[0.0, 0.0, 0.0, 0.0], 2);
+        assert_close(ce, (4.0f32).ln(), 1e-6);
+        // Confident correct prediction -> near-zero CE.
+        let ce2 = cross_entropy(&[10.0, -10.0], 0);
+        assert!(ce2 < 1e-3);
+    }
+}

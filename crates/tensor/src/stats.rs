@@ -1,0 +1,156 @@
+//! Error metrics and summary statistics for quantization studies.
+
+/// Mean squared error between two slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "mse of empty slices");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Maximum absolute error between two slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn max_abs_err(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Signal-to-quantization-noise ratio in dB: `10·log10(Σx² / Σ(x−x̂)²)`.
+///
+/// Returns `f64::INFINITY` when the reconstruction is exact.
+///
+/// # Panics
+///
+/// Panics if lengths differ or slices are empty.
+pub fn sqnr_db(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    assert!(!original.is_empty(), "sqnr of empty slices");
+    let signal: f64 = original.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+    let noise: f64 = original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(x: &[f32]) -> f64 {
+    assert!(!x.is_empty(), "mean of empty slice");
+    x.iter().map(|&v| f64::from(v)).sum::<f64>() / x.len() as f64
+}
+
+/// Population variance.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn variance(x: &[f32]) -> f64 {
+    let m = mean(x);
+    x.iter().map(|&v| (f64::from(v) - m).powi(2)).sum::<f64>() / x.len() as f64
+}
+
+/// Minimum and maximum of a slice.
+///
+/// Returns `None` for an empty slice.
+pub fn min_max(x: &[f32]) -> Option<(f32, f32)> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in x {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    Some((lo, hi))
+}
+
+/// Kurtosis (Fisher, excess) — heavy-tail diagnostic used to sanity-check the
+/// synthetic activation generator against LLM statistics (LLM activations
+/// have strongly positive excess kurtosis).
+///
+/// # Panics
+///
+/// Panics if the slice has fewer than 2 elements or zero variance.
+pub fn excess_kurtosis(x: &[f32]) -> f64 {
+    assert!(x.len() >= 2, "kurtosis needs at least 2 samples");
+    let m = mean(x);
+    let var = variance(x);
+    assert!(var > 0.0, "kurtosis of constant data");
+    let m4 = x.iter().map(|&v| (f64::from(v) - m).powi(4)).sum::<f64>() / x.len() as f64;
+    m4 / (var * var) - 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mse(&[0.0, 0.0], &[1.0, -1.0]), 1.0);
+    }
+
+    #[test]
+    fn max_abs_err_basics() {
+        assert_eq!(max_abs_err(&[1.0, 5.0], &[1.5, 4.0]), 1.0);
+        assert_eq!(max_abs_err(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sqnr_reference() {
+        // noise power 1% of signal power -> 20 dB
+        let x = [10.0f32, 10.0];
+        let y = [11.0f32, 9.0];
+        assert!((sqnr_db(&x, &y) - 20.0).abs() < 1e-9);
+        assert!(sqnr_db(&x, &x).is_infinite());
+    }
+
+    #[test]
+    fn moments() {
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&x), 2.5);
+        assert_eq!(variance(&x), 1.25);
+        assert_eq!(min_max(&x), Some((1.0, 4.0)));
+        assert_eq!(min_max(&[]), None);
+    }
+
+    #[test]
+    fn kurtosis_flags_heavy_tails() {
+        // Uniform-ish data: negative excess kurtosis.
+        let flat: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        assert!(excess_kurtosis(&flat) < 0.0);
+        // One huge outlier among small noise: strongly positive.
+        let mut spiky = vec![0.1f32; 127];
+        spiky.push(100.0);
+        assert!(excess_kurtosis(&spiky) > 50.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the tensor substrate.
+
+use opal_tensor::ops;
+use opal_tensor::Matrix;
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in small_matrix(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral(m in small_matrix(10)) {
+        let i_right = Matrix::identity(m.cols());
+        let i_left = Matrix::identity(m.rows());
+        let r = m.matmul(&i_right);
+        let l = i_left.matmul(&m);
+        for (a, b) in m.as_slice().iter().zip(r.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        for (a, b) in m.as_slice().iter().zip(l.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(8),
+        seed in 0u64..1000,
+    ) {
+        // (B + C)·A == B·A + C·A with B, C derived from `a`'s shape.
+        let rows = 4usize;
+        let b = Matrix::from_fn(rows, a.rows(), |r, c| ((r * 7 + c * 3 + seed as usize) % 11) as f32 - 5.0);
+        let c = Matrix::from_fn(rows, a.rows(), |r, c| ((r * 5 + c * 2 + seed as usize) % 13) as f32 - 6.0);
+        let lhs = b.add(&c).matmul(&a);
+        let rhs = b.matmul(&a).add(&c.matmul(&a));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_t_consistent_with_transpose(a in small_matrix(8), cols in 1usize..6) {
+        let b = Matrix::from_fn(cols, a.cols(), |r, c| (r as f32 - c as f32) * 0.3);
+        let direct = a.matmul_t(&b);
+        let via = a.matmul(&b.transpose());
+        for (x, y) in direct.as_slice().iter().zip(via.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_shift_invariant(
+        row in proptest::collection::vec(-8.0f32..8.0, 1..32),
+        shift in -100.0f32..100.0,
+    ) {
+        let m = Matrix::from_row_slice(&row);
+        let shifted = m.map(|v| v + shift);
+        let p1 = ops::softmax_rows(&m);
+        let p2 = ops::softmax_rows(&shifted);
+        for (a, b) in p1.as_slice().iter().zip(p2.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rms_norm_output_has_unit_rms(
+        row in proptest::collection::vec(-50.0f32..50.0, 2..64),
+    ) {
+        prop_assume!(row.iter().any(|&v| v.abs() > 1e-3));
+        let m = Matrix::from_row_slice(&row);
+        let g = vec![1.0; row.len()];
+        let y = ops::rms_norm(&m, &g, 0.0);
+        let rms: f64 = y.row(0).iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>()
+            / row.len() as f64;
+        prop_assert!((rms - 1.0).abs() < 1e-3, "rms {rms}");
+    }
+
+    #[test]
+    fn rope_preserves_vector_norm(
+        row in proptest::collection::vec(-5.0f32..5.0, 2..32),
+        pos in 0usize..2048,
+    ) {
+        prop_assume!(row.len() % 2 == 0);
+        let mut v = row.clone();
+        let before: f64 = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+        ops::rope_row(&mut v, pos, 10000.0);
+        let after: f64 = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+        prop_assert!((before - after).abs() <= before * 1e-4 + 1e-6);
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(row in proptest::collection::vec(-30.0f32..30.0, 1..40)) {
+        let lse = ops::log_sum_exp(&row);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(lse >= max - 1e-4);
+        prop_assert!(lse <= max + (row.len() as f32).ln() + 1e-4);
+    }
+
+    #[test]
+    fn slicing_roundtrips(m in small_matrix(10), split_frac in 0.0f64..1.0) {
+        let split = ((m.rows() as f64 * split_frac) as usize).min(m.rows());
+        let top = m.rows_range(0, split);
+        let bottom = m.rows_range(split, m.rows());
+        prop_assert_eq!(top.vcat(&bottom), m);
+    }
+}

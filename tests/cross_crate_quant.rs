@@ -1,0 +1,131 @@
+//! Integration tests across the numerics / quant / softmax crates: the
+//! bit-level invariants that make the OPAL datapath work.
+
+use opal_numerics::convert::{acc_to_f32, product_scale_exp};
+use opal_numerics::{shift_dequantize, shift_quantize, Bf16, Rounding};
+use opal_quant::{MinMaxQuantizer, MxIntQuantizer, MxOpalQuantizer, Quantizer};
+use opal_softmax::{exact_softmax, Log2Softmax};
+use opal_tensor::rng::TensorRng;
+use opal_tensor::stats::{mse, sqnr_db};
+use opal_tensor::Matrix;
+
+/// An activation-like tensor with channel-persistent outliers.
+fn outlier_tensor(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = TensorRng::seed(seed);
+    let channels = rng.distinct_indices(len, (len / 80).max(1));
+    rng.outlier_vector(len, 0.8, &channels, 45.0)
+}
+
+#[test]
+fn integer_matvec_with_shared_scales_matches_dequantized_math() {
+    // End-to-end check of the OPAL lane datapath: quantize an activation
+    // block and a weight block, multiply in pure integer arithmetic,
+    // rescale once at the Int-to-FP unit, and compare with f32 math on the
+    // dequantized values. They must agree exactly.
+    let acts = outlier_tensor(128, 1);
+    let weights: Vec<f32> = (0..128).map(|i| ((i * 13 % 29) as f32 - 14.0) * 0.01).collect();
+
+    let (sa, ba) = (7, 7); // activation scale/bits (high mode)
+    let (sw, bw) = (0, 4); // weight scale/bits
+
+    let mut int_acc = 0i64;
+    let mut f32_ref = 0.0f64;
+    for (&a, &w) in acts.iter().zip(&weights) {
+        let qa = shift_quantize(Bf16::from_f32(a), sa, ba, Rounding::NearestEven);
+        let qw = shift_quantize(Bf16::from_f32(w), sw, bw, Rounding::NearestEven);
+        int_acc += i64::from(qa) * i64::from(qw);
+        f32_ref += f64::from(shift_dequantize(qa, sa, ba))
+            * f64::from(shift_dequantize(qw, sw, bw));
+    }
+    let rescaled = acc_to_f32(int_acc, product_scale_exp(sa, ba, sw, bw));
+    assert!(
+        (f64::from(rescaled) - f32_ref).abs() < 1e-4,
+        "int path {rescaled} vs dequant path {f32_ref}"
+    );
+}
+
+#[test]
+fn mxopal_dominates_mxint_across_widths_and_seeds() {
+    for seed in [3u64, 5, 8, 13] {
+        let x = outlier_tensor(1024, seed);
+        for bits in [3u32, 4, 5, 7] {
+            let mxint = MxIntQuantizer::new(bits, 128).expect("valid");
+            let mxopal = MxOpalQuantizer::new(bits, 128, 4).expect("valid");
+            let e_int = mse(&x, &mxint.quantize_dequantize(&x));
+            let e_opal = mse(&x, &mxopal.quantize_dequantize(&x));
+            assert!(
+                e_opal < e_int,
+                "seed {seed} bits {bits}: MX-OPAL {e_opal} must beat MXINT {e_int}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mxopal_sqnr_improves_with_bits() {
+    let x = outlier_tensor(512, 2);
+    let mut last = f64::NEG_INFINITY;
+    for bits in [2u32, 3, 4, 5, 7, 8] {
+        let q = MxOpalQuantizer::new(bits, 128, 4).expect("valid");
+        let s = sqnr_db(&x, &q.quantize_dequantize(&x));
+        assert!(s > last, "SQNR must grow with bits: {s} after {last}");
+        last = s;
+    }
+}
+
+#[test]
+fn log2_softmax_attention_close_to_exact_attention() {
+    let mut rng = TensorRng::seed(77);
+    let sm = Log2Softmax::new(5);
+    let mut total_rel_err = 0.0f64;
+    let trials = 40;
+    for _ in 0..trials {
+        let seq = 32;
+        let scores: Vec<f32> = (0..seq).map(|_| rng.normal(0.0, 1.2)).collect();
+        let v = rng.normal_matrix(seq, 16, 0.0, 1.0);
+        let exact = opal_softmax::attn_v_exact(&scores, &v);
+        let approx = sm.attn_v(&scores, &v);
+        let num: f64 = exact
+            .iter()
+            .zip(&approx)
+            .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
+            .sum();
+        let den: f64 = exact.iter().map(|&a| f64::from(a) * f64::from(a)).sum();
+        total_rel_err += (num / den.max(1e-12)).sqrt();
+    }
+    let mean_rel = total_rel_err / trials as f64;
+    assert!(mean_rel < 0.45, "mean relative Attn·V error {mean_rel}");
+}
+
+#[test]
+fn quantize_matrix_rows_is_rowwise() {
+    // Row-wise (per-token) quantization must treat rows independently: a
+    // huge outlier in row 0 cannot disturb row 1.
+    let q = MinMaxQuantizer::new(4, 1024).expect("valid");
+    let mut m = Matrix::zeros(2, 64);
+    for c in 0..64 {
+        m[(0, c)] = c as f32;
+        m[(1, c)] = (c as f32) * 0.01;
+    }
+    m[(0, 0)] = 1e6;
+    let out = opal_quant::quantize_matrix_rows(&q, &m);
+    // Row 1's own 4-bit step is 0.63/15 ≈ 0.042 (MSE ≈ step²/12 ≈ 1.5e-4);
+    // contamination by row 0's 1e6 outlier would inflate the step ~7 orders
+    // of magnitude.
+    let e_row1 = mse(m.row(1), out.row(1));
+    assert!(e_row1 < 1e-3, "row 1 must be quantized on its own range: {e_row1}");
+}
+
+#[test]
+fn probabilities_of_log2_softmax_are_powers_of_two() {
+    let sm = Log2Softmax::new(5);
+    let scores = [0.3f32, -1.0, 2.5, 0.9, -0.2];
+    for p in sm.probs(&scores) {
+        assert!(p > 0.0);
+        let l = p.log2();
+        assert!((l - l.round()).abs() < 1e-6, "{p} is not a power of two");
+    }
+    // And the exact softmax of course is not (sanity check of the test).
+    let exact = exact_softmax(&scores);
+    assert!(exact.iter().any(|&p| (p.log2() - p.log2().round()).abs() > 1e-3));
+}

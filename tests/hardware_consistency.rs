@@ -1,0 +1,102 @@
+//! Integration tests of the hardware stack against the paper's published
+//! numbers and against the algorithmic side of the workspace.
+
+use opal_hw::accelerator::{Accelerator, AcceleratorKind};
+use opal_hw::core::OpalCore;
+use opal_hw::units::{MuConfig, MuMode};
+use opal_hw::workload::{DataFormat, TokenWorkload};
+use opal_model::{Model, ModelConfig, QuantScheme};
+use opal_quant::{MxOpalQuantizer, Quantizer};
+
+#[test]
+fn abstract_headline_numbers() {
+    // Abstract: "improve the energy efficiency by 1.6∼2.2×, and reduce the
+    // area by 2.4∼3.1×".
+    let model = ModelConfig::llama2_70b();
+    let owq = Accelerator::new(AcceleratorKind::Owq).energy_per_token(&model, 1024);
+    let o47 = Accelerator::new(AcceleratorKind::OpalW4A47).energy_per_token(&model, 1024);
+    let o35 = Accelerator::new(AcceleratorKind::OpalW3A35).energy_per_token(&model, 1024);
+
+    // Energy-efficiency gains vs the weight-only baseline (1.6x and 2.2x).
+    let gain47 = owq.total_j() / o47.total_j();
+    let gain35 = owq.total_j() / o35.total_j();
+    assert!((1.4..2.0).contains(&gain47), "4/7 efficiency gain {gain47} (paper 1.6)");
+    assert!((1.8..2.6).contains(&gain35), "3/5 efficiency gain {gain35} (paper 2.2)");
+
+    let bf16_area = Accelerator::new(AcceleratorKind::Bf16).area().total_mm2();
+    let r47 = bf16_area / Accelerator::new(AcceleratorKind::OpalW4A47).area().total_mm2();
+    let r35 = bf16_area / Accelerator::new(AcceleratorKind::OpalW3A35).area().total_mm2();
+    assert!((2.1..2.8).contains(&r47), "area 4/7 {r47} (paper 2.4)");
+    assert!((2.6..3.4).contains(&r35), "area 3/5 {r35} (paper 3.1)");
+}
+
+#[test]
+fn storage_accounting_agrees_between_quantizer_and_workload_model() {
+    // The hw workload model uses Eq. (1)-style effective bits; the packed
+    // MX-OPAL encoding must agree within a couple of percent.
+    for bits in [3u32, 4, 5, 7] {
+        let q = MxOpalQuantizer::new(bits, 128, 4).expect("valid");
+        let len = 128 * 64;
+        let packed_bits_per_elem = q.storage_bits(len) as f64 / len as f64;
+        let eff = opal_hw::workload::effective_act_bits(bits);
+        let rel = (packed_bits_per_elem - eff).abs() / eff;
+        assert!(
+            rel < 0.04,
+            "bits {bits}: packed {packed_bits_per_elem:.3} vs model {eff:.3}"
+        );
+    }
+}
+
+#[test]
+fn workload_scales_linearly_with_layers() {
+    let base = ModelConfig::llama2_7b();
+    let mut doubled = base.clone();
+    doubled.n_layers *= 2;
+    let f = DataFormat::opal_w4a47();
+    let w1 = TokenWorkload::new(&base, &f, 256);
+    let w2 = TokenWorkload::new(&doubled, &f, 256);
+    assert_eq!(w2.macs.total(), 2 * w1.macs.total());
+    assert!((w2.weight_bytes / w1.weight_bytes - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn core_throughput_consistent_with_model_op_mix() {
+    // The dominant op class of a Llama decoder block is low-low (QKV + FC1);
+    // the core's 4x low-low packing is what makes OPAL's core smaller than
+    // an iso-throughput BF16 datapath.
+    let model = ModelConfig::llama2_7b();
+    let wl = TokenWorkload::new(&model, &DataFormat::opal_w4a47(), 1024);
+    assert!(
+        wl.macs.low_low > wl.macs.low_high + wl.macs.high_high,
+        "low-low must dominate: {:?}",
+        wl.macs
+    );
+    let core = OpalCore::new(MuConfig::w4a47());
+    assert_eq!(
+        core.macs_per_cycle(MuMode::LowLow),
+        4 * core.macs_per_cycle(MuMode::HighHigh)
+    );
+}
+
+#[test]
+fn model_outlier_statistics_match_hw_assumptions() {
+    // The hw model books 4/128 of activation elements to the FP path. The
+    // algorithmic quantizer must preserve exactly that fraction.
+    let config = ModelConfig::llama2_7b().proxy(128, 3, 128);
+    let model = Model::new(config, QuantScheme::mxopal_w4a47(), 3).expect("valid");
+    let q = MxOpalQuantizer::new(7, 128, 4).expect("valid");
+    let x: Vec<f32> = (0..256).map(|i| (i as f32 * 0.37).sin()).collect();
+    let t = q.quantize(&x);
+    let frac = t.outlier_count() as f64 / t.len() as f64;
+    assert!((frac - 4.0 / 128.0).abs() < 1e-9);
+    drop(model);
+}
+
+#[test]
+fn energy_monotone_in_model_size() {
+    let acc = Accelerator::new(AcceleratorKind::OpalW4A47);
+    let e7 = acc.energy_per_token(&ModelConfig::llama2_7b(), 1024).total_j();
+    let e13 = acc.energy_per_token(&ModelConfig::llama2_13b(), 1024).total_j();
+    let e70 = acc.energy_per_token(&ModelConfig::llama2_70b(), 1024).total_j();
+    assert!(e7 < e13 && e13 < e70, "{e7} {e13} {e70}");
+}
