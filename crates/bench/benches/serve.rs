@@ -1,0 +1,49 @@
+//! Criterion bench: batched serving throughput of `opal-serve` versus
+//! repeated single-sequence generation, across batch sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opal_model::{Model, ModelConfig, QuantScheme};
+use opal_serve::{ServeConfig, ServeEngine};
+
+fn bench_batched_throughput(c: &mut Criterion) {
+    let model =
+        Model::new(ModelConfig::tiny(), QuantScheme::mxopal_w4a47(), 21).expect("valid scheme");
+    let mut group = c.benchmark_group("serve_batch_decode_8tok");
+    for batch in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let mut engine =
+                    ServeEngine::new(&model, ServeConfig { max_batch: batch, max_tokens: 8 });
+                for i in 0..batch {
+                    engine.submit(black_box(&[1 + i as u32, 2, 3])).unwrap();
+                }
+                black_box(engine.run())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_continuous_admission(c: &mut Criterion) {
+    let model =
+        Model::new(ModelConfig::tiny(), QuantScheme::mxopal_w4a47(), 22).expect("valid scheme");
+    c.bench_function("serve_rolling_admission_12req", |b| {
+        b.iter(|| {
+            let mut engine = ServeEngine::new(&model, ServeConfig { max_batch: 4, max_tokens: 6 });
+            let mut submitted = 0u32;
+            // Keep the queue topped up while stepping, so admission always
+            // happens mid-stream.
+            while submitted < 12 || !engine.is_idle() {
+                if submitted < 12 {
+                    engine.submit(black_box(&[submitted % 32, 5])).unwrap();
+                    submitted += 1;
+                }
+                engine.step();
+            }
+            black_box(engine.report(std::time::Duration::from_secs(1)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_batched_throughput, bench_continuous_admission);
+criterion_main!(benches);

@@ -10,7 +10,9 @@
 //! ```
 
 use opal_bench::header;
-use opal_model::{eval, ActFormat, ActScheme, Model, ModelConfig, QuantScheme, SoftmaxKind, WeightScheme};
+use opal_model::{
+    eval, ActFormat, ActScheme, Model, ModelConfig, QuantScheme, SoftmaxKind, WeightScheme,
+};
 
 fn scheme(name: &str, low: u32, high: u32) -> QuantScheme {
     QuantScheme {

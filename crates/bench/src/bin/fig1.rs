@@ -21,13 +21,10 @@ fn main() {
     // Paper speedups (baseline / variant) per model: (W4A16, W4A8).
     let paper = [("Llama2-7B", (1.0, 2.1)), ("Llama2-13B", (1.5, 2.0)), ("Llama2-70B", (2.0, 4.0))];
 
-    for (cfg, (name, (p_w4, p_w4a8))) in [
-        ModelConfig::llama2_7b(),
-        ModelConfig::llama2_13b(),
-        ModelConfig::llama2_70b(),
-    ]
-    .iter()
-    .zip(paper)
+    for (cfg, (name, (p_w4, p_w4a8))) in
+        [ModelConfig::llama2_7b(), ModelConfig::llama2_13b(), ModelConfig::llama2_70b()]
+            .iter()
+            .zip(paper)
     {
         println!("\n{name}  (mlp.0: {} x {})", cfg.d_model, cfg.d_ff);
         let lat = gpu.fig1_latencies(cfg, m);

@@ -58,7 +58,13 @@ fn main() {
             .zip(&y)
             .filter(|(&xv, &yv)| xv.abs() < hi.abs().max(lo.abs()) * 0.1 && yv != 0.0)
             .count();
-        println!("{:<10} {:>12.6} {:>8} {:>18}/128", q.name(), mse(&x, &y), levels.len(), survivors);
+        println!(
+            "{:<10} {:>12.6} {:>8} {:>18}/128",
+            q.name(),
+            mse(&x, &y),
+            levels.len(),
+            survivors
+        );
     }
 
     println!("\nExpected shape (paper Fig. 3): MXINT2 collapses nearly all");

@@ -48,7 +48,11 @@ fn run_bits(bits: u32, tensors: &[(String, Vec<f32>)]) -> Vec<RelativeMseRow> {
         let row = relative_mse_row(label, x, bits, 128, &ns).expect("valid config");
         println!(
             "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
-            row.label, row.mxint_rel, row.mxopal_rel[0], row.mxopal_rel[1], row.mxopal_rel[2],
+            row.label,
+            row.mxint_rel,
+            row.mxopal_rel[0],
+            row.mxopal_rel[1],
+            row.mxopal_rel[2],
             row.mxopal_rel[3]
         );
         rows.push(row);

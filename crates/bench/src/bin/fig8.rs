@@ -24,10 +24,8 @@ fn main() {
         AcceleratorKind::OpalW4A47,
         AcceleratorKind::OpalW3A35,
     ];
-    let energies: Vec<_> = kinds
-        .iter()
-        .map(|&k| (k, Accelerator::new(k).energy_per_token(&model, seq)))
-        .collect();
+    let energies: Vec<_> =
+        kinds.iter().map(|&k| (k, Accelerator::new(k).energy_per_token(&model, seq))).collect();
 
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>12} {:>10}",
@@ -52,10 +50,7 @@ fn main() {
     let o35 = get(AcceleratorKind::OpalW3A35);
 
     println!("\nSavings (measured vs paper):");
-    println!(
-        "  OWQ      vs BF16: {:>5.1}%  (paper 32.5%)",
-        100.0 * energy_saving(owq, bf16)
-    );
+    println!("  OWQ      vs BF16: {:>5.1}%  (paper 32.5%)", 100.0 * energy_saving(owq, bf16));
     println!(
         "  OPAL-4/7 vs OWQ : {:>5.1}%  (paper 38.6%)   vs BF16: {:>5.1}% (paper 58.6%)",
         100.0 * energy_saving(o47, owq),

@@ -25,11 +25,7 @@ fn main() {
         "{:<12} {:<10} {:>12} {:>12} {:>10} {:>8}",
         "model", "format", "mem (s)", "compute (s)", "total (s)", "tok/s"
     );
-    for model in [
-        ModelConfig::llama2_7b(),
-        ModelConfig::llama2_13b(),
-        ModelConfig::llama2_70b(),
-    ] {
+    for model in [ModelConfig::llama2_7b(), ModelConfig::llama2_13b(), ModelConfig::llama2_70b()] {
         for (name, fmt) in [
             ("BF16", DataFormat::bf16()),
             ("OPAL-4/7", DataFormat::opal_w4a47()),
@@ -48,13 +44,8 @@ fn main() {
         }
     }
 
-    let anchor = token_latency(
-        &ModelConfig::llama2_70b(),
-        &DataFormat::opal_w4a47(),
-        &p,
-        1024,
-    )
-    .total_s();
+    let anchor =
+        token_latency(&ModelConfig::llama2_70b(), &DataFormat::opal_w4a47(), &p, 1024).total_s();
     println!("\nLlama2-70B OPAL-4/7 latency: {}", vs_paper(anchor, 1.98));
 
     header("Bandwidth sweep: when does generation stop being memory-bound?");

@@ -27,7 +27,10 @@ fn main() {
         kl_sum += kl_divergence(&p, &q);
         tv_sum += total_variation(&p, &q);
     }
-    println!("mean KL(exact ‖ log2) over {trials} random score rows: {:.4} nats", kl_sum / trials as f64);
+    println!(
+        "mean KL(exact ‖ log2) over {trials} random score rows: {:.4} nats",
+        kl_sum / trials as f64
+    );
     println!("mean total-variation distance: {:.4}", tv_sum / trials as f64);
 
     header("End-to-end PPL impact of the log2 softmax (paper: <0.4 PPL)");

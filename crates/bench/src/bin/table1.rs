@@ -51,13 +51,7 @@ fn main() {
     }
 
     // Shape checks against the paper's qualitative structure.
-    let find = |n: &str| {
-        &results
-            .iter()
-            .find(|(name, _)| name == n)
-            .expect("scheme present")
-            .1
-    };
+    let find = |n: &str| &results.iter().find(|(name, _)| name == n).expect("scheme present").1;
     let base = find("BF16");
     let mm35 = find("W3A3/5 (MinMax)");
     let op35 = find("W3A3/5 (MX-OPAL)");
@@ -70,10 +64,7 @@ fn main() {
         "  MX-OPAL <= MinMax at W4A4/7 on every model: {}",
         all(&|i| op47[i] <= mm47[i] * 1.02)
     );
-    println!(
-        "  MX-OPAL < MinMax at W3A3/5 on every model:  {}",
-        all(&|i| op35[i] < mm35[i])
-    );
+    println!("  MX-OPAL < MinMax at W3A3/5 on every model:  {}", all(&|i| op35[i] < mm35[i]));
     println!(
         "  W3A3/5 MinMax is the worst row everywhere:  {}",
         all(&|i| mm35[i] >= op35[i] && mm35[i] >= mm47[i])

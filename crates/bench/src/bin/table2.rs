@@ -40,8 +40,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, config) in &models {
-        let teacher =
-            Model::new(config.clone(), QuantScheme::bf16(), 42).expect("bf16 valid");
+        let teacher = Model::new(config.clone(), QuantScheme::bf16(), 42).expect("bf16 valid");
         let wiki_stream = eval::sample_stream(&teacher, 104, 11);
         let c4_stream = eval::sample_stream(&teacher, 104, 22);
         for scheme in &schemes {

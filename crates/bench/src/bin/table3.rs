@@ -37,10 +37,7 @@ fn main() {
             row.power_mw,
             100.0 * row.power_mw / total_power,
         );
-        println!(
-            "{:<26} {:>14.2} {:>8} {:>12.2}   <- paper",
-            "", parea, "", ppow
-        );
+        println!("{:<26} {:>14.2} {:>8} {:>12.2}   <- paper", "", parea, "", ppow);
     }
     println!("\nTotal area : {}", vs_paper(total_area, 929_312.41));
     println!("Total power: {}", vs_paper(total_power, 335.85));

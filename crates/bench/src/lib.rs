@@ -4,6 +4,9 @@
 //! (see `DESIGN.md` §4 for the index) and prints a paper-vs-measured
 //! comparison. Everything is seeded and deterministic.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 /// Prints a section header.
 pub fn header(title: &str) {
     println!("\n{}", "=".repeat(title.len().max(20)));

@@ -91,11 +91,7 @@ impl OpalPipeline {
     ///
     /// Returns a [`QuantError`] if the operating point's quantizers reject
     /// the configuration (should not happen for the built-in points).
-    pub fn new(
-        config: ModelConfig,
-        point: OperatingPoint,
-        seed: u64,
-    ) -> Result<Self, QuantError> {
+    pub fn new(config: ModelConfig, point: OperatingPoint, seed: u64) -> Result<Self, QuantError> {
         let teacher = Model::new(config.clone(), QuantScheme::bf16(), seed)?;
         let student = Model::new(config.clone(), point.scheme(), seed)?;
         let accelerator = Accelerator::new(point.accelerator_kind());
@@ -157,10 +153,7 @@ impl OpalPipeline {
     pub fn generate(&self, prompt: &[u32], n: usize) -> Vec<u32> {
         assert!(!prompt.is_empty(), "empty prompt");
         let mut state = self.student.begin_decode();
-        let mut logits = Vec::new();
-        for &t in prompt {
-            logits = self.student.decode_step(&mut state, t);
-        }
+        let mut logits = self.student.prefill(&mut state, prompt);
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let t = ops::argmax(&logits).unwrap_or(0) as u32;
@@ -200,9 +193,6 @@ mod tests {
     #[test]
     fn scheme_wiring() {
         assert!(OperatingPoint::W4A47.scheme().name.contains("W4A4/7"));
-        assert_eq!(
-            OperatingPoint::W3A35.accelerator_kind(),
-            AcceleratorKind::OpalW3A35
-        );
+        assert_eq!(OperatingPoint::W3A35.accelerator_kind(), AcceleratorKind::OpalW3A35);
     }
 }

@@ -180,8 +180,8 @@ impl Accelerator {
     /// Activation/KV-buffer capacity in KB for this design.
     pub fn act_buffer_kb(&self) -> f64 {
         let fmt = self.kind.format();
-        let eff = (1.0 - ACT_BUF_STRUCTURAL_BF16) * fmt.act_high_bits
-            + ACT_BUF_STRUCTURAL_BF16 * 16.0;
+        let eff =
+            (1.0 - ACT_BUF_STRUCTURAL_BF16) * fmt.act_high_bits + ACT_BUF_STRUCTURAL_BF16 * 16.0;
         ACT_BUF_BF16_KB * eff / 16.0
     }
 
@@ -262,9 +262,7 @@ impl Accelerator {
 
     /// Fraction of this design's operations executed on INT hardware.
     pub fn int_mac_fraction(&self, model: &ModelConfig, seq_len: usize) -> f64 {
-        TokenWorkload::new(model, &self.kind.format(), seq_len)
-            .macs
-            .int_fraction()
+        TokenWorkload::new(model, &self.kind.format(), seq_len).macs.int_fraction()
     }
 
     fn mu_config(&self) -> MuConfig {
@@ -324,11 +322,7 @@ mod tests {
     fn absolute_energy_scale_plausible() {
         // Fig. 8(a)'s BF16 bar is ~4–5 J/token for Llama2-70B.
         let [bf16, _, o47, _] = energies(1024);
-        assert!(
-            (2.0..6.0).contains(&bf16.total_j()),
-            "BF16 J/token {}",
-            bf16.total_j()
-        );
+        assert!((2.0..6.0).contains(&bf16.total_j()), "BF16 J/token {}", bf16.total_j());
         assert!(o47.total_j() > 0.5, "OPAL energy not degenerate");
     }
 

@@ -166,14 +166,8 @@ mod tests {
         let core = OpalCore::new(MuConfig::w4a47());
         let area = core.area_um2();
         let power = core.power_mw();
-        assert!(
-            (area - 929_312.41).abs() / 929_312.41 < 0.01,
-            "core area {area} vs paper 929312"
-        );
-        assert!(
-            (power - 335.85).abs() / 335.85 < 0.01,
-            "core power {power} vs paper 335.85"
-        );
+        assert!((area - 929_312.41).abs() / 929_312.41 < 0.01, "core area {area} vs paper 929312");
+        assert!((power - 335.85).abs() / 335.85 < 0.01, "core power {power} vs paper 335.85");
     }
 
     #[test]
@@ -184,13 +178,7 @@ mod tests {
         let power = core.power_mw();
         // Paper fractions: lanes 72.11%/68.38%, distributors 15.03%/18.82%,
         // softmax 8.21%/8.22%, quantizer 3.73%/4.20%, fp tree 0.91%/0.38%.
-        let expect = [
-            (72.11, 68.38),
-            (15.03, 18.82),
-            (8.21, 8.22),
-            (3.73, 4.20),
-            (0.91, 0.38),
-        ];
+        let expect = [(72.11, 68.38), (15.03, 18.82), (8.21, 8.22), (3.73, 4.20), (0.91, 0.38)];
         for (row, (ea, ep)) in rows.iter().zip(expect) {
             let pa = pct(row.area_um2, area);
             let pp = pct(row.power_mw, power);

@@ -82,9 +82,12 @@ pub fn token_latency(
 
     let core = OpalCore::new(MuConfig::w4a47());
     let per_core_hh = f64::from(core.macs_per_cycle(MuMode::HighHigh));
-    let macs_per_s =
-        |mode: MuMode| per_core_hh * f64::from(mode.throughput_factor()) * platform.clock_hz
-            * platform.cores as f64;
+    let macs_per_s = |mode: MuMode| {
+        per_core_hh
+            * f64::from(mode.throughput_factor())
+            * platform.clock_hz
+            * platform.cores as f64
+    };
     let fp_macs_per_s = (OpalCore::LANES * crate::core::ComputeLane::FP_UNITS) as f64
         * platform.clock_hz
         * platform.cores as f64;
@@ -131,21 +134,13 @@ mod tests {
             1024,
         );
         assert!(lat.is_memory_bound(), "single-batch generation is memory-bound");
-        assert!(
-            (1.5..2.6).contains(&lat.total_s()),
-            "latency {} vs paper 1.98 s",
-            lat.total_s()
-        );
+        assert!((1.5..2.6).contains(&lat.total_s()), "latency {} vs paper 1.98 s", lat.total_s());
     }
 
     #[test]
     fn generation_is_memory_bound_across_the_family() {
         let p = Platform::reference();
-        for m in [
-            ModelConfig::llama2_7b(),
-            ModelConfig::llama2_13b(),
-            ModelConfig::llama2_70b(),
-        ] {
+        for m in [ModelConfig::llama2_7b(), ModelConfig::llama2_13b(), ModelConfig::llama2_70b()] {
             let lat = token_latency(&m, &DataFormat::opal_w4a47(), &p, 512);
             assert!(lat.is_memory_bound(), "{}", m.name);
             // Compute headroom: at least 5x faster than memory.

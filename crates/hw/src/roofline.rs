@@ -169,11 +169,8 @@ mod tests {
     #[test]
     fn igemm_always_at_least_matches_hgemm_w4() {
         let gpu = GpuModel::a100();
-        for cfg in [
-            ModelConfig::llama2_7b(),
-            ModelConfig::llama2_13b(),
-            ModelConfig::llama2_70b(),
-        ] {
+        for cfg in [ModelConfig::llama2_7b(), ModelConfig::llama2_13b(), ModelConfig::llama2_70b()]
+        {
             let lat = gpu.fig1_latencies(&cfg, M);
             assert!(lat[2].1 <= lat[1].1 * 1.01, "{}", cfg.name);
         }

@@ -208,11 +208,8 @@ impl TokenWorkload {
         // Every MxV input element is quantized once on its way out of the
         // previous op (Fig. 5): QKV input, Q, K, V, proj input, FC1 input,
         // FC2 input.
-        let quantized_elems = if format.integer_compute {
-            layers * (d + 3 * d + d + d + ff)
-        } else {
-            0
-        };
+        let quantized_elems =
+            if format.integer_compute { layers * (d + 3 * d + d + d + ff) } else { 0 };
         let routed_elems = if format.integer_compute {
             // Weights and activations entering the lanes.
             layers * (4 * d * d + 3 * d * ff.min(d * ff)) / d.max(1) + quantized_elems
@@ -226,8 +223,7 @@ impl TokenWorkload {
         let kv_bytes = (layers * 2 * d) as f64 * (s as f64 + 1.0) * format.act_high_bits / 8.0;
         // Activations staged per token: inputs/outputs of each MxV.
         let act_low = (layers * 2 * d) as f64 * format.act_low_bits / 8.0;
-        let act_high =
-            (layers * (4 * d + ff)) as f64 * format.act_high_bits / 8.0;
+        let act_high = (layers * (4 * d + ff)) as f64 * format.act_high_bits / 8.0;
         let act_bytes = (act_low + act_high) * 2.0; // write + read
 
         TokenWorkload {

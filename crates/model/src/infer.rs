@@ -68,18 +68,15 @@ impl SecondMomentRecorder {
     /// The mean second moment per channel at `(layer, site)`, or `None` if
     /// never recorded.
     pub fn second_moment(&self, layer: usize, site: Site) -> Option<Vec<f32>> {
-        self.sums.get(&(layer, site)).map(|(s, n)| {
-            s.iter().map(|&v| (v / *n as f64) as f32).collect()
-        })
+        self.sums
+            .get(&(layer, site))
+            .map(|(s, n)| s.iter().map(|&v| (v / *n as f64) as f32).collect())
     }
 }
 
 impl Recorder for SecondMomentRecorder {
     fn record(&mut self, layer: usize, site: Site, x: &[f32]) {
-        let entry = self
-            .sums
-            .entry((layer, site))
-            .or_insert_with(|| (vec![0.0; x.len()], 0));
+        let entry = self.sums.entry((layer, site)).or_insert_with(|| (vec![0.0; x.len()], 0));
         for (s, &v) in entry.0.iter_mut().zip(x) {
             *s += f64::from(v) * f64::from(v);
         }
@@ -172,7 +169,7 @@ impl std::fmt::Debug for DecodeState {
 /// A decoder-only transformer executing under a [`QuantScheme`].
 ///
 /// The model is built from deterministic synthetic weights (see
-/// [`crate::weights`]); with [`WeightScheme::Owq`] the weights are
+/// [`crate::weights`]); with [`crate::WeightScheme::Owq`] the weights are
 /// calibrated and quantized at construction. All activation quantization
 /// happens token-by-token at the Fig. 5 hook points during decoding.
 ///
@@ -329,6 +326,27 @@ impl Model {
     /// Panics if `token` is out of vocabulary range.
     pub fn decode_step(&self, state: &mut DecodeState, token: u32) -> Vec<f32> {
         self.decode_step_recorded(state, token, None)
+    }
+
+    /// Feeds a whole prompt through the decoder, returning the logits after
+    /// its last token.
+    ///
+    /// This is the shared prompt-consumption path of every generation loop:
+    /// the single-sequence samplers ([`crate::sampling::generate`], the
+    /// pipeline's greedy loop) and the batched `opal-serve` scheduler all
+    /// prefill through here, so they are guaranteed to agree token-for-token
+    /// with a raw [`Model::decode_step`] loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty or contains out-of-range tokens.
+    pub fn prefill(&self, state: &mut DecodeState, prompt: &[u32]) -> Vec<f32> {
+        assert!(!prompt.is_empty(), "empty prompt");
+        let mut logits = Vec::new();
+        for &t in prompt {
+            logits = self.decode_step(state, t);
+        }
+        logits
     }
 
     /// As [`Model::decode_step`], optionally reporting activations to a
@@ -520,9 +538,7 @@ impl std::fmt::Debug for Model {
 }
 
 fn bf16_roundtrip(x: &[f32]) -> Vec<f32> {
-    x.iter()
-        .map(|&v| opal_numerics::Bf16::from_f32(v).to_f32())
-        .collect()
+    x.iter().map(|&v| opal_numerics::Bf16::from_f32(v).to_f32()).collect()
 }
 
 fn bf16_matrix(m: &Matrix) -> Matrix {
@@ -578,18 +594,10 @@ fn process_owq(
         .map(|(l, lw)| {
             let d = lw.wq.rows();
             let ff = lw.w_up.cols();
-            let qkv_stats = rec
-                .second_moment(l, Site::QkvInput)
-                .unwrap_or_else(|| vec![1.0; d]);
-            let proj_stats = rec
-                .second_moment(l, Site::ProjInput)
-                .unwrap_or_else(|| vec![1.0; d]);
-            let fc1_stats = rec
-                .second_moment(l, Site::Fc1Input)
-                .unwrap_or_else(|| vec![1.0; d]);
-            let fc2_stats = rec
-                .second_moment(l, Site::Fc2Input)
-                .unwrap_or_else(|| vec![1.0; ff]);
+            let qkv_stats = rec.second_moment(l, Site::QkvInput).unwrap_or_else(|| vec![1.0; d]);
+            let proj_stats = rec.second_moment(l, Site::ProjInput).unwrap_or_else(|| vec![1.0; d]);
+            let fc1_stats = rec.second_moment(l, Site::Fc1Input).unwrap_or_else(|| vec![1.0; d]);
+            let fc2_stats = rec.second_moment(l, Site::Fc2Input).unwrap_or_else(|| vec![1.0; ff]);
             ReadyLayer {
                 wq_t: owq.quantize(&lw.wq, &qkv_stats).dequantized().transpose(),
                 wk_t: owq.quantize(&lw.wk, &qkv_stats).dequantized().transpose(),

@@ -37,7 +37,5 @@ mod scheme;
 pub mod weights;
 
 pub use config::{Arch, ModelConfig};
-pub use infer::{
-    ActivationCapture, DecodeState, Model, Recorder, SecondMomentRecorder, Site,
-};
+pub use infer::{ActivationCapture, DecodeState, Model, Recorder, SecondMomentRecorder, Site};
 pub use scheme::{ActFormat, ActScheme, QuantScheme, SoftmaxKind, WeightScheme};

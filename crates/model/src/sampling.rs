@@ -84,10 +84,7 @@ pub fn generate(model: &Model, prompt: &[u32], n: usize, sampler: Sampler, seed:
     assert!(!prompt.is_empty(), "empty prompt");
     let mut rng = TensorRng::seed(seed);
     let mut state: DecodeState = model.begin_decode();
-    let mut logits = Vec::new();
-    for &t in prompt {
-        logits = model.decode_step(&mut state, t);
-    }
+    let mut logits = model.prefill(&mut state, prompt);
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let t = sampler.pick(&logits, &mut rng);

@@ -267,10 +267,7 @@ mod tests {
         // Odd mantissa halfway case rounds *up* to even.
         let base = 1.0 + f32::powi(2.0, -7); // mantissa 0b0000001 (odd)
         let halfway_up = base + f32::powi(2.0, -8);
-        assert_eq!(
-            Bf16::from_f32(halfway_up).to_f32(),
-            1.0 + 2.0 * f32::powi(2.0, -7)
-        );
+        assert_eq!(Bf16::from_f32(halfway_up).to_f32(), 1.0 + 2.0 * f32::powi(2.0, -7));
     }
 
     #[test]

@@ -71,8 +71,8 @@ mod tests {
             let qa = shift_quantize(Bf16::from_f32(x), sa, ba, Rounding::NearestEven);
             let qw = shift_quantize(Bf16::from_f32(y), sw, bw, Rounding::NearestEven);
             acc += i64::from(qa) * i64::from(qw);
-            expect += f64::from(shift_dequantize(qa, sa, ba))
-                * f64::from(shift_dequantize(qw, sw, bw));
+            expect +=
+                f64::from(shift_dequantize(qa, sa, ba)) * f64::from(shift_dequantize(qw, sw, bw));
         }
         let got = acc_to_f32(acc, product_scale_exp(sa, ba, sw, bw));
         assert!((f64::from(got) - expect).abs() < 1e-6, "got {got} expect {expect}");

@@ -144,11 +144,7 @@ pub fn exp2i(e: i32) -> f32 {
 ///
 /// Returns `None` if the slice is empty or all elements are zero/subnormal.
 pub fn max_exponent(values: &[Bf16]) -> Option<i32> {
-    values
-        .iter()
-        .filter(|v| !v.is_zero() && !v.is_subnormal())
-        .map(|v| v.unbiased_exponent())
-        .max()
+    values.iter().filter(|v| !v.is_zero() && !v.is_subnormal()).map(|v| v.unbiased_exponent()).max()
 }
 
 #[cfg(test)]
@@ -287,10 +283,7 @@ mod tests {
 
     #[test]
     fn max_exponent_examples() {
-        let vals: Vec<Bf16> = [0.5f32, -6.0, 2.0, 0.0]
-            .iter()
-            .map(|&v| Bf16::from_f32(v))
-            .collect();
+        let vals: Vec<Bf16> = [0.5f32, -6.0, 2.0, 0.0].iter().map(|&v| Bf16::from_f32(v)).collect();
         assert_eq!(max_exponent(&vals), Some(2)); // -6.0 = 1.5*2^2
         assert_eq!(max_exponent(&[]), None);
         assert_eq!(max_exponent(&[Bf16::ZERO]), None);

@@ -7,11 +7,7 @@ use proptest::prelude::*;
 
 /// Finite, reasonably-scaled f32s (the range activations live in).
 fn act_value() -> impl Strategy<Value = f32> {
-    prop_oneof![
-        (-1e4f32..1e4f32),
-        (-1.0f32..1.0f32),
-        (-1e-4f32..1e-4f32),
-    ]
+    prop_oneof![(-1e4f32..1e4f32), (-1.0f32..1.0f32), (-1e-4f32..1e-4f32),]
 }
 
 proptest! {

@@ -72,12 +72,7 @@ pub fn relative_mse_row_with_rounding(
         let q = MxOpalQuantizer::with_rounding(bits, block, n, rounding)?;
         mxopal_rel.push(quantization_mse(&q, x) / base);
     }
-    Ok(RelativeMseRow {
-        label: label.to_owned(),
-        minmax_mse: base,
-        mxint_rel,
-        mxopal_rel,
-    })
+    Ok(RelativeMseRow { label: label.to_owned(), minmax_mse: base, mxint_rel, mxopal_rel })
 }
 
 /// Average of relative MSEs across rows (the "Avg." column of Fig. 4).

@@ -41,10 +41,9 @@ impl fmt::Display for QuantError {
             QuantError::InvalidBlockSize { block_size } => {
                 write!(f, "block size {block_size} must be at least 1")
             }
-            QuantError::TooManyOutliers { outliers, block_size } => write!(
-                f,
-                "cannot preserve {outliers} outliers in blocks of {block_size} elements"
-            ),
+            QuantError::TooManyOutliers { outliers, block_size } => {
+                write!(f, "cannot preserve {outliers} outliers in blocks of {block_size} elements")
+            }
             QuantError::InvalidOutlierFraction { fraction } => {
                 write!(f, "outlier fraction {fraction} must be in [0, 0.5)")
             }

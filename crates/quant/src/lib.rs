@@ -38,8 +38,8 @@
 
 pub mod analysis;
 mod error;
-pub mod mxfp;
 mod minmax;
+pub mod mxfp;
 mod mxint;
 mod mxopal;
 pub mod overhead;

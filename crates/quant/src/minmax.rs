@@ -60,9 +60,9 @@ impl MinMaxQuantizer {
     }
 
     fn quantize_block(&self, x: &[f32], out: &mut [f32]) {
-        let (min, max) = x.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        });
+        let (min, max) = x
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         let levels = (1u32 << self.bits) - 1;
         let range = f64::from(max) - f64::from(min);
         if range <= 0.0 {
@@ -107,10 +107,7 @@ mod tests {
     fn rejects_bad_config() {
         assert_eq!(MinMaxQuantizer::new(1, 128), Err(QuantError::InvalidBits { bits: 1 }));
         assert_eq!(MinMaxQuantizer::new(9, 128), Err(QuantError::InvalidBits { bits: 9 }));
-        assert_eq!(
-            MinMaxQuantizer::new(4, 0),
-            Err(QuantError::InvalidBlockSize { block_size: 0 })
-        );
+        assert_eq!(MinMaxQuantizer::new(4, 0), Err(QuantError::InvalidBlockSize { block_size: 0 }));
     }
 
     #[test]

@@ -254,18 +254,10 @@ mod tests {
 
     /// MSE restricted to the non-outlier positions.
     fn body_mse(x: &[f32], y: &[f32], outliers: &[usize]) -> f64 {
-        let xs: Vec<f32> = x
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !outliers.contains(i))
-            .map(|(_, &v)| v)
-            .collect();
-        let ys: Vec<f32> = y
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !outliers.contains(i))
-            .map(|(_, &v)| v)
-            .collect();
+        let xs: Vec<f32> =
+            x.iter().enumerate().filter(|(i, _)| !outliers.contains(i)).map(|(_, &v)| v).collect();
+        let ys: Vec<f32> =
+            y.iter().enumerate().filter(|(i, _)| !outliers.contains(i)).map(|(_, &v)| v).collect();
         mse(&xs, &ys)
     }
 
@@ -283,10 +275,7 @@ mod tests {
         let int = MxIntQuantizer::new(8, 128).unwrap();
         let e_fp = body_mse(&x, &fp.quantize_dequantize(&x), &ch);
         let e_int = body_mse(&x, &int.quantize_dequantize(&x), &ch);
-        assert!(
-            e_fp < e_int / 4.0,
-            "E4M3 body MSE {e_fp} must be well below MXINT8's {e_int}"
-        );
+        assert!(e_fp < e_int / 4.0, "E4M3 body MSE {e_fp} must be well below MXINT8's {e_int}");
     }
 
     #[test]

@@ -94,10 +94,7 @@ impl MxIntQuantizer {
         let bf: Vec<Bf16> = x.iter().map(|&v| Bf16::from_f32(v)).collect();
         let scale = opal_numerics::shift::max_exponent(&bf);
         let elements = match scale {
-            Some(s) => bf
-                .iter()
-                .map(|&v| shift_quantize(v, s, self.bits, self.rounding))
-                .collect(),
+            Some(s) => bf.iter().map(|&v| shift_quantize(v, s, self.bits, self.rounding)).collect(),
             None => vec![0; x.len()],
         };
         MxIntBlock { scale, elements }
@@ -106,11 +103,7 @@ impl MxIntQuantizer {
     /// Decodes a block back to real values.
     pub fn decode_block(&self, block: &MxIntBlock) -> Vec<f32> {
         match block.scale {
-            Some(s) => block
-                .elements
-                .iter()
-                .map(|&q| shift_dequantize(q, s, self.bits))
-                .collect(),
+            Some(s) => block.elements.iter().map(|&q| shift_dequantize(q, s, self.bits)).collect(),
             None => vec![0.0; block.elements.len()],
         }
     }

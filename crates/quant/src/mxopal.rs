@@ -63,12 +63,7 @@ impl MxOpalTensor {
         for block in &self.blocks {
             let s = self.global_scale + i32::from(block.scale_offset);
             let start = out.len();
-            out.extend(
-                block
-                    .elements
-                    .iter()
-                    .map(|&q| shift_dequantize(q, s, self.bits)),
-            );
+            out.extend(block.elements.iter().map(|&q| shift_dequantize(q, s, self.bits)));
             for &(idx, val) in &block.outliers {
                 out[start + idx as usize] = val.to_f32();
             }
@@ -252,11 +247,8 @@ impl MxOpalQuantizer {
                 }
                 elements[i] = shift_quantize(v, scale, self.bits, self.rounding);
             }
-            let mut outliers: Vec<(u8, Bf16)> = plan
-                .outlier_idx
-                .iter()
-                .map(|&i| (i as u8, plan.bf[i]))
-                .collect();
+            let mut outliers: Vec<(u8, Bf16)> =
+                plan.outlier_idx.iter().map(|&i| (i as u8, plan.bf[i])).collect();
             outliers.sort_by_key(|&(i, _)| i);
             blocks.push(MxOpalBlock { scale_offset: offset, outliers, elements });
         }
@@ -302,9 +294,8 @@ mod tests {
     use opal_tensor::stats::mse;
 
     fn outlier_block(k: usize) -> Vec<f32> {
-        let mut x: Vec<f32> = (0..k)
-            .map(|i| (((i * 37 + 11) % 41) as f32 / 41.0 - 0.5) * 0.8)
-            .collect();
+        let mut x: Vec<f32> =
+            (0..k).map(|i| (((i * 37 + 11) % 41) as f32 / 41.0 - 0.5) * 0.8).collect();
         x[k / 3] = 24.0; // single large outlier
         x
     }
@@ -398,12 +389,7 @@ mod tests {
         // Large block must not overflow: the clamp direction is upward.
         let y = t.dequantize();
         for i in 16..32 {
-            assert!(
-                (y[i] - x[i]).abs() / x[i] < 0.2,
-                "large values survive: {} vs {}",
-                y[i],
-                x[i]
-            );
+            assert!((y[i] - x[i]).abs() / x[i] < 0.2, "large values survive: {} vs {}", y[i], x[i]);
         }
     }
 
@@ -443,10 +429,7 @@ mod tests {
         let mxint = MxIntQuantizer::new(8, 128).unwrap();
         let ratio = q.storage_bits(128 * 64) as f64 / mxint.storage_bits(128 * 64) as f64;
         let eq1 = crate::overhead::omem(128, 4, 8);
-        assert!(
-            (ratio - eq1).abs() < 0.03,
-            "packed ratio {ratio} vs Eq.(1) {eq1}"
-        );
+        assert!((ratio - eq1).abs() < 0.03, "packed ratio {ratio} vs Eq.(1) {eq1}");
     }
 
     #[test]

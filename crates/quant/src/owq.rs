@@ -183,13 +183,7 @@ impl OwqQuantizer {
             }
         }
 
-        OwqWeights {
-            dequantized: out,
-            outlier_rows,
-            bits: self.bits,
-            rows: d_in,
-            cols: w.cols(),
-        }
+        OwqWeights { dequantized: out, outlier_rows, bits: self.bits, rows: d_in, cols: w.cols() }
     }
 }
 
@@ -265,14 +259,10 @@ mod tests {
     fn w3_worse_than_w4() {
         let w = test_weight(256, 128);
         let calib = vec![1.0f32; 256];
-        let e3 = mse(
-            w.as_slice(),
-            OwqQuantizer::w3().quantize(&w, &calib).dequantized().as_slice(),
-        );
-        let e4 = mse(
-            w.as_slice(),
-            OwqQuantizer::w4().quantize(&w, &calib).dequantized().as_slice(),
-        );
+        let e3 =
+            mse(w.as_slice(), OwqQuantizer::w3().quantize(&w, &calib).dequantized().as_slice());
+        let e4 =
+            mse(w.as_slice(), OwqQuantizer::w4().quantize(&w, &calib).dequantized().as_slice());
         assert!(e3 > e4 * 2.0, "w3 {e3} vs w4 {e4}");
     }
 

@@ -108,11 +108,7 @@ fn idx_bits(block_size: usize) -> u32 {
 pub fn pack(tensor: &MxOpalTensor) -> Vec<u8> {
     let bits = tensor.bits();
     let k = tensor.block_size();
-    let n_out = tensor
-        .blocks
-        .first()
-        .map(|b| b.outliers.len())
-        .unwrap_or(0);
+    let n_out = tensor.blocks.first().map(|b| b.outliers.len()).unwrap_or(0);
     let ib = idx_bits(k);
 
     let mut w = BitWriter::default();

@@ -1,0 +1,451 @@
+//! The batch scheduler: continuous admission over per-request KV caches.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use opal_hw::accelerator::Accelerator;
+use opal_model::{DecodeState, Model};
+use opal_tensor::ops;
+
+use crate::report::{RequestReport, ServeReport};
+
+/// Opaque handle identifying a submitted request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub(crate) u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Scheduler limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum number of sequences decoded concurrently. Requests beyond
+    /// this wait in the admission queue and join as slots free up.
+    pub max_batch: usize,
+    /// Default number of tokens generated per request (a request-level
+    /// override via [`ServeEngine::submit_with_limit`] is clamped to this).
+    pub max_tokens: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_batch: 8, max_tokens: 32 }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The prompt was empty.
+    EmptyPrompt,
+    /// A prompt token is outside the model's vocabulary.
+    TokenOutOfRange {
+        /// The offending token id.
+        token: u32,
+        /// The model's vocabulary size.
+        vocab: usize,
+    },
+    /// A per-request token limit of zero was requested.
+    ZeroTokenLimit,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::EmptyPrompt => write!(f, "empty prompt"),
+            ServeError::TokenOutOfRange { token, vocab } => {
+                write!(f, "token {token} outside vocabulary of {vocab}")
+            }
+            ServeError::ZeroTokenLimit => write!(f, "token limit must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What one call to [`ServeEngine::step`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepSummary {
+    /// Requests admitted from the queue before this step.
+    pub admitted: usize,
+    /// Tokens generated across the batch during this step.
+    pub generated: usize,
+    /// Requests that reached their token limit and retired.
+    pub finished: usize,
+}
+
+/// A request waiting for a batch slot.
+struct Queued {
+    id: RequestId,
+    prompt: Vec<u32>,
+    limit: usize,
+    submitted_at: Instant,
+}
+
+/// A sequence currently in the decode batch. Each owns a private
+/// [`DecodeState`] — its KV cache — so sequences are fully isolated.
+struct Active {
+    id: RequestId,
+    state: DecodeState,
+    last_logits: Vec<f32>,
+    tokens: Vec<u32>,
+    prompt_len: usize,
+    limit: usize,
+    submitted_at: Instant,
+    admitted_step: u64,
+}
+
+/// The batched serving engine.
+///
+/// Drives a borrowed [`Model`] for up to [`ServeConfig::max_batch`]
+/// concurrent sequences. The model itself is immutable during decoding
+/// (all mutable state lives in the per-request [`DecodeState`]s), which is
+/// what makes mid-stream admission safe: admitting or retiring a sequence
+/// cannot touch any other sequence's KV cache.
+///
+/// Decoding is greedy (argmax), matching the single-sequence
+/// `OpalPipeline::generate` loop token-for-token at batch size one.
+pub struct ServeEngine<'m> {
+    model: &'m Model,
+    accelerator: Option<Accelerator>,
+    config: ServeConfig,
+    pending: VecDeque<Queued>,
+    active: Vec<Active>,
+    finished: Vec<RequestReport>,
+    next_id: u64,
+    steps: u64,
+    prefill_tokens: u64,
+    generated_tokens: u64,
+    peak_batch: usize,
+    energy_j: f64,
+    started_at: Option<Instant>,
+}
+
+impl<'m> ServeEngine<'m> {
+    /// Creates an engine over `model` with the given scheduler limits and
+    /// no energy accounting.
+    pub fn new(model: &'m Model, config: ServeConfig) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be at least 1");
+        assert!(config.max_tokens > 0, "max_tokens must be at least 1");
+        ServeEngine {
+            model,
+            accelerator: None,
+            config,
+            pending: VecDeque::new(),
+            active: Vec::new(),
+            finished: Vec::new(),
+            next_id: 0,
+            steps: 0,
+            prefill_tokens: 0,
+            generated_tokens: 0,
+            peak_batch: 0,
+            energy_j: 0.0,
+            started_at: None,
+        }
+    }
+
+    /// Attaches an accelerator model; every forward pass the engine runs
+    /// (prompt prefill and decode alike) is then charged
+    /// `energy_per_token` at its sequence length, accumulating into
+    /// [`ServeReport::energy_j`].
+    #[must_use]
+    pub fn with_accelerator(mut self, accelerator: Accelerator) -> Self {
+        self.accelerator = Some(accelerator);
+        self
+    }
+
+    /// The scheduler limits.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &Model {
+        self.model
+    }
+
+    /// Requests waiting for a batch slot.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sequences currently decoding.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Enqueues a request generating the configured default
+    /// [`ServeConfig::max_tokens`] tokens.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty prompts and out-of-vocabulary tokens.
+    pub fn submit(&mut self, prompt: &[u32]) -> Result<RequestId, ServeError> {
+        self.submit_with_limit(prompt, self.config.max_tokens)
+    }
+
+    /// Enqueues a request generating at most `max_new_tokens` tokens
+    /// (clamped to [`ServeConfig::max_tokens`]).
+    ///
+    /// The request joins the decode batch at the start of the next
+    /// [`step`](Self::step) with a free slot — submission mid-stream is the
+    /// normal case, not an edge case.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty prompts, out-of-vocabulary tokens, and a zero token
+    /// limit.
+    pub fn submit_with_limit(
+        &mut self,
+        prompt: &[u32],
+        max_new_tokens: usize,
+    ) -> Result<RequestId, ServeError> {
+        if prompt.is_empty() {
+            return Err(ServeError::EmptyPrompt);
+        }
+        if max_new_tokens == 0 {
+            return Err(ServeError::ZeroTokenLimit);
+        }
+        let vocab = self.model.config().vocab;
+        if let Some(&bad) = prompt.iter().find(|&&t| t as usize >= vocab) {
+            return Err(ServeError::TokenOutOfRange { token: bad, vocab });
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.pending.push_back(Queued {
+            id,
+            prompt: prompt.to_vec(),
+            limit: max_new_tokens.min(self.config.max_tokens),
+            submitted_at: Instant::now(),
+        });
+        Ok(id)
+    }
+
+    /// Admits queued requests into free batch slots, prefilling their
+    /// prompts. Returns the number admitted. Called automatically by
+    /// [`step`](Self::step).
+    pub fn admit(&mut self) -> usize {
+        let mut admitted = 0;
+        while self.active.len() < self.config.max_batch {
+            let Some(q) = self.pending.pop_front() else { break };
+            let mut state = self.model.begin_decode();
+            let last_logits = self.model.prefill(&mut state, &q.prompt);
+            for pos in 1..=q.prompt.len() {
+                self.charge_energy(pos);
+            }
+            self.prefill_tokens += q.prompt.len() as u64;
+            self.active.push(Active {
+                id: q.id,
+                state,
+                last_logits,
+                tokens: Vec::with_capacity(q.limit),
+                prompt_len: q.prompt.len(),
+                limit: q.limit,
+                submitted_at: q.submitted_at,
+                admitted_step: self.steps,
+            });
+            admitted += 1;
+        }
+        self.peak_batch = self.peak_batch.max(self.active.len());
+        admitted
+    }
+
+    /// Runs one scheduler step: admit what fits, then advance every active
+    /// sequence by exactly one greedy token, then retire sequences that hit
+    /// their limit. A step with nothing to do is a no-op.
+    pub fn step(&mut self) -> StepSummary {
+        let admitted = self.admit();
+        let mut summary = StepSummary { admitted, ..StepSummary::default() };
+        if self.active.is_empty() {
+            return summary;
+        }
+        if self.started_at.is_none() {
+            self.started_at = Some(Instant::now());
+        }
+
+        for seq in &mut self.active {
+            let token = ops::argmax(&seq.last_logits).unwrap_or(0) as u32;
+            seq.tokens.push(token);
+            summary.generated += 1;
+            // A sequence that just hit its limit retires below without
+            // another forward pass — its next logits would be discarded.
+            if seq.tokens.len() < seq.limit {
+                seq.last_logits = self.model.decode_step(&mut seq.state, token);
+                if let Some(acc) = &self.accelerator {
+                    self.energy_j +=
+                        acc.energy_per_token(self.model.config(), seq.state.pos()).total_j();
+                }
+            }
+        }
+        self.generated_tokens += summary.generated as u64;
+        self.steps += 1;
+
+        let steps = self.steps;
+        let mut retired = Vec::new();
+        self.active.retain_mut(|seq| {
+            if seq.tokens.len() < seq.limit {
+                return true;
+            }
+            retired.push(RequestReport {
+                id: seq.id,
+                prompt_len: seq.prompt_len,
+                tokens: std::mem::take(&mut seq.tokens),
+                admitted_step: seq.admitted_step,
+                finished_step: steps,
+                latency: seq.submitted_at.elapsed(),
+            });
+            false
+        });
+        summary.finished = retired.len();
+        self.finished.append(&mut retired);
+        summary
+    }
+
+    /// Whether any request is still queued or decoding.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.active.is_empty()
+    }
+
+    /// Runs the scheduler until every submitted request has finished, then
+    /// reports throughput, per-request latency and aggregate energy.
+    ///
+    /// Wall time is measured from the first [`step`](Self::step) of the
+    /// current serving period — manual steps taken before `run` count —
+    /// and the clock resets once the engine drains.
+    pub fn run(&mut self) -> ServeReport {
+        let t0 = self.started_at.unwrap_or_else(Instant::now);
+        while !self.is_idle() {
+            self.step();
+        }
+        self.started_at = None;
+        self.report(t0.elapsed())
+    }
+
+    /// Snapshot of the statistics so far (useful between manual
+    /// [`step`](Self::step) calls; `elapsed` is the caller's measured wall
+    /// time for throughput).
+    pub fn report(&self, elapsed: std::time::Duration) -> ServeReport {
+        let mut requests = self.finished.clone();
+        requests.sort_by_key(|r| r.id);
+        let total = self.prefill_tokens + self.generated_tokens;
+        let secs = elapsed.as_secs_f64();
+        ServeReport {
+            steps: self.steps,
+            prefill_tokens: self.prefill_tokens,
+            generated_tokens: self.generated_tokens,
+            peak_batch: self.peak_batch,
+            elapsed,
+            tokens_per_sec: if secs > 0.0 { total as f64 / secs } else { 0.0 },
+            generated_per_sec: if secs > 0.0 { self.generated_tokens as f64 / secs } else { 0.0 },
+            energy_j: self.energy_j,
+            requests,
+        }
+    }
+
+    fn charge_energy(&mut self, seq_len: usize) {
+        if let Some(acc) = &self.accelerator {
+            self.energy_j += acc.energy_per_token(self.model.config(), seq_len.max(1)).total_j();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ServeEngine(active={}, pending={}, finished={}, steps={})",
+            self.active.len(),
+            self.pending.len(),
+            self.finished.len(),
+            self.steps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opal_model::{ModelConfig, QuantScheme};
+
+    fn model() -> Model {
+        Model::new(ModelConfig::tiny(), QuantScheme::bf16(), 11).expect("valid scheme")
+    }
+
+    #[test]
+    fn rejects_bad_prompts() {
+        let m = model();
+        let mut e = ServeEngine::new(&m, ServeConfig::default());
+        assert_eq!(e.submit(&[]), Err(ServeError::EmptyPrompt));
+        let vocab = m.config().vocab;
+        assert_eq!(
+            e.submit(&[0, vocab as u32]),
+            Err(ServeError::TokenOutOfRange { token: vocab as u32, vocab })
+        );
+    }
+
+    #[test]
+    fn batch_respects_max_batch() {
+        let m = model();
+        let mut e = ServeEngine::new(&m, ServeConfig { max_batch: 2, max_tokens: 3 });
+        for _ in 0..5 {
+            e.submit(&[1, 2]).unwrap();
+        }
+        e.step();
+        assert_eq!(e.active_len(), 2);
+        assert_eq!(e.pending_len(), 3);
+        let report = e.run();
+        assert_eq!(report.requests.len(), 5);
+        assert!(report.peak_batch <= 2);
+        for r in &report.requests {
+            assert_eq!(r.tokens.len(), 3);
+        }
+    }
+
+    #[test]
+    fn per_request_limit_is_clamped() {
+        let m = model();
+        let mut e = ServeEngine::new(&m, ServeConfig { max_batch: 4, max_tokens: 5 });
+        let a = e.submit_with_limit(&[1], 2).unwrap();
+        let b = e.submit_with_limit(&[1], 99).unwrap();
+        assert_eq!(e.submit_with_limit(&[1], 0), Err(ServeError::ZeroTokenLimit));
+        let report = e.run();
+        assert_eq!(report.request(a).unwrap().tokens.len(), 2);
+        assert_eq!(report.request(b).unwrap().tokens.len(), 5);
+    }
+
+    #[test]
+    fn idle_step_is_a_noop() {
+        let m = model();
+        let mut e = ServeEngine::new(&m, ServeConfig::default());
+        assert_eq!(e.step(), StepSummary::default());
+        let report = e.report(std::time::Duration::from_millis(1));
+        assert_eq!(report.steps, 0);
+    }
+
+    #[test]
+    fn energy_accumulates_when_accelerator_attached() {
+        use opal_hw::accelerator::{Accelerator, AcceleratorKind};
+        let m = model();
+        let mut e = ServeEngine::new(&m, ServeConfig { max_batch: 2, max_tokens: 2 })
+            .with_accelerator(Accelerator::new(AcceleratorKind::OpalW4A47));
+        e.submit(&[1, 2, 3]).unwrap();
+        let report = e.run();
+        assert!(report.energy_j > 0.0);
+    }
+
+    #[test]
+    fn step_summary_counts() {
+        let m = model();
+        let mut e = ServeEngine::new(&m, ServeConfig { max_batch: 3, max_tokens: 1 });
+        e.submit(&[1]).unwrap();
+        e.submit(&[2]).unwrap();
+        let s = e.step();
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.generated, 2);
+        assert_eq!(s.finished, 2);
+        assert!(e.is_idle());
+    }
+}

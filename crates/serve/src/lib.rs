@@ -1,0 +1,45 @@
+//! Batched, KV-cached serving engine for OPAL models (`opal-serve`).
+//!
+//! The paper's evaluation — and [`opal::OpalPipeline::generate`] — runs one
+//! sequence at a time. A serving deployment instead keeps *N* requests in
+//! flight: each decode step advances every active sequence by one token,
+//! new requests are admitted between steps as soon as a batch slot frees up
+//! (continuous batching), and every sequence owns its own KV cache so
+//! admissions never perturb neighbours.
+//!
+//! This crate layers that scheduler on top of
+//! [`opal_model::Model::decode_step`], the same single-step API the
+//! single-sequence generation loop uses — both paths share one decoder
+//! code path, so a batch of one is token-identical to
+//! `OpalPipeline::generate`. Energy is accounted per decoded token through
+//! the [`opal_hw::accelerator::Accelerator`] analytical model, giving each
+//! [`ServeReport`] an aggregate energy figure alongside throughput and
+//! per-request latency.
+//!
+//! # Example
+//!
+//! ```
+//! use opal_model::{Model, ModelConfig, QuantScheme};
+//! use opal_serve::{ServeConfig, ServeEngine};
+//!
+//! let model = Model::new(ModelConfig::tiny(), QuantScheme::mxopal_w4a47(), 7)?;
+//! let mut engine = ServeEngine::new(&model, ServeConfig { max_batch: 2, max_tokens: 4 });
+//! let a = engine.submit(&[1, 2, 3])?;
+//! let b = engine.submit(&[4, 5])?;
+//! let report = engine.run();
+//! assert_eq!(report.requests.len(), 2);
+//! assert_eq!(report.request(a).unwrap().tokens.len(), 4);
+//! assert_eq!(report.request(b).unwrap().tokens.len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`opal::OpalPipeline::generate`]: https://docs.rs/opal
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod report;
+
+pub use engine::{RequestId, ServeConfig, ServeEngine, ServeError, StepSummary};
+pub use report::{RequestReport, ServeReport};

@@ -1,0 +1,124 @@
+//! Serving statistics: throughput, per-request latency, aggregate energy.
+
+use std::time::Duration;
+
+use crate::engine::RequestId;
+
+/// Outcome of one finished request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestReport {
+    /// The handle returned by `submit`.
+    pub id: RequestId,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// The generated tokens, in order.
+    pub tokens: Vec<u32>,
+    /// Scheduler step at which the request entered the batch.
+    pub admitted_step: u64,
+    /// Scheduler step at which the request retired.
+    pub finished_step: u64,
+    /// Wall time from submission to retirement.
+    pub latency: Duration,
+}
+
+impl RequestReport {
+    /// Decode steps spent in the batch (equals generated tokens under the
+    /// one-token-per-step scheduler).
+    pub fn decode_steps(&self) -> u64 {
+        self.finished_step - self.admitted_step
+    }
+}
+
+/// Aggregate statistics of a serving run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// Prompt tokens processed during admission prefill.
+    pub prefill_tokens: u64,
+    /// Tokens generated across all requests.
+    pub generated_tokens: u64,
+    /// Largest concurrent batch observed.
+    pub peak_batch: usize,
+    /// Wall time of the run.
+    pub elapsed: Duration,
+    /// Total tokens (prefill + generated) per second of wall time.
+    pub tokens_per_sec: f64,
+    /// Generated tokens per second of wall time.
+    pub generated_per_sec: f64,
+    /// Aggregate accelerator energy in joules (zero when no accelerator
+    /// model is attached).
+    pub energy_j: f64,
+    /// Per-request outcomes, ordered by request id.
+    pub requests: Vec<RequestReport>,
+}
+
+impl ServeReport {
+    /// The report for `id`, if that request finished during this run.
+    pub fn request(&self, id: RequestId) -> Option<&RequestReport> {
+        self.requests.iter().find(|r| r.id == id)
+    }
+
+    /// Mean request latency, or zero when no request finished.
+    pub fn mean_latency(&self) -> Duration {
+        if self.requests.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.requests.iter().map(|r| r.latency).sum();
+        total / self.requests.len() as u32
+    }
+
+    /// Energy per generated token in joules, or zero without accounting.
+    pub fn energy_per_generated_token(&self) -> f64 {
+        if self.generated_tokens == 0 {
+            0.0
+        } else {
+            self.energy_j / self.generated_tokens as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "ServeReport")?;
+        writeln!(
+            f,
+            "  {} requests, {} steps, peak batch {}",
+            self.requests.len(),
+            self.steps,
+            self.peak_batch
+        )?;
+        writeln!(
+            f,
+            "  tokens: {} prefill + {} generated in {:.3?}",
+            self.prefill_tokens, self.generated_tokens, self.elapsed
+        )?;
+        writeln!(
+            f,
+            "  throughput: {:.1} tok/s total, {:.1} tok/s generated",
+            self.tokens_per_sec, self.generated_per_sec
+        )?;
+        writeln!(f, "  mean latency: {:.3?}", self.mean_latency())?;
+        if self.energy_j > 0.0 {
+            writeln!(
+                f,
+                "  energy: {:.3e} J total, {:.3e} J per generated token",
+                self.energy_j,
+                self.energy_per_generated_token()
+            )?;
+        }
+        for r in &self.requests {
+            writeln!(
+                f,
+                "  {}: prompt {}, generated {}, steps {}..{}, latency {:.3?}",
+                r.id,
+                r.prompt_len,
+                r.tokens.len(),
+                r.admitted_step,
+                r.finished_step,
+                r.latency
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -62,10 +62,7 @@ impl Softermax {
             }
             running_sum += exp2_approx(s - running_max);
         }
-        scores
-            .iter()
-            .map(|&s| exp2_approx(s - running_max) / running_sum)
-            .collect()
+        scores.iter().map(|&s| exp2_approx(s - running_max) / running_sum).collect()
     }
 
     /// `softermax(scores) · V`.

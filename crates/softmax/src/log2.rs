@@ -78,10 +78,7 @@ impl Log2Softmax {
         }
         let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         // e^{x_i - max} in bf16, as produced by the exp stage.
-        let exps: Vec<Bf16> = scores
-            .iter()
-            .map(|&s| Bf16::from_f32((s - max).exp()))
-            .collect();
+        let exps: Vec<Bf16> = scores.iter().map(|&s| Bf16::from_f32((s - max).exp())).collect();
         // Σ e^{x_i} accumulated in bf16 precision (FP adder tree output).
         let sum: f32 = exps.iter().map(|e| e.to_f32()).sum();
         let sum = Bf16::from_f32(sum);
@@ -106,10 +103,7 @@ impl Log2Softmax {
 
     /// The approximated attention weights `2^{−a_i}`.
     pub fn probs(&self, scores: &[f32]) -> Vec<f32> {
-        self.codes(scores)
-            .into_iter()
-            .map(|a| exp2i(-i32::from(a)))
-            .collect()
+        self.codes(scores).into_iter().map(|a| exp2i(-i32::from(a))).collect()
     }
 
     /// Shift-and-accumulate `Attn·V` (Fig. 5(e)): `Σ_j V_j · 2^{−a_j}`.

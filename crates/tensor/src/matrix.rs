@@ -234,21 +234,14 @@ impl Matrix {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
         self.iter_rows()
             .map(|row| {
-                row.iter()
-                    .zip(v)
-                    .map(|(&a, &b)| f64::from(a) * f64::from(b))
-                    .sum::<f64>() as f32
+                row.iter().zip(v).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum::<f64>() as f32
             })
             .collect()
     }
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            rows: self.rows,
-            cols: self.cols,
-        }
+        Matrix { data: self.data.iter().map(|&x| f(x)).collect(), rows: self.rows, cols: self.cols }
     }
 
     /// Element-wise sum.
@@ -369,12 +362,7 @@ impl fmt::Debug for Matrix {
         for r in 0..show {
             let row = self.row(r);
             let head: Vec<String> = row.iter().take(8).map(|v| format!("{v:.4}")).collect();
-            writeln!(
-                f,
-                "  [{}{}]",
-                head.join(", "),
-                if self.cols > 8 { ", …" } else { "" }
-            )?;
+            writeln!(f, "  [{}{}]", head.join(", "), if self.cols > 8 { ", …" } else { "" })?;
         }
         if self.rows > show {
             writeln!(f, "  …")?;

@@ -15,11 +15,8 @@ pub fn layer_norm(x: &Matrix, gain: &[f32], bias: &[f32], eps: f32) -> Matrix {
     for r in 0..x.rows() {
         let row = x.row(r);
         let mean = row.iter().map(|&v| f64::from(v)).sum::<f64>() / row.len() as f64;
-        let var = row
-            .iter()
-            .map(|&v| (f64::from(v) - mean).powi(2))
-            .sum::<f64>()
-            / row.len() as f64;
+        let var =
+            row.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / row.len() as f64;
         let inv = 1.0 / (var + f64::from(eps)).sqrt();
         let out_row = out.row_mut(r);
         for (i, &v) in row.iter().enumerate() {
@@ -40,8 +37,7 @@ pub fn rms_norm(x: &Matrix, gain: &[f32], eps: f32) -> Matrix {
     let mut out = Matrix::zeros(x.rows(), x.cols());
     for r in 0..x.rows() {
         let row = x.row(r);
-        let ms = row.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>()
-            / row.len() as f64;
+        let ms = row.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>() / row.len() as f64;
         let inv = 1.0 / (ms + f64::from(eps)).sqrt();
         let out_row = out.row_mut(r);
         for (i, &v) in row.iter().enumerate() {

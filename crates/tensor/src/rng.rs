@@ -172,11 +172,8 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f32> = (0..n).map(|_| r.normal(2.0, 3.0)).collect();
         let mean: f64 = samples.iter().map(|&v| f64::from(v)).sum::<f64>() / n as f64;
-        let var: f64 = samples
-            .iter()
-            .map(|&v| (f64::from(v) - mean).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var: f64 =
+            samples.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
         assert!((var - 9.0).abs() < 0.5, "var {var}");
     }

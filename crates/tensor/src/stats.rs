@@ -25,10 +25,7 @@ pub fn mse(a: &[f32], b: &[f32]) -> f64 {
 /// Panics if lengths differ.
 pub fn max_abs_err(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| (x - y).abs())
-        .fold(0.0, f32::max)
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f32::max)
 }
 
 /// Signal-to-quantization-noise ratio in dB: `10·log10(Σx² / Σ(x−x̂)²)`.

@@ -25,19 +25,13 @@ fn main() {
         AcceleratorKind::OpalW3A35,
     ];
 
-    for model in [
-        ModelConfig::llama2_7b(),
-        ModelConfig::llama2_13b(),
-        ModelConfig::llama2_70b(),
-    ] {
+    for model in [ModelConfig::llama2_7b(), ModelConfig::llama2_13b(), ModelConfig::llama2_70b()] {
         println!("\n=== {} (context 1024) ===", model.name);
         println!(
             "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
             "design", "core(J)", "access(J)", "Wleak(J)", "Aleak(J)", "total(J)", "area mm²"
         );
-        let bf16 = Accelerator::new(AcceleratorKind::Bf16)
-            .energy_per_token(&model, 1024)
-            .total_j();
+        let bf16 = Accelerator::new(AcceleratorKind::Bf16).energy_per_token(&model, 1024).total_j();
         for kind in kinds {
             let acc = Accelerator::new(kind);
             let e = acc.energy_per_token(&model, 1024);

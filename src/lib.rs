@@ -1,0 +1,17 @@
+//! Workspace umbrella for the OPAL reproduction.
+//!
+//! This crate exists so the repository root is itself a Cargo package: the
+//! cross-crate integration tests in `tests/` and the runnable examples in
+//! `examples/` hang off it. It re-exports the two entry-point crates most
+//! examples need; everything else is available as a direct dependency
+//! (`opal_tensor`, `opal_quant`, …).
+//!
+//! Start with [`opal::OpalPipeline`] for the single-request
+//! quantize→evaluate→map flow, or [`opal_serve::ServeEngine`] for batched,
+//! KV-cached serving.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use opal;
+pub use opal_serve;

@@ -34,8 +34,8 @@ fn integer_matvec_with_shared_scales_matches_dequantized_math() {
         let qa = shift_quantize(Bf16::from_f32(a), sa, ba, Rounding::NearestEven);
         let qw = shift_quantize(Bf16::from_f32(w), sw, bw, Rounding::NearestEven);
         int_acc += i64::from(qa) * i64::from(qw);
-        f32_ref += f64::from(shift_dequantize(qa, sa, ba))
-            * f64::from(shift_dequantize(qw, sw, bw));
+        f32_ref +=
+            f64::from(shift_dequantize(qa, sa, ba)) * f64::from(shift_dequantize(qw, sw, bw));
     }
     let rescaled = acc_to_f32(int_acc, product_scale_exp(sa, ba, sw, bw));
     assert!(
@@ -85,11 +85,8 @@ fn log2_softmax_attention_close_to_exact_attention() {
         let v = rng.normal_matrix(seq, 16, 0.0, 1.0);
         let exact = opal_softmax::attn_v_exact(&scores, &v);
         let approx = sm.attn_v(&scores, &v);
-        let num: f64 = exact
-            .iter()
-            .zip(&approx)
-            .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
-            .sum();
+        let num: f64 =
+            exact.iter().zip(&approx).map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2)).sum();
         let den: f64 = exact.iter().map(|&a| f64::from(a) * f64::from(a)).sum();
         total_rel_err += (num / den.max(1e-12)).sqrt();
     }

@@ -40,10 +40,7 @@ fn storage_accounting_agrees_between_quantizer_and_workload_model() {
         let packed_bits_per_elem = q.storage_bits(len) as f64 / len as f64;
         let eff = opal_hw::workload::effective_act_bits(bits);
         let rel = (packed_bits_per_elem - eff).abs() / eff;
-        assert!(
-            rel < 0.04,
-            "bits {bits}: packed {packed_bits_per_elem:.3} vs model {eff:.3}"
-        );
+        assert!(rel < 0.04, "bits {bits}: packed {packed_bits_per_elem:.3} vs model {eff:.3}");
     }
 }
 
@@ -72,10 +69,7 @@ fn core_throughput_consistent_with_model_op_mix() {
         wl.macs
     );
     let core = OpalCore::new(MuConfig::w4a47());
-    assert_eq!(
-        core.macs_per_cycle(MuMode::LowLow),
-        4 * core.macs_per_cycle(MuMode::HighHigh)
-    );
+    assert_eq!(core.macs_per_cycle(MuMode::LowLow), 4 * core.macs_per_cycle(MuMode::HighHigh));
 }
 
 #[test]

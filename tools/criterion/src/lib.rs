@@ -1,0 +1,188 @@
+//! Minimal, wall-clock stand-in for the [`criterion`] benchmark harness.
+//!
+//! The build environment for this workspace has no crates.io access, so the
+//! benches under `crates/bench/benches/` compile against this shim. It
+//! implements the API subset those benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — and reports a simple
+//! median wall-clock time per iteration instead of criterion's full
+//! statistical analysis:
+//!
+//! ```text
+//! softmax_row/exact/128           median   1.234 µs/iter   (41 samples)
+//! ```
+//!
+//! Each benchmark warms up briefly, then collects timing samples until a
+//! fixed time budget is spent. Run with `cargo bench`.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group, e.g. `exact/128`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly, recording one timing sample per call,
+    /// until the sample budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few unrecorded calls to fault in caches/allocations.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.budget || self.samples.len() < 10 {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(path: &str, f: impl FnOnce(&mut Bencher<'_>)) {
+    let mut samples = Vec::new();
+    let mut b = Bencher { samples: &mut samples, budget: Duration::from_millis(300) };
+    f(&mut b);
+    samples.sort();
+    let median = if samples.is_empty() { Duration::ZERO } else { samples[samples.len() / 2] };
+    println!(
+        "{path:<48} median {:>12} /iter   ({} samples)",
+        format_duration(median),
+        samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the shim, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Parses CLI configuration (a no-op in the shim, kept for API parity).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Benchmarks `f` under a bare name.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&name.to_string(), |b| f(b));
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,195 @@
+//! Minimal, deterministic stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the property-based tests under `crates/*/tests/proptests.rs` are compiled
+//! against this in-tree shim instead of the real library. It implements
+//! exactly the API subset those tests use:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]` headers),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`], [`prop_oneof!`],
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//!   `prop_flat_map`,
+//! * range strategies for the integer and float types the tests sample,
+//! * tuple strategies and [`collection::vec`].
+//!
+//! Unlike real proptest there is no shrinking and no persistence of failing
+//! cases: inputs are drawn from a [SplitMix64] generator seeded from the
+//! test name, so every run of a given test replays the identical case
+//! sequence. A failing case therefore reproduces exactly under
+//! `cargo test <name>`.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//! [`proptest`]: https://docs.rs/proptest
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Strategies over collections ([`collection::vec`]).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size` (an exact `usize`, a `Range`, or a
+    /// `RangeInclusive`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// The `use proptest::prelude::*` surface: the
+/// [`Strategy`](crate::strategy::Strategy) trait, the
+/// config type, and the assertion/result plumbing used by [`proptest!`].
+pub mod prelude {
+    pub use crate::strategy::{Strategy, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Per-test configuration. Only `cases` is honoured by the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; keep parity so the properties
+            // see the same amount of input diversity.
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// The property-test harness macro.
+///
+/// Supports the two forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..10, v in proptest::collection::vec(-1.0f32..1.0, 8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let config: $crate::prelude::ProptestConfig = $cfg;
+                let mut rng = $crate::strategy::TestRng::from_name(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases && attempts < config.cases * 16 {
+                    attempts += 1;
+                    $(let $arg = ($strat).sample(&mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::strategy::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::strategy::TestCaseError::Reject) => {}
+                        Err($crate::strategy::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed at case {}: {}",
+                                stringify!($name), accepted, msg
+                            );
+                        }
+                    }
+                }
+                // Mirror real proptest: a property that discards too many
+                // cases must error out rather than pass vacuously.
+                assert!(
+                    accepted >= config.cases,
+                    "property {} rejected too many cases: only {}/{} accepted in {} attempts",
+                    stringify!($name),
+                    accepted,
+                    config.cases,
+                    attempts,
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::prelude::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// aborting the whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::strategy::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::strategy::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::strategy::TestCaseError::Fail(
+                ::std::format!("{:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::strategy::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::strategy::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks uniformly between several strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(::std::vec![$($strat),+])
+    };
+}

@@ -1,0 +1,282 @@
+//! Strategies: deterministic value generators for the [`proptest!`] harness.
+//!
+//! [`proptest!`]: crate::proptest
+
+use std::ops::{Range, RangeInclusive};
+
+/// Outcome of one property case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's assertions failed with this message.
+    Fail(String),
+    /// The case was discarded by [`prop_assume!`](crate::prop_assume).
+    Reject,
+}
+
+/// SplitMix64 generator: tiny, fast, and good enough for test-input
+/// sampling. Seeded from the test name so each property replays the same
+/// case sequence on every run.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive). Requires `lo <= hi`.
+    pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo + 1) as u128;
+        lo + (u128::from(self.next_u64()) % span) as i128
+    }
+}
+
+/// A generator of test values; the shim's analogue of proptest's `Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every sampled value with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from every sampled value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        let first = self.inner.sample(rng);
+        (self.f)(first).sample(rng)
+    }
+}
+
+/// Uniform choice between same-typed strategies
+/// (see [`prop_oneof!`](crate::prop_oneof)).
+#[derive(Clone, Debug)]
+pub struct OneOf<S>(pub Vec<S>);
+
+impl<S: Strategy> Strategy for OneOf<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        assert!(!self.0.is_empty(), "prop_oneof! of zero strategies");
+        let idx = rng.int_in(0, self.0.len() as i128 - 1) as usize;
+        self.0[idx].sample(rng)
+    }
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range");
+                let u = rng.unit_f64();
+                let v = f64::from(self.start)
+                    + u * (f64::from(self.end) - f64::from(self.start));
+                let v = v as $t;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+impl_float_range!(f32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty float range");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                rng.int_in(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty integer range");
+                rng.int_in(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Length specification accepted by [`collection::vec`](crate::collection::vec).
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// See [`collection::vec`](crate::collection::vec).
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.int_in(self.size.lo as i128, self.size.hi as i128) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = (3u32..=8).sample(&mut rng);
+            assert!((3..=8).contains(&v));
+            let f = (-2.0f32..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let n = (1usize..64).sample(&mut rng);
+            assert!((1..64).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = TestRng::from_name("lens");
+        let s = crate::collection::vec(0.0f32..1.0, 2..5);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let exact = crate::collection::vec(0.0f32..1.0, 7usize);
+        assert_eq!(exact.sample(&mut rng).len(), 7);
+    }
+}

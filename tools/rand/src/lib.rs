@@ -1,0 +1,210 @@
+//! Minimal, deterministic stand-in for the [`rand`] crate.
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! `opal_tensor::rng` compiles against this shim. It provides the API
+//! subset that module uses — [`rngs::StdRng`], [`SeedableRng`], [`Rng`]
+//! (`gen`, `gen_range`) and [`distributions::Distribution`] — with the
+//! same determinism contract: a given seed always yields the same stream.
+//!
+//! The generator is SplitMix64 rather than the real `StdRng`'s ChaCha12;
+//! statistically ample for synthetic-weight generation, but the concrete
+//! streams differ from upstream `rand`. Nothing in this workspace depends
+//! on upstream's exact values.
+//!
+//! [`rand`]: https://docs.rs/rand
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Random number generators.
+pub mod rngs {
+    /// The standard seeded generator (SplitMix64 in this shim).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Avoid the all-zero fixed point and decorrelate small seeds.
+        StdRng { state: seed ^ 0x5851_f42d_4c95_7f2d }
+    }
+}
+
+/// Uniform sampling of a value type from raw generator output.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+/// Sampling interface, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample of `T` over its natural domain.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::Distribution::sample(&Standard, self)
+    }
+
+    /// A uniform sample from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let v = (f64::from(self.start)
+            + unit_f64(rng) * (f64::from(self.end) - f64::from(self.start))) as f32;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + unit_f64(rng) * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Distributions, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::{Rng, Standard};
+
+    /// A sampleable distribution over `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng`.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            super::unit_f64(rng)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            super::unit_f64(rng) as f32
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::Distribution;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_replay() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = r.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let n = r.gen_range(3usize..9);
+            assert!((3..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn standard_distribution_samples() {
+        let mut r = StdRng::seed_from_u64(2);
+        let u: u64 = r.gen();
+        let v: u64 = Standard.sample(&mut r);
+        assert_ne!(u, v);
+        let f: f64 = r.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}
