@@ -12,8 +12,10 @@ fn bench_batched_throughput(c: &mut Criterion) {
     for batch in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
             b.iter(|| {
-                let mut engine =
-                    ServeEngine::new(&model, ServeConfig { max_batch: batch, max_tokens: 8 });
+                let mut engine = ServeEngine::new(
+                    &model,
+                    ServeConfig { max_batch: batch, max_tokens: 8, ..ServeConfig::default() },
+                );
                 for i in 0..batch {
                     engine.submit(black_box(&[1 + i as u32, 2, 3])).unwrap();
                 }
@@ -29,7 +31,10 @@ fn bench_continuous_admission(c: &mut Criterion) {
         Model::new(ModelConfig::tiny(), QuantScheme::mxopal_w4a47(), 22).expect("valid scheme");
     c.bench_function("serve_rolling_admission_12req", |b| {
         b.iter(|| {
-            let mut engine = ServeEngine::new(&model, ServeConfig { max_batch: 4, max_tokens: 6 });
+            let mut engine = ServeEngine::new(
+                &model,
+                ServeConfig { max_batch: 4, max_tokens: 6, ..ServeConfig::default() },
+            );
             let mut submitted = 0u32;
             // Keep the queue topped up while stepping, so admission always
             // happens mid-stream.

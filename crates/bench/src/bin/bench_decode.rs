@@ -1,0 +1,232 @@
+//! Decode-throughput benchmark: the optimized serving engine (contiguous
+//! KV caches, zero-allocation scratch decode, parallel batch stepping)
+//! against the preserved seed implementation, at batch 1 / 4 / 16.
+//!
+//! Emits `BENCH_decode.json` in the working directory so successive PRs
+//! have a perf trajectory. Run with `--smoke` for a CI-sized run.
+//!
+//! Prefill and decode are timed separately: prefill throughput additionally
+//! reflects the fast path that skips vocab-sized logits for all but the
+//! final prompt token, decode throughput is the steady-state serving rate.
+//! The headline figure compares decode tokens/sec of the optimized engine
+//! at batch 16 against the sequential seed engine on the same model/scheme.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use opal_model::{Model, ModelConfig, QuantScheme};
+use opal_serve::{ServeConfig, ServeEngine};
+use opal_tensor::ops;
+
+/// One measured engine configuration.
+struct Row {
+    model: String,
+    scheme: &'static str,
+    engine: String,
+    batch: usize,
+    threads: usize,
+    prefill_tok_s: f64,
+    decode_tok_s: f64,
+}
+
+fn prompts(batch: usize, vocab: usize) -> Vec<Vec<u32>> {
+    (0..batch as u32)
+        .map(|i| (0..(i % 5 + 2)).map(|j| (i * 13 + j * 5) % vocab as u32).collect())
+        .collect()
+}
+
+/// The seed engine: sequential stepping through the preserved reference
+/// decode path (`Vec<Vec<f32>>` KV caches, latency-chained sums, fresh
+/// allocations per token).
+fn run_seed_engine(model: &Model, batch: usize, new_tokens: usize) -> (f64, f64) {
+    let prompts = prompts(batch, model.config().vocab);
+    let t0 = Instant::now();
+    let mut seqs: Vec<_> = prompts
+        .iter()
+        .map(|p| {
+            let mut state = model.begin_reference_decode();
+            let mut logits = Vec::new();
+            for &t in p {
+                logits = model.reference_decode_step(&mut state, t);
+            }
+            (state, logits)
+        })
+        .collect();
+    let prefill_s = t0.elapsed().as_secs_f64();
+    let prefill_tokens: usize = prompts.iter().map(Vec::len).sum();
+
+    let t1 = Instant::now();
+    for _ in 0..new_tokens {
+        for (state, logits) in &mut seqs {
+            let token = ops::argmax(logits).unwrap_or(0) as u32;
+            *logits = model.reference_decode_step(state, token);
+        }
+    }
+    let decode_s = t1.elapsed().as_secs_f64();
+    (prefill_tokens as f64 / prefill_s, (batch * new_tokens) as f64 / decode_s)
+}
+
+/// The optimized engine: `ServeEngine` with the given thread count.
+/// Admission (prefill) is timed apart from the steady-state decode loop.
+fn run_opt_engine(model: &Model, batch: usize, threads: usize, new_tokens: usize) -> (f64, f64) {
+    let config = ServeConfig { max_batch: batch, max_tokens: new_tokens, num_threads: threads };
+    let mut engine = ServeEngine::new(model, config);
+    for p in prompts(batch, model.config().vocab) {
+        engine.submit(&p).expect("valid prompt");
+    }
+    let prefill_tokens: usize = prompts(batch, model.config().vocab).iter().map(Vec::len).sum();
+    let t0 = Instant::now();
+    engine.admit();
+    let prefill_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let mut generated = 0usize;
+    while !engine.is_idle() {
+        generated += engine.step().generated;
+    }
+    let decode_s = t1.elapsed().as_secs_f64();
+    (prefill_tokens as f64 / prefill_s, generated as f64 / decode_s)
+}
+
+fn bench_case(
+    model_name: &str,
+    config: &ModelConfig,
+    scheme_name: &'static str,
+    scheme: QuantScheme,
+    new_tokens: usize,
+    rows: &mut Vec<Row>,
+) {
+    let model = Model::new(config.clone(), scheme, 21).expect("valid scheme");
+    for batch in [1usize, 4, 16] {
+        // Warm one pass so first-touch effects hit nobody in particular.
+        run_opt_engine(&model, batch, 1, 4.min(new_tokens));
+
+        let (pf, dec) = run_seed_engine(&model, batch, new_tokens);
+        rows.push(Row {
+            model: model_name.into(),
+            scheme: scheme_name,
+            engine: "seed-sequential".into(),
+            batch,
+            threads: 1,
+            prefill_tok_s: pf,
+            decode_tok_s: dec,
+        });
+        for threads in [1usize, 4] {
+            let (pf, dec) = run_opt_engine(&model, batch, threads, new_tokens);
+            rows.push(Row {
+                model: model_name.into(),
+                scheme: scheme_name,
+                engine: format!("optimized-{threads}t"),
+                batch,
+                threads,
+                prefill_tok_s: pf,
+                decode_tok_s: dec,
+            });
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let new_tokens = if smoke { 6 } else { 32 };
+
+    // The tiny unit-test config plus a mid-size Llama proxy (the accuracy
+    // benches' stand-in for Llama2-7B) where per-token compute dominates
+    // scheduler overhead.
+    let tiny = ModelConfig::tiny();
+    let proxy = ModelConfig::llama2_7b().proxy(128, 4, 192);
+    let mut rows = Vec::new();
+    bench_case("tiny", &tiny, "bf16", QuantScheme::bf16(), new_tokens, &mut rows);
+    bench_case("tiny", &tiny, "mxopal_w4a47", QuantScheme::mxopal_w4a47(), new_tokens, &mut rows);
+    bench_case("llama7b-proxy128", &proxy, "bf16", QuantScheme::bf16(), new_tokens, &mut rows);
+    if !smoke {
+        bench_case(
+            "llama7b-proxy128",
+            &proxy,
+            "mxopal_w4a47",
+            QuantScheme::mxopal_w4a47(),
+            new_tokens,
+            &mut rows,
+        );
+    }
+
+    opal_bench::header("Decode throughput (tokens/sec)");
+    println!(
+        "{:<18} {:<14} {:<16} {:>5} {:>8} {:>14} {:>14}",
+        "model", "scheme", "engine", "batch", "threads", "prefill tok/s", "decode tok/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:<14} {:<16} {:>5} {:>8} {:>14.0} {:>14.0}",
+            r.model, r.scheme, r.engine, r.batch, r.threads, r.prefill_tok_s, r.decode_tok_s
+        );
+    }
+
+    let speedup = |model: &str, scheme: &str, batch: usize, engine: &str| -> f64 {
+        let find = |eng: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.model == model && r.scheme == scheme && r.batch == batch && r.engine == eng
+                })
+                .map(|r| r.decode_tok_s)
+                .unwrap_or(f64::NAN)
+        };
+        find(engine) / find("seed-sequential")
+    };
+
+    println!();
+    let mut headline = f64::NAN;
+    let mut speedup_lines = Vec::new();
+    for (model, scheme) in [
+        ("tiny", "bf16"),
+        ("tiny", "mxopal_w4a47"),
+        ("llama7b-proxy128", "bf16"),
+        ("llama7b-proxy128", "mxopal_w4a47"),
+    ] {
+        let s4 = speedup(model, scheme, 16, "optimized-4t");
+        let s1 = speedup(model, scheme, 16, "optimized-1t");
+        if s4.is_nan() {
+            continue;
+        }
+        if model == "llama7b-proxy128" && scheme == "bf16" {
+            headline = s4;
+        }
+        println!(
+            "batch-16 decode speedup vs seed engine [{model}/{scheme}]: {s4:.2}x (4 threads), \
+             {s1:.2}x (1 thread)"
+        );
+        speedup_lines.push(format!(
+            "    {{ \"model\": \"{model}\", \"scheme\": \"{scheme}\", \
+             \"optimized_4t\": {s4:.3}, \"optimized_1t\": {s1:.3} }}"
+        ));
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"decode_throughput\",\n");
+    let _ = writeln!(json, "  \"new_tokens_per_request\": {new_tokens},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"headline_batch16_4t_vs_seed\": {{ \"model\": \"llama7b-proxy128\", \
+         \"scheme\": \"bf16\", \"speedup\": {headline:.3} }},"
+    );
+    let _ = writeln!(json, "  \"batch16_speedups\": [\n{}\n  ],", speedup_lines.join(",\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"model\": \"{}\", \"scheme\": \"{}\", \"engine\": \"{}\", \"batch\": {}, \
+             \"threads\": {}, \"prefill_tok_s\": {:.1}, \"decode_tok_s\": {:.1} }}{}",
+            r.model,
+            r.scheme,
+            r.engine,
+            r.batch,
+            r.threads,
+            r.prefill_tok_s,
+            r.decode_tok_s,
+            if i + 1 == rows.len() { "\n" } else { ",\n" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_decode.json", &json).expect("write BENCH_decode.json");
+    println!("\nwrote BENCH_decode.json");
+}

@@ -125,32 +125,126 @@ impl Recorder for ActivationCapture {
     }
 }
 
-struct ReadyLayer {
+pub(crate) struct ReadyLayer {
     // All stored transposed (d_out × d_in) so a token step is a matvec.
-    wq_t: Matrix,
-    wk_t: Matrix,
-    wv_t: Matrix,
-    wo_t: Matrix,
-    w_gate_t: Option<Matrix>,
-    w_up_t: Matrix,
-    w_down_t: Matrix,
-    attn_gain: Vec<f32>,
-    attn_bias: Vec<f32>,
-    ffn_gain: Vec<f32>,
-    ffn_bias: Vec<f32>,
+    pub(crate) wq_t: Matrix,
+    pub(crate) wk_t: Matrix,
+    pub(crate) wv_t: Matrix,
+    pub(crate) wo_t: Matrix,
+    pub(crate) w_gate_t: Option<Matrix>,
+    pub(crate) w_up_t: Matrix,
+    pub(crate) w_down_t: Matrix,
+    pub(crate) attn_gain: Vec<f32>,
+    pub(crate) attn_bias: Vec<f32>,
+    pub(crate) ffn_gain: Vec<f32>,
+    pub(crate) ffn_bias: Vec<f32>,
 }
 
-/// Per-layer key/value cache for incremental decoding.
+/// Per-layer key/value cache: contiguous row-major buffers holding one
+/// `d_model`-wide row per cached position, so the attention scan over
+/// position `j` reads `k[j*d .. (j+1)*d]` sequentially instead of chasing a
+/// `Vec<Vec<f32>>` pointer per row.
 #[derive(Debug, Default)]
 struct LayerCache {
-    k: Vec<Vec<f32>>,
-    v: Vec<Vec<f32>>,
+    k: Vec<f32>,
+    v: Vec<f32>,
 }
 
-/// Decoding state: the position counter and KV caches.
+/// Appends one zeroed `width`-wide row to a flat cache buffer, returning
+/// the row's start offset. `Vec`'s amortized growth at least doubles the
+/// allocation when full, so a decode of `n` tokens performs `O(log n)`
+/// reallocations.
+fn grow_row(buf: &mut Vec<f32>, width: usize) -> usize {
+    let start = buf.len();
+    buf.resize(start + width, 0.0);
+    start
+}
+
+/// Reusable per-sequence buffers for the token decode hot path.
+///
+/// Every intermediate of a decode step — q/k/v projections, attention
+/// scores and weights, context, FFN activations, norm outputs and the
+/// vocab-sized logits — writes into these buffers, so a steady-state decode
+/// step performs no heap allocation (the KV cache grows amortized via
+/// [`grow_row`], and `scores`/`weights` stop growing once they reach the
+/// sequence length).
+#[derive(Debug)]
+struct ScratchSpace {
+    /// Residual stream, `d_model`.
+    h: Vec<f32>,
+    /// Norm output feeding QKV or FC1, `d_model`.
+    x: Vec<f32>,
+    /// Quantized norm output, `d_model`.
+    xq: Vec<f32>,
+    /// Query projection (pre-quantization), `d_model`.
+    q: Vec<f32>,
+    /// Key projection (pre-quantization), `d_model`.
+    k: Vec<f32>,
+    /// Value projection (pre-quantization), `d_model`.
+    v: Vec<f32>,
+    /// Quantized query, `d_model`.
+    qq: Vec<f32>,
+    /// Attention context, `d_model`.
+    ctx: Vec<f32>,
+    /// Quantized context, `d_model`.
+    ctxq: Vec<f32>,
+    /// Attention output projection, `d_model`.
+    attn_out: Vec<f32>,
+    /// Attention scores for one head, grows to the sequence length.
+    scores: Vec<f32>,
+    /// Attention weights for one head, grows to the sequence length.
+    weights: Vec<f32>,
+    /// FFN gate/activation buffer, `d_ff`.
+    gate: Vec<f32>,
+    /// FFN up-projection, `d_ff`.
+    up: Vec<f32>,
+    /// Quantized FFN activation, `d_ff`.
+    act_q: Vec<f32>,
+    /// FFN down-projection, `d_model`.
+    down: Vec<f32>,
+    /// Final-norm output, `d_model`.
+    hn: Vec<f32>,
+    /// Next-token logits, `vocab`.
+    logits: Vec<f32>,
+}
+
+impl ScratchSpace {
+    fn new(config: &ModelConfig) -> Self {
+        let d = config.d_model;
+        let ff = config.d_ff;
+        ScratchSpace {
+            h: vec![0.0; d],
+            x: vec![0.0; d],
+            xq: vec![0.0; d],
+            q: vec![0.0; d],
+            k: vec![0.0; d],
+            v: vec![0.0; d],
+            qq: vec![0.0; d],
+            ctx: vec![0.0; d],
+            ctxq: vec![0.0; d],
+            attn_out: vec![0.0; d],
+            scores: Vec::new(),
+            weights: Vec::new(),
+            gate: vec![0.0; ff],
+            up: vec![0.0; ff],
+            act_q: vec![0.0; ff],
+            down: vec![0.0; d],
+            hn: vec![0.0; d],
+            logits: vec![0.0; config.vocab],
+        }
+    }
+}
+
+/// Decoding state: the position counter, contiguous KV caches and the
+/// reusable scratch buffers of one sequence.
+///
+/// Each sequence owns its `DecodeState`; the [`Model`] stays immutable
+/// during decoding, which is what lets a batch scheduler step many states
+/// against one model from parallel threads.
 pub struct DecodeState {
     pos: usize,
     layers: Vec<LayerCache>,
+    scratch: ScratchSpace,
 }
 
 impl DecodeState {
@@ -185,25 +279,25 @@ impl std::fmt::Debug for DecodeState {
 /// # Ok::<(), opal_quant::QuantError>(())
 /// ```
 pub struct Model {
-    config: ModelConfig,
-    scheme: QuantScheme,
-    embedding: Matrix,
-    unembedding: Matrix,
-    final_norm_gain: Vec<f32>,
-    final_norm_bias: Vec<f32>,
-    layers: Vec<ReadyLayer>,
-    outlier_channels: Vec<usize>,
-    low_q: Option<Box<dyn Quantizer>>,
-    high_q: Option<Box<dyn Quantizer>>,
-    log2_softmax: Option<Log2Softmax>,
-    rope_theta: f32,
+    pub(crate) config: ModelConfig,
+    pub(crate) scheme: QuantScheme,
+    pub(crate) embedding: Matrix,
+    pub(crate) unembedding: Matrix,
+    pub(crate) final_norm_gain: Vec<f32>,
+    pub(crate) final_norm_bias: Vec<f32>,
+    pub(crate) layers: Vec<ReadyLayer>,
+    pub(crate) outlier_channels: Vec<usize>,
+    pub(crate) low_q: Option<Box<dyn Quantizer + Send + Sync>>,
+    pub(crate) high_q: Option<Box<dyn Quantizer + Send + Sync>>,
+    pub(crate) log2_softmax: Option<Log2Softmax>,
+    pub(crate) rope_theta: f32,
     /// Final logit scale. A random (untrained) unembedding produces logits
     /// with standard deviation ≈ √d_model, which would make the model
     /// near-deterministic (PPL → 1) and hide quantization effects entirely;
     /// scaling to ≈2.5 standard deviations gives the teacher an entropy
     /// profile comparable to a trained LLM on natural text (PPL in the
     /// single digits against a few-hundred-token vocabulary).
-    logit_scale: f32,
+    pub(crate) logit_scale: f32,
 }
 
 impl Model {
@@ -316,6 +410,7 @@ impl Model {
         DecodeState {
             pos: 0,
             layers: (0..self.config.n_layers).map(|_| LayerCache::default()).collect(),
+            scratch: ScratchSpace::new(&self.config),
         }
     }
 
@@ -328,6 +423,20 @@ impl Model {
         self.decode_step_recorded(state, token, None)
     }
 
+    /// As [`Model::decode_step`], writing the logits into a caller-provided
+    /// slice instead of allocating — the zero-allocation entry point used by
+    /// the serving engine's steady-state decode loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of range or `out.len()` differs from the
+    /// vocabulary size.
+    pub fn decode_step_into(&self, state: &mut DecodeState, token: u32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.config.vocab, "logits length mismatch");
+        self.decode_core(state, token, None, true);
+        out.copy_from_slice(&state.scratch.logits);
+    }
+
     /// Feeds a whole prompt through the decoder, returning the logits after
     /// its last token.
     ///
@@ -337,16 +446,21 @@ impl Model {
     /// prefill through here, so they are guaranteed to agree token-for-token
     /// with a raw [`Model::decode_step`] loop.
     ///
+    /// Only the final prompt token materializes vocab-sized logits: the
+    /// unembedding matvec — by far the widest in the model — is skipped for
+    /// every earlier position, whose logits nobody reads.
+    ///
     /// # Panics
     ///
     /// Panics if `prompt` is empty or contains out-of-range tokens.
     pub fn prefill(&self, state: &mut DecodeState, prompt: &[u32]) -> Vec<f32> {
         assert!(!prompt.is_empty(), "empty prompt");
-        let mut logits = Vec::new();
-        for &t in prompt {
-            logits = self.decode_step(state, t);
+        let (last, head) = prompt.split_last().expect("non-empty prompt");
+        for &t in head {
+            self.decode_core(state, t, None, false);
         }
-        logits
+        self.decode_core(state, *last, None, true);
+        state.scratch.logits.clone()
     }
 
     /// As [`Model::decode_step`], optionally reporting activations to a
@@ -359,115 +473,138 @@ impl Model {
         &self,
         state: &mut DecodeState,
         token: u32,
-        mut recorder: Option<&mut dyn Recorder>,
+        recorder: Option<&mut dyn Recorder>,
     ) -> Vec<f32> {
+        self.decode_core(state, token, recorder, true);
+        state.scratch.logits.clone()
+    }
+
+    /// The allocation-free decode step: advances `state` by one token,
+    /// leaving the next-token logits in `state.scratch.logits` when
+    /// `compute_logits` is set.
+    ///
+    /// Ordering of every loop and reduction matches the seed implementation
+    /// (kept in [`crate::reference`]) except inside [`opal_tensor::ops::dot`],
+    /// whose 4-accumulator reduction reassociates `f64` partial sums ~29
+    /// bits below `f32` resolution; `tests/decode_golden.rs` pins the
+    /// output bit-for-bit against logit patterns captured from the seed
+    /// build and against the reference path over long decodes.
+    fn decode_core(
+        &self,
+        state: &mut DecodeState,
+        token: u32,
+        mut recorder: Option<&mut dyn Recorder>,
+        compute_logits: bool,
+    ) {
         assert!((token as usize) < self.config.vocab, "token {token} out of range");
         let d = self.config.d_model;
         let dh = self.config.head_dim();
-        let pos = state.pos;
         let inv_sqrt_dh = 1.0 / (dh as f32).sqrt();
+        let DecodeState { pos, layers, scratch: st } = state;
+        let pos = *pos;
+        let seq = pos + 1;
 
-        let mut h: Vec<f32> = self.embedding.row(token as usize).to_vec();
+        st.h.copy_from_slice(self.embedding.row(token as usize));
+        st.scores.resize(seq, 0.0);
+        st.weights.resize(seq, 0.0);
 
         for (l, lw) in self.layers.iter().enumerate() {
             // ---- attention ----
-            let x = self.norm(&h, &lw.attn_gain, &lw.attn_bias);
+            self.norm_into(&st.h, &lw.attn_gain, &lw.attn_bias, &mut st.x);
             if let Some(rec) = recorder.as_deref_mut() {
-                rec.record(l, Site::QkvInput, &x);
+                rec.record(l, Site::QkvInput, &st.x);
             }
-            let xq = self.quant_low(&x);
-            let mut q = lw.wq_t.matvec(&xq);
-            let mut k = lw.wk_t.matvec(&xq);
-            let v = lw.wv_t.matvec(&xq);
+            self.quant_low_into(&st.x, &mut st.xq);
+            lw.wq_t.matvec_into(&st.xq, &mut st.q);
+            lw.wk_t.matvec_into(&st.xq, &mut st.k);
+            lw.wv_t.matvec_into(&st.xq, &mut st.v);
             for head in 0..self.config.n_heads {
                 let s = head * dh;
-                ops::rope_row(&mut q[s..s + dh], pos, self.rope_theta);
-                ops::rope_row(&mut k[s..s + dh], pos, self.rope_theta);
+                ops::rope_row(&mut st.q[s..s + dh], pos, self.rope_theta);
+                ops::rope_row(&mut st.k[s..s + dh], pos, self.rope_theta);
             }
             if let Some(rec) = recorder.as_deref_mut() {
-                rec.record(l, Site::Query, &q);
-                rec.record(l, Site::Key, &k);
-                rec.record(l, Site::Value, &v);
+                rec.record(l, Site::Query, &st.q);
+                rec.record(l, Site::Key, &st.k);
+                rec.record(l, Site::Value, &st.v);
             }
-            let qq = self.quant_high(&q);
-            let kq = self.quant_high(&k);
-            let vq = self.quant_high(&v);
-            let cache = &mut state.layers[l];
-            cache.k.push(kq);
-            cache.v.push(vq);
+            self.quant_high_into(&st.q, &mut st.qq);
+            let cache = &mut layers[l];
+            let k_start = grow_row(&mut cache.k, d);
+            self.quant_high_into(&st.k, &mut cache.k[k_start..]);
+            let v_start = grow_row(&mut cache.v, d);
+            self.quant_high_into(&st.v, &mut cache.v[v_start..]);
 
-            let mut ctx = vec![0.0f32; d];
-            let seq = cache.k.len();
-            let mut scores = vec![0.0f32; seq];
+            st.ctx.fill(0.0);
             for head in 0..self.config.n_heads {
                 let s = head * dh;
-                let q_h = &qq[s..s + dh];
-                for (j, k_row) in cache.k.iter().enumerate() {
-                    let dot: f64 = q_h
-                        .iter()
-                        .zip(&k_row[s..s + dh])
-                        .map(|(&a, &b)| f64::from(a) * f64::from(b))
-                        .sum();
-                    scores[j] = dot as f32 * inv_sqrt_dh;
+                let q_h = &st.qq[s..s + dh];
+                for (score, k_row) in st.scores.iter_mut().zip(cache.k.chunks_exact(d)) {
+                    *score = ops::dot(q_h, &k_row[s..s + dh]) * inv_sqrt_dh;
                 }
-                let weights = match &self.log2_softmax {
-                    None => {
-                        let mut w = vec![0.0f32; seq];
-                        ops::softmax_into(&scores, &mut w);
-                        w
-                    }
-                    Some(sm) => sm.probs(&scores),
-                };
-                for (j, &w) in weights.iter().enumerate() {
+                match &self.log2_softmax {
+                    None => ops::softmax_into(&st.scores, &mut st.weights),
+                    Some(sm) => sm.probs_into(&st.scores, &mut st.weights),
+                }
+                for (&w, v_row) in st.weights.iter().zip(cache.v.chunks_exact(d)) {
                     if w == 0.0 {
                         continue;
                     }
-                    let v_row = &cache.v[j][s..s + dh];
-                    for (c, &vv) in ctx[s..s + dh].iter_mut().zip(v_row) {
+                    for (c, &vv) in st.ctx[s..s + dh].iter_mut().zip(&v_row[s..s + dh]) {
                         *c += w * vv;
                     }
                 }
             }
             if let Some(rec) = recorder.as_deref_mut() {
-                rec.record(l, Site::ProjInput, &ctx);
+                rec.record(l, Site::ProjInput, &st.ctx);
             }
-            let ctxq = self.quant_high(&ctx);
-            let o = lw.wo_t.matvec(&ctxq);
-            for (hh, oo) in h.iter_mut().zip(&o) {
+            self.quant_high_into(&st.ctx, &mut st.ctxq);
+            lw.wo_t.matvec_into(&st.ctxq, &mut st.attn_out);
+            for (hh, oo) in st.h.iter_mut().zip(&st.attn_out) {
                 *hh += oo;
             }
 
             // ---- FFN ----
-            let x2 = self.norm(&h, &lw.ffn_gain, &lw.ffn_bias);
+            self.norm_into(&st.h, &lw.ffn_gain, &lw.ffn_bias, &mut st.x);
             if let Some(rec) = recorder.as_deref_mut() {
-                rec.record(l, Site::Fc1Input, &x2);
+                rec.record(l, Site::Fc1Input, &st.x);
             }
-            let x2q = self.quant_low(&x2);
-            let a: Vec<f32> = match (&lw.w_gate_t, self.config.arch) {
-                (Some(gate), _) => {
-                    let g = gate.matvec(&x2q);
-                    let u = lw.w_up_t.matvec(&x2q);
-                    g.iter().zip(&u).map(|(&gv, &uv)| ops::silu(gv) * uv).collect()
+            self.quant_low_into(&st.x, &mut st.xq);
+            // The activation always lands in `st.gate`.
+            match &lw.w_gate_t {
+                Some(gate) => {
+                    gate.matvec_into(&st.xq, &mut st.gate);
+                    lw.w_up_t.matvec_into(&st.xq, &mut st.up);
+                    for (g, &u) in st.gate.iter_mut().zip(&st.up) {
+                        *g = ops::silu(*g) * u;
+                    }
                 }
-                (None, _) => lw.w_up_t.matvec(&x2q).iter().map(|&v| ops::relu(v)).collect(),
-            };
-            if let Some(rec) = recorder.as_deref_mut() {
-                rec.record(l, Site::Fc2Input, &a);
+                None => {
+                    lw.w_up_t.matvec_into(&st.xq, &mut st.gate);
+                    for g in st.gate.iter_mut() {
+                        *g = ops::relu(*g);
+                    }
+                }
             }
-            let aq = self.quant_high(&a);
-            let down = lw.w_down_t.matvec(&aq);
-            for (hh, dd) in h.iter_mut().zip(&down) {
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(l, Site::Fc2Input, &st.gate);
+            }
+            self.quant_high_into(&st.gate, &mut st.act_q);
+            lw.w_down_t.matvec_into(&st.act_q, &mut st.down);
+            for (hh, dd) in st.h.iter_mut().zip(&st.down) {
                 *hh += dd;
             }
         }
 
         state.pos += 1;
-        let hn = self.norm(&h, &self.final_norm_gain, &self.final_norm_bias);
-        let mut logits = self.unembedding.matvec(&hn);
-        for v in &mut logits {
-            *v *= self.logit_scale;
+        if compute_logits {
+            let st = &mut state.scratch;
+            self.norm_into(&st.h, &self.final_norm_gain, &self.final_norm_bias, &mut st.hn);
+            self.unembedding.matvec_into(&st.hn, &mut st.logits);
+            for v in &mut st.logits {
+                *v *= self.logit_scale;
+            }
         }
-        logits
     }
 
     /// Full-sequence forward pass: runs the incremental decoder over
@@ -481,8 +618,7 @@ impl Model {
         let mut state = self.begin_decode();
         let mut out = Matrix::zeros(tokens.len(), self.config.vocab);
         for (i, &t) in tokens.iter().enumerate() {
-            let logits = self.decode_step(&mut state, t);
-            out.row_mut(i).copy_from_slice(&logits);
+            self.decode_step_into(&mut state, t, out.row_mut(i));
         }
         out
     }
@@ -503,23 +639,41 @@ impl Model {
         out
     }
 
-    fn norm(&self, x: &[f32], gain: &[f32], bias: &[f32]) -> Vec<f32> {
-        let m = Matrix::from_row_slice(x);
-        let normed = match self.config.arch {
-            Arch::Llama => ops::rms_norm(&m, gain, 1e-5),
-            Arch::Opt => ops::layer_norm(&m, gain, bias, 1e-5),
-        };
-        normed.into_vec()
+    fn norm_into(&self, x: &[f32], gain: &[f32], bias: &[f32], out: &mut [f32]) {
+        match self.config.arch {
+            Arch::Llama => ops::rms_norm_into(x, gain, 1e-5, out),
+            Arch::Opt => ops::layer_norm_into(x, gain, bias, 1e-5, out),
+        }
     }
 
-    fn quant_low(&self, x: &[f32]) -> Vec<f32> {
+    pub(crate) fn norm(&self, x: &[f32], gain: &[f32], bias: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; x.len()];
+        self.norm_into(x, gain, bias, &mut out);
+        out
+    }
+
+    fn quant_low_into(&self, x: &[f32], out: &mut [f32]) {
+        match &self.low_q {
+            Some(q) => q.quantize_dequantize_into(x, out),
+            None => bf16_roundtrip_into(x, out),
+        }
+    }
+
+    fn quant_high_into(&self, x: &[f32], out: &mut [f32]) {
+        match &self.high_q {
+            Some(q) => q.quantize_dequantize_into(x, out),
+            None => bf16_roundtrip_into(x, out),
+        }
+    }
+
+    pub(crate) fn quant_low(&self, x: &[f32]) -> Vec<f32> {
         match &self.low_q {
             Some(q) => q.quantize_dequantize(x),
             None => bf16_roundtrip(x),
         }
     }
 
-    fn quant_high(&self, x: &[f32]) -> Vec<f32> {
+    pub(crate) fn quant_high(&self, x: &[f32]) -> Vec<f32> {
         match &self.high_q {
             Some(q) => q.quantize_dequantize(x),
             None => bf16_roundtrip(x),
@@ -539,6 +693,12 @@ impl std::fmt::Debug for Model {
 
 fn bf16_roundtrip(x: &[f32]) -> Vec<f32> {
     x.iter().map(|&v| opal_numerics::Bf16::from_f32(v).to_f32()).collect()
+}
+
+fn bf16_roundtrip_into(x: &[f32], out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = opal_numerics::Bf16::from_f32(v).to_f32();
+    }
 }
 
 fn bf16_matrix(m: &Matrix) -> Matrix {

@@ -32,10 +32,12 @@
 mod config;
 pub mod eval;
 mod infer;
+pub mod reference;
 pub mod sampling;
 mod scheme;
 pub mod weights;
 
 pub use config::{Arch, ModelConfig};
 pub use infer::{ActivationCapture, DecodeState, Model, Recorder, SecondMomentRecorder, Site};
+pub use reference::ReferenceDecodeState;
 pub use scheme::{ActFormat, ActScheme, QuantScheme, SoftmaxKind, WeightScheme};

@@ -1,0 +1,202 @@
+//! The seed decode implementation, kept verbatim as a correctness oracle.
+//!
+//! [`Model::decode_step`](crate::Model::decode_step) was rewritten to run
+//! allocation-free over contiguous KV caches; this module preserves the
+//! original (seed) algorithm — per-token `Vec` allocations for every
+//! intermediate and `Vec<Vec<f32>>` KV caches — so that
+//!
+//! 1. equivalence tests can assert the optimized path is **bit-identical**
+//!    to the seed over long decodes, and
+//! 2. benchmarks can measure the optimized engine against the exact
+//!    baseline it replaced.
+//!
+//! The arithmetic here must never be "improved": it is the specification.
+
+use opal_tensor::ops;
+use opal_tensor::Matrix;
+
+use crate::infer::{Model, Recorder, Site};
+
+/// The seed's matrix–vector product, verbatim: one sequential
+/// latency-chained `f64` sum per output element (`Iterator::sum`), a fresh
+/// `Vec` per call. [`Matrix::matvec`] has since moved to a pipelined
+/// 4-accumulator reduction; the baseline must keep the original kernel.
+fn seed_matvec(m: &Matrix, v: &[f32]) -> Vec<f32> {
+    assert_eq!(v.len(), m.cols(), "vector length mismatch");
+    m.iter_rows()
+        .map(|row| {
+            row.iter().zip(v).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum::<f64>() as f32
+        })
+        .collect()
+}
+
+/// Per-layer key/value cache of the seed implementation: one heap-allocated
+/// row per cached position.
+#[derive(Debug, Default)]
+struct RefLayerCache {
+    k: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+/// Decoding state of the seed implementation: position counter plus
+/// row-per-position KV caches, no scratch reuse.
+pub struct ReferenceDecodeState {
+    pos: usize,
+    layers: Vec<RefLayerCache>,
+}
+
+impl ReferenceDecodeState {
+    /// Number of tokens decoded so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
+impl std::fmt::Debug for ReferenceDecodeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReferenceDecodeState(pos={}, layers={})", self.pos, self.layers.len())
+    }
+}
+
+impl Model {
+    /// Starts a decoding session against the seed reference path.
+    pub fn begin_reference_decode(&self) -> ReferenceDecodeState {
+        ReferenceDecodeState {
+            pos: 0,
+            layers: (0..self.config.n_layers).map(|_| RefLayerCache::default()).collect(),
+        }
+    }
+
+    /// Decodes one token through the seed implementation, returning the
+    /// next-token logits. Agreement with
+    /// [`Model::decode_step`](crate::Model::decode_step) is asserted
+    /// bit-for-bit over long decodes in `tests/decode_golden.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of vocabulary range.
+    pub fn reference_decode_step(&self, state: &mut ReferenceDecodeState, token: u32) -> Vec<f32> {
+        self.reference_decode_step_recorded(state, token, None)
+    }
+
+    /// As [`Model::reference_decode_step`], optionally reporting
+    /// activations to a [`Recorder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of vocabulary range.
+    pub fn reference_decode_step_recorded(
+        &self,
+        state: &mut ReferenceDecodeState,
+        token: u32,
+        mut recorder: Option<&mut dyn Recorder>,
+    ) -> Vec<f32> {
+        assert!((token as usize) < self.config.vocab, "token {token} out of range");
+        let d = self.config.d_model;
+        let dh = self.config.head_dim();
+        let pos = state.pos;
+        let inv_sqrt_dh = 1.0 / (dh as f32).sqrt();
+
+        let mut h: Vec<f32> = self.embedding.row(token as usize).to_vec();
+
+        for (l, lw) in self.layers.iter().enumerate() {
+            // ---- attention ----
+            let x = self.norm(&h, &lw.attn_gain, &lw.attn_bias);
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(l, Site::QkvInput, &x);
+            }
+            let xq = self.quant_low(&x);
+            let mut q = seed_matvec(&lw.wq_t, &xq);
+            let mut k = seed_matvec(&lw.wk_t, &xq);
+            let v = seed_matvec(&lw.wv_t, &xq);
+            for head in 0..self.config.n_heads {
+                let s = head * dh;
+                ops::rope_row(&mut q[s..s + dh], pos, self.rope_theta);
+                ops::rope_row(&mut k[s..s + dh], pos, self.rope_theta);
+            }
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(l, Site::Query, &q);
+                rec.record(l, Site::Key, &k);
+                rec.record(l, Site::Value, &v);
+            }
+            let qq = self.quant_high(&q);
+            let kq = self.quant_high(&k);
+            let vq = self.quant_high(&v);
+            let cache = &mut state.layers[l];
+            cache.k.push(kq);
+            cache.v.push(vq);
+
+            let mut ctx = vec![0.0f32; d];
+            let seq = cache.k.len();
+            let mut scores = vec![0.0f32; seq];
+            for head in 0..self.config.n_heads {
+                let s = head * dh;
+                let q_h = &qq[s..s + dh];
+                for (j, k_row) in cache.k.iter().enumerate() {
+                    let dot: f64 = q_h
+                        .iter()
+                        .zip(&k_row[s..s + dh])
+                        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                        .sum();
+                    scores[j] = dot as f32 * inv_sqrt_dh;
+                }
+                let weights = match &self.log2_softmax {
+                    None => {
+                        let mut w = vec![0.0f32; seq];
+                        ops::softmax_into(&scores, &mut w);
+                        w
+                    }
+                    Some(sm) => sm.probs(&scores),
+                };
+                for (j, &w) in weights.iter().enumerate() {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let v_row = &cache.v[j][s..s + dh];
+                    for (c, &vv) in ctx[s..s + dh].iter_mut().zip(v_row) {
+                        *c += w * vv;
+                    }
+                }
+            }
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(l, Site::ProjInput, &ctx);
+            }
+            let ctxq = self.quant_high(&ctx);
+            let o = seed_matvec(&lw.wo_t, &ctxq);
+            for (hh, oo) in h.iter_mut().zip(&o) {
+                *hh += oo;
+            }
+
+            // ---- FFN ----
+            let x2 = self.norm(&h, &lw.ffn_gain, &lw.ffn_bias);
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(l, Site::Fc1Input, &x2);
+            }
+            let x2q = self.quant_low(&x2);
+            let a: Vec<f32> = match &lw.w_gate_t {
+                Some(gate) => {
+                    let g = seed_matvec(gate, &x2q);
+                    let u = seed_matvec(&lw.w_up_t, &x2q);
+                    g.iter().zip(&u).map(|(&gv, &uv)| ops::silu(gv) * uv).collect()
+                }
+                None => seed_matvec(&lw.w_up_t, &x2q).iter().map(|&v| ops::relu(v)).collect(),
+            };
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(l, Site::Fc2Input, &a);
+            }
+            let aq = self.quant_high(&a);
+            let down = seed_matvec(&lw.w_down_t, &aq);
+            for (hh, dd) in h.iter_mut().zip(&down) {
+                *hh += dd;
+            }
+        }
+
+        state.pos += 1;
+        let hn = self.norm(&h, &self.final_norm_gain, &self.final_norm_bias);
+        let mut logits = seed_matvec(&self.unembedding, &hn);
+        for v in &mut logits {
+            *v *= self.logit_scale;
+        }
+        logits
+    }
+}

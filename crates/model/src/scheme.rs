@@ -37,23 +37,27 @@ pub struct ActScheme {
 impl ActScheme {
     /// Builds the quantizer for the low-bit (post-LayerNorm) positions.
     ///
+    /// The box is `Send + Sync` so a model holding it can be shared across
+    /// the serving engine's scoped decode threads.
+    ///
     /// # Errors
     ///
     /// Propagates configuration errors from the quantizer constructors.
-    pub fn low_quantizer(&self) -> Result<Box<dyn Quantizer>, QuantError> {
+    pub fn low_quantizer(&self) -> Result<Box<dyn Quantizer + Send + Sync>, QuantError> {
         self.quantizer(self.low_bits)
     }
 
-    /// Builds the quantizer for the high-bit positions.
+    /// Builds the quantizer for the high-bit positions (`Send + Sync`, as
+    /// [`ActScheme::low_quantizer`]).
     ///
     /// # Errors
     ///
     /// Propagates configuration errors from the quantizer constructors.
-    pub fn high_quantizer(&self) -> Result<Box<dyn Quantizer>, QuantError> {
+    pub fn high_quantizer(&self) -> Result<Box<dyn Quantizer + Send + Sync>, QuantError> {
         self.quantizer(self.high_bits)
     }
 
-    fn quantizer(&self, bits: u32) -> Result<Box<dyn Quantizer>, QuantError> {
+    fn quantizer(&self, bits: u32) -> Result<Box<dyn Quantizer + Send + Sync>, QuantError> {
         Ok(match self.format {
             ActFormat::MinMax => Box::new(MinMaxQuantizer::new(bits, self.block_size)?),
             ActFormat::MxInt => Box::new(MxIntQuantizer::new(bits, self.block_size)?),

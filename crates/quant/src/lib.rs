@@ -61,6 +61,21 @@ pub trait Quantizer {
     /// Quantizes `x` and immediately reconstructs real values.
     fn quantize_dequantize(&self, x: &[f32]) -> Vec<f32>;
 
+    /// As [`Quantizer::quantize_dequantize`], writing the reconstruction
+    /// into a caller-provided slice.
+    ///
+    /// The default implementation round-trips through the allocating API;
+    /// block-local formats override it with a genuinely allocation-free
+    /// path for the token decode loop. Either way the values are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != x.len()`.
+    fn quantize_dequantize_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), x.len(), "output length mismatch");
+        out.copy_from_slice(&self.quantize_dequantize(x));
+    }
+
     /// Short human-readable name for reports ("MXINT4", "MX-OPAL3", …).
     fn name(&self) -> String;
 

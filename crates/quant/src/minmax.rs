@@ -82,10 +82,15 @@ impl MinMaxQuantizer {
 impl Quantizer for MinMaxQuantizer {
     fn quantize_dequantize(&self, x: &[f32]) -> Vec<f32> {
         let mut out = vec![0.0; x.len()];
+        self.quantize_dequantize_into(x, &mut out);
+        out
+    }
+
+    fn quantize_dequantize_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), x.len(), "output length mismatch");
         for (xb, ob) in x.chunks(self.block_size).zip(out.chunks_mut(self.block_size)) {
             self.quantize_block(xb, ob);
         }
-        out
     }
 
     fn name(&self) -> String {

@@ -110,6 +110,10 @@ impl MxIntQuantizer {
 }
 
 impl Quantizer for MxIntQuantizer {
+    /// Round-trips through [`MxIntQuantizer::encode_block`] /
+    /// [`MxIntQuantizer::decode_block`] — the allocating specification the
+    /// streaming [`Quantizer::quantize_dequantize_into`] override is
+    /// property-tested against.
     fn quantize_dequantize(&self, x: &[f32]) -> Vec<f32> {
         let mut out = Vec::with_capacity(x.len());
         for chunk in x.chunks(self.block_size) {
@@ -117,6 +121,33 @@ impl Quantizer for MxIntQuantizer {
             out.extend(self.decode_block(&block));
         }
         out
+    }
+
+    fn quantize_dequantize_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), x.len(), "output length mismatch");
+        for (xb, ob) in x.chunks(self.block_size).zip(out.chunks_mut(self.block_size)) {
+            // Streaming form of encode_block/decode_block: the shared scale
+            // is the max exponent over the block's bf16 images (the
+            // `shift::max_exponent` rule, evaluated without materializing
+            // the bf16 buffer), then each element round-trips through the
+            // shift datapath. Equivalence to the block API is pinned by
+            // `tests/proptests.rs`.
+            let scale = xb
+                .iter()
+                .map(|&v| Bf16::from_f32(v))
+                .filter(|v| !v.is_zero() && !v.is_subnormal())
+                .map(|v| v.unbiased_exponent())
+                .max();
+            match scale {
+                Some(s) => {
+                    for (o, &v) in ob.iter_mut().zip(xb) {
+                        let q = shift_quantize(Bf16::from_f32(v), s, self.bits, self.rounding);
+                        *o = shift_dequantize(q, s, self.bits);
+                    }
+                }
+                None => ob.fill(0.0),
+            }
+        }
     }
 
     fn name(&self) -> String {

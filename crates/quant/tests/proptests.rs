@@ -22,6 +22,44 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
+    fn quantize_dequantize_into_matches_allocating_api(x in block(96), bits in 2u32..=8) {
+        // The in-place fast paths of the decode loop must reproduce the
+        // allocating APIs exactly, including the odd-sized final block.
+        // For MXINT this is a real cross-implementation check: the
+        // allocating side composes encode_block/decode_block while the
+        // `_into` override is an independent streaming rewrite of the same
+        // spec (for MinMax/MxOpal the allocating API delegates, so the
+        // comparison only smoke-tests the wrapper).
+        let quantizers: [Box<dyn Quantizer>; 3] = [
+            Box::new(MinMaxQuantizer::new(bits, 32).unwrap()),
+            Box::new(MxIntQuantizer::new(bits, 32).unwrap()),
+            Box::new(MxOpalQuantizer::new(bits.min(6), 32, 2).unwrap()),
+        ];
+        for q in &quantizers {
+            for len in [1usize, 31, 32, 33, 96] {
+                let mut out = vec![0.0f32; len];
+                q.quantize_dequantize_into(&x[..len], &mut out);
+                let reference = q.quantize_dequantize(&x[..len]);
+                prop_assert_eq!(&out, &reference, "{} len {}", q.name(), len);
+            }
+        }
+    }
+
+    #[test]
+    fn mxint_streaming_into_matches_block_api(x in block(96), bits in 2u32..=8) {
+        // Belt and braces for the streaming MXINT rewrite: compare it
+        // directly against the explicit block encode/decode composition.
+        let q = MxIntQuantizer::new(bits, 32).unwrap();
+        let mut out = vec![0.0f32; x.len()];
+        q.quantize_dequantize_into(&x, &mut out);
+        let mut reference = Vec::with_capacity(x.len());
+        for chunk in x.chunks(32) {
+            reference.extend(q.decode_block(&q.encode_block(chunk)));
+        }
+        prop_assert_eq!(out, reference);
+    }
+
+    #[test]
     fn minmax_reconstruction_stays_in_range(x in block(128), bits in 2u32..=8) {
         let q = MinMaxQuantizer::new(bits, 128).unwrap();
         let y = q.quantize_dequantize(&x);

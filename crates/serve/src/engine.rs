@@ -4,10 +4,82 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use opal_hw::accelerator::Accelerator;
+use opal_model::sampling::Sampler;
 use opal_model::{DecodeState, Model};
-use opal_tensor::ops;
+use opal_tensor::rng::TensorRng;
 
 use crate::report::{RequestReport, ServeReport};
+
+/// Per-request decoding policy: which [`Sampler`] picks each token, and the
+/// seed of the request-private RNG driving it.
+///
+/// The RNG is owned by the request, so a request's output depends only on
+/// its prompt, sampler and seed — never on batch composition, admission
+/// timing or thread count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplingParams {
+    /// The decoding policy (greedy by default).
+    pub sampler: Sampler,
+    /// Seed of the request-private RNG (unused by greedy).
+    pub seed: u64,
+}
+
+impl Default for SamplingParams {
+    fn default() -> Self {
+        SamplingParams { sampler: Sampler::Greedy, seed: 0 }
+    }
+}
+
+/// A request specification: prompt plus per-request decoding options.
+///
+/// # Example
+///
+/// ```
+/// use opal_model::sampling::Sampler;
+/// use opal_serve::{Request, SamplingParams};
+///
+/// let req = Request::new(&[1, 2, 3])
+///     .with_limit(8)
+///     .with_sampling(SamplingParams { sampler: Sampler::TopK(4), seed: 7 });
+/// assert_eq!(req.prompt(), &[1, 2, 3]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    prompt: Vec<u32>,
+    max_new_tokens: Option<usize>,
+    sampling: SamplingParams,
+}
+
+impl Request {
+    /// A greedy request generating the engine's default token budget.
+    pub fn new(prompt: &[u32]) -> Self {
+        Request {
+            prompt: prompt.to_vec(),
+            max_new_tokens: None,
+            sampling: SamplingParams::default(),
+        }
+    }
+
+    /// Caps generation at `max_new_tokens` (clamped to the engine's
+    /// [`ServeConfig::max_tokens`] on submission).
+    #[must_use]
+    pub fn with_limit(mut self, max_new_tokens: usize) -> Self {
+        self.max_new_tokens = Some(max_new_tokens);
+        self
+    }
+
+    /// Sets the decoding policy.
+    #[must_use]
+    pub fn with_sampling(mut self, sampling: SamplingParams) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// The prompt tokens.
+    pub fn prompt(&self) -> &[u32] {
+        &self.prompt
+    }
+}
 
 /// Opaque handle identifying a submitted request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -28,11 +100,17 @@ pub struct ServeConfig {
     /// Default number of tokens generated per request (a request-level
     /// override via [`ServeEngine::submit_with_limit`] is clamped to this).
     pub max_tokens: usize,
+    /// Worker threads for the batch decode step. `1` (the default) steps
+    /// sequences on the caller's thread; larger values split the active
+    /// batch across `std::thread::scope` workers. Output is identical for
+    /// every thread count — each sequence owns its state, and results are
+    /// committed in batch order.
+    pub num_threads: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_batch: 8, max_tokens: 32 }
+        ServeConfig { max_batch: 8, max_tokens: 32, num_threads: 1 }
     }
 }
 
@@ -82,11 +160,14 @@ struct Queued {
     id: RequestId,
     prompt: Vec<u32>,
     limit: usize,
+    sampling: SamplingParams,
     submitted_at: Instant,
 }
 
 /// A sequence currently in the decode batch. Each owns a private
-/// [`DecodeState`] — its KV cache — so sequences are fully isolated.
+/// [`DecodeState`] — its KV cache and scratch buffers — plus its sampler
+/// RNG, so sequences are fully isolated and can be stepped from different
+/// threads.
 struct Active {
     id: RequestId,
     state: DecodeState,
@@ -94,8 +175,24 @@ struct Active {
     tokens: Vec<u32>,
     prompt_len: usize,
     limit: usize,
+    sampler: Sampler,
+    rng: TensorRng,
     submitted_at: Instant,
     admitted_step: u64,
+}
+
+/// Advances one sequence by one token: sample from the last logits, then —
+/// unless the sequence just hit its limit — run the next forward pass,
+/// reusing the `last_logits` buffer. Runs on worker threads; everything it
+/// touches is owned by the sequence.
+fn advance_sequence(model: &Model, seq: &mut Active) {
+    let token = seq.sampler.pick(&seq.last_logits, &mut seq.rng);
+    seq.tokens.push(token);
+    // A sequence that just hit its limit retires without another forward
+    // pass — its next logits would be discarded.
+    if seq.tokens.len() < seq.limit {
+        model.decode_step_into(&mut seq.state, token, &mut seq.last_logits);
+    }
 }
 
 /// The batched serving engine.
@@ -106,8 +203,11 @@ struct Active {
 /// what makes mid-stream admission safe: admitting or retiring a sequence
 /// cannot touch any other sequence's KV cache.
 ///
-/// Decoding is greedy (argmax), matching the single-sequence
-/// `OpalPipeline::generate` loop token-for-token at batch size one.
+/// Decoding defaults to greedy (argmax), matching the single-sequence
+/// `OpalPipeline::generate` loop token-for-token at batch size one; each
+/// request may carry its own [`SamplingParams`] for temperature / top-k /
+/// top-p serving. With [`ServeConfig::num_threads`] > 1 the decode step
+/// fans out across scoped threads, one chunk of sequences per worker.
 pub struct ServeEngine<'m> {
     model: &'m Model,
     accelerator: Option<Accelerator>,
@@ -130,6 +230,7 @@ impl<'m> ServeEngine<'m> {
     pub fn new(model: &'m Model, config: ServeConfig) -> Self {
         assert!(config.max_batch > 0, "max_batch must be at least 1");
         assert!(config.max_tokens > 0, "max_tokens must be at least 1");
+        assert!(config.num_threads > 0, "num_threads must be at least 1");
         ServeEngine {
             model,
             accelerator: None,
@@ -203,22 +304,37 @@ impl<'m> ServeEngine<'m> {
         prompt: &[u32],
         max_new_tokens: usize,
     ) -> Result<RequestId, ServeError> {
-        if prompt.is_empty() {
+        self.submit_request(Request::new(prompt).with_limit(max_new_tokens))
+    }
+
+    /// Enqueues a full [`Request`] — prompt, token limit and per-request
+    /// [`SamplingParams`]. Greedy sampling reproduces [`submit`](Self::submit)
+    /// exactly; other samplers draw from a request-private seeded RNG, so
+    /// output is independent of batch composition and thread count.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty prompts, out-of-vocabulary tokens, and a zero token
+    /// limit.
+    pub fn submit_request(&mut self, request: Request) -> Result<RequestId, ServeError> {
+        if request.prompt.is_empty() {
             return Err(ServeError::EmptyPrompt);
         }
-        if max_new_tokens == 0 {
+        let limit = request.max_new_tokens.unwrap_or(self.config.max_tokens);
+        if limit == 0 {
             return Err(ServeError::ZeroTokenLimit);
         }
         let vocab = self.model.config().vocab;
-        if let Some(&bad) = prompt.iter().find(|&&t| t as usize >= vocab) {
+        if let Some(&bad) = request.prompt.iter().find(|&&t| t as usize >= vocab) {
             return Err(ServeError::TokenOutOfRange { token: bad, vocab });
         }
         let id = RequestId(self.next_id);
         self.next_id += 1;
         self.pending.push_back(Queued {
             id,
-            prompt: prompt.to_vec(),
-            limit: max_new_tokens.min(self.config.max_tokens),
+            prompt: request.prompt,
+            limit: limit.min(self.config.max_tokens),
+            sampling: request.sampling,
             submitted_at: Instant::now(),
         });
         Ok(id)
@@ -244,6 +360,8 @@ impl<'m> ServeEngine<'m> {
                 tokens: Vec::with_capacity(q.limit),
                 prompt_len: q.prompt.len(),
                 limit: q.limit,
+                sampler: q.sampling.sampler,
+                rng: TensorRng::seed(q.sampling.seed),
                 submitted_at: q.submitted_at,
                 admitted_step: self.steps,
             });
@@ -254,8 +372,16 @@ impl<'m> ServeEngine<'m> {
     }
 
     /// Runs one scheduler step: admit what fits, then advance every active
-    /// sequence by exactly one greedy token, then retire sequences that hit
-    /// their limit. A step with nothing to do is a no-op.
+    /// sequence by exactly one token (sampled per the request's
+    /// [`SamplingParams`], greedy by default), then retire sequences that
+    /// hit their limit. A step with nothing to do is a no-op.
+    ///
+    /// With [`ServeConfig::num_threads`] > 1 the active batch is split into
+    /// contiguous chunks stepped by scoped worker threads. The model is
+    /// shared immutably; every mutable structure (KV cache, scratch,
+    /// sampler RNG, output buffer) is owned by exactly one sequence, and
+    /// energy accounting and retirement run after the join in batch order —
+    /// so results are deterministic and identical to `num_threads == 1`.
     pub fn step(&mut self) -> StepSummary {
         let admitted = self.admit();
         let mut summary = StepSummary { admitted, ..StepSummary::default() };
@@ -266,15 +392,38 @@ impl<'m> ServeEngine<'m> {
             self.started_at = Some(Instant::now());
         }
 
-        for seq in &mut self.active {
-            let token = ops::argmax(&seq.last_logits).unwrap_or(0) as u32;
-            seq.tokens.push(token);
-            summary.generated += 1;
-            // A sequence that just hit its limit retires below without
-            // another forward pass — its next logits would be discarded.
-            if seq.tokens.len() < seq.limit {
-                seq.last_logits = self.model.decode_step(&mut seq.state, token);
-                if let Some(acc) = &self.accelerator {
+        let model = self.model;
+        let workers = self.config.num_threads.min(self.active.len());
+        if workers <= 1 {
+            for seq in &mut self.active {
+                advance_sequence(model, seq);
+            }
+        } else {
+            let chunk_size = self.active.len().div_ceil(workers);
+            let mut chunks = self.active.chunks_mut(chunk_size);
+            let first = chunks.next();
+            std::thread::scope(|scope| {
+                for chunk in chunks.by_ref() {
+                    scope.spawn(move || {
+                        for seq in chunk {
+                            advance_sequence(model, seq);
+                        }
+                    });
+                }
+                // The caller's thread works the first chunk instead of
+                // idling at the join — one fewer spawn per step.
+                for seq in first.into_iter().flatten() {
+                    advance_sequence(model, seq);
+                }
+            });
+        }
+        summary.generated = self.active.len();
+        // Charge energy post-join, in batch order, so the f64 accumulation
+        // is independent of thread scheduling. A sequence at its limit did
+        // not run a forward pass this step.
+        if let Some(acc) = &self.accelerator {
+            for seq in &self.active {
+                if seq.tokens.len() < seq.limit {
                     self.energy_j +=
                         acc.energy_per_token(self.model.config(), seq.state.pos()).total_j();
                 }
@@ -389,7 +538,10 @@ mod tests {
     #[test]
     fn batch_respects_max_batch() {
         let m = model();
-        let mut e = ServeEngine::new(&m, ServeConfig { max_batch: 2, max_tokens: 3 });
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig { max_batch: 2, max_tokens: 3, ..ServeConfig::default() },
+        );
         for _ in 0..5 {
             e.submit(&[1, 2]).unwrap();
         }
@@ -407,7 +559,10 @@ mod tests {
     #[test]
     fn per_request_limit_is_clamped() {
         let m = model();
-        let mut e = ServeEngine::new(&m, ServeConfig { max_batch: 4, max_tokens: 5 });
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig { max_batch: 4, max_tokens: 5, ..ServeConfig::default() },
+        );
         let a = e.submit_with_limit(&[1], 2).unwrap();
         let b = e.submit_with_limit(&[1], 99).unwrap();
         assert_eq!(e.submit_with_limit(&[1], 0), Err(ServeError::ZeroTokenLimit));
@@ -429,8 +584,11 @@ mod tests {
     fn energy_accumulates_when_accelerator_attached() {
         use opal_hw::accelerator::{Accelerator, AcceleratorKind};
         let m = model();
-        let mut e = ServeEngine::new(&m, ServeConfig { max_batch: 2, max_tokens: 2 })
-            .with_accelerator(Accelerator::new(AcceleratorKind::OpalW4A47));
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig { max_batch: 2, max_tokens: 2, ..ServeConfig::default() },
+        )
+        .with_accelerator(Accelerator::new(AcceleratorKind::OpalW4A47));
         e.submit(&[1, 2, 3]).unwrap();
         let report = e.run();
         assert!(report.energy_j > 0.0);
@@ -439,7 +597,10 @@ mod tests {
     #[test]
     fn step_summary_counts() {
         let m = model();
-        let mut e = ServeEngine::new(&m, ServeConfig { max_batch: 3, max_tokens: 1 });
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig { max_batch: 3, max_tokens: 1, ..ServeConfig::default() },
+        );
         e.submit(&[1]).unwrap();
         e.submit(&[2]).unwrap();
         let s = e.step();

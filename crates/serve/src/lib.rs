@@ -23,7 +23,8 @@
 //! use opal_serve::{ServeConfig, ServeEngine};
 //!
 //! let model = Model::new(ModelConfig::tiny(), QuantScheme::mxopal_w4a47(), 7)?;
-//! let mut engine = ServeEngine::new(&model, ServeConfig { max_batch: 2, max_tokens: 4 });
+//! let config = ServeConfig { max_batch: 2, max_tokens: 4, ..ServeConfig::default() };
+//! let mut engine = ServeEngine::new(&model, config);
 //! let a = engine.submit(&[1, 2, 3])?;
 //! let b = engine.submit(&[4, 5])?;
 //! let report = engine.run();
@@ -41,5 +42,7 @@
 mod engine;
 mod report;
 
-pub use engine::{RequestId, ServeConfig, ServeEngine, ServeError, StepSummary};
+pub use engine::{
+    Request, RequestId, SamplingParams, ServeConfig, ServeEngine, ServeError, StepSummary,
+};
 pub use report::{RequestReport, ServeReport};

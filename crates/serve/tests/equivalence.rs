@@ -17,7 +17,10 @@ fn batch_of_one_matches_pipeline_generate() {
     let n = 12;
     let reference = p.generate(&prompt, n);
 
-    let mut engine = ServeEngine::new(p.student(), ServeConfig { max_batch: 1, max_tokens: n });
+    let mut engine = ServeEngine::new(
+        p.student(),
+        ServeConfig { max_batch: 1, max_tokens: n, ..ServeConfig::default() },
+    );
     let id = engine.submit(&prompt).expect("valid prompt");
     let report = engine.run();
 
@@ -30,7 +33,10 @@ fn every_batch_member_matches_its_solo_run() {
     let prompts: [&[u32]; 4] = [&[1, 2, 3], &[9, 8], &[5], &[30, 31, 32, 33]];
     let n = 8;
 
-    let mut engine = ServeEngine::new(p.student(), ServeConfig { max_batch: 4, max_tokens: n });
+    let mut engine = ServeEngine::new(
+        p.student(),
+        ServeConfig { max_batch: 4, max_tokens: n, ..ServeConfig::default() },
+    );
     let ids: Vec<_> = prompts.iter().map(|pr| engine.submit(pr).expect("valid prompt")).collect();
     let report = engine.run();
 
@@ -51,7 +57,10 @@ fn mid_stream_admission_does_not_corrupt_other_sequences() {
     let late: &[u32] = &[40, 41];
     let n = 10;
 
-    let mut engine = ServeEngine::new(p.student(), ServeConfig { max_batch: 4, max_tokens: n });
+    let mut engine = ServeEngine::new(
+        p.student(),
+        ServeConfig { max_batch: 4, max_tokens: n, ..ServeConfig::default() },
+    );
     let early_ids: Vec<_> =
         early.iter().map(|pr| engine.submit(pr).expect("valid prompt")).collect();
 
@@ -86,7 +95,10 @@ fn mid_stream_admission_does_not_corrupt_other_sequences() {
 fn oversubscribed_queue_drains_in_submission_order() {
     let p = pipeline();
     let n = 5;
-    let mut engine = ServeEngine::new(p.student(), ServeConfig { max_batch: 2, max_tokens: n });
+    let mut engine = ServeEngine::new(
+        p.student(),
+        ServeConfig { max_batch: 2, max_tokens: n, ..ServeConfig::default() },
+    );
     let ids: Vec<_> =
         (0..6).map(|i| engine.submit(&[i as u32 + 1, 2]).expect("valid prompt")).collect();
     let report = engine.run();

@@ -73,37 +73,77 @@ impl Log2Softmax {
     ///
     /// Returns an empty vector for an empty score row.
     pub fn codes(&self, scores: &[f32]) -> Vec<u8> {
+        let mut out = vec![0u8; scores.len()];
+        self.codes_into(scores, &mut out);
+        out
+    }
+
+    /// As [`Log2Softmax::codes`], writing the shift codes into a
+    /// caller-provided slice — the allocation-free kernel used by the token
+    /// decode hot path.
+    ///
+    /// The exponentials are evaluated in two streaming passes (once for the
+    /// adder-tree sum, once per element) so no intermediate buffer is
+    /// needed; both passes produce identical bf16 fields, so the codes are
+    /// bit-identical to the allocating API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != scores.len()`.
+    pub fn codes_into(&self, scores: &[f32], out: &mut [u8]) {
+        assert_eq!(out.len(), scores.len(), "output length mismatch");
+        self.for_each_code(scores, out, |o, code| *o = code);
+    }
+
+    /// The approximated attention weights `2^{−a_i}`.
+    pub fn probs(&self, scores: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; scores.len()];
+        self.probs_into(scores, &mut out);
+        out
+    }
+
+    /// As [`Log2Softmax::probs`], writing the weights into a caller-provided
+    /// slice (allocation-free; see [`Log2Softmax::codes_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != scores.len()`.
+    pub fn probs_into(&self, scores: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), scores.len(), "output length mismatch");
+        self.for_each_code(scores, out, |o, code| *o = exp2i(-i32::from(code)));
+    }
+
+    /// The shared streaming Eq. (3) kernel: computes the shift code of each
+    /// score and hands it to `emit` with the matching output slot, so
+    /// [`Log2Softmax::codes_into`] and [`Log2Softmax::probs_into`] cannot
+    /// drift apart.
+    fn for_each_code<T>(&self, scores: &[f32], out: &mut [T], mut emit: impl FnMut(&mut T, u8)) {
         if scores.is_empty() {
-            return Vec::new();
+            return;
         }
         let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        // e^{x_i - max} in bf16, as produced by the exp stage.
-        let exps: Vec<Bf16> = scores.iter().map(|&s| Bf16::from_f32((s - max).exp())).collect();
+        // e^{x_i - max} in bf16, as produced by the exp stage;
         // Σ e^{x_i} accumulated in bf16 precision (FP adder tree output).
-        let sum: f32 = exps.iter().map(|e| e.to_f32()).sum();
+        let exp_bf16 = |s: f32| Bf16::from_f32((s - max).exp());
+        let sum: f32 = scores.iter().map(|&s| exp_bf16(s).to_f32()).sum();
         let sum = Bf16::from_f32(sum);
         let (e_sum, m_sum) = (sum.unbiased_exponent(), i32::from(sum.mantissa()));
 
-        exps.iter()
-            .map(|&e| {
-                if e.is_zero() {
-                    return self.max_code();
-                }
+        for (o, &s) in out.iter_mut().zip(scores) {
+            let e = exp_bf16(s);
+            let code = if e.is_zero() {
+                self.max_code()
+            } else {
                 let (e_i, m_i) = (e.unbiased_exponent(), i32::from(e.mantissa()));
                 // Eq. (3): integer exponent subtraction + mantissa comparator.
                 let diff = m_i - m_sum;
                 let correction = if diff.abs() >= 64 { diff.signum() } else { 0 };
                 let log2_p = (e_i - e_sum) + correction;
                 // log2(p) <= 0 up to the ±1 mantissa approximation; clip.
-                let a = (-log2_p).clamp(0, i32::from(self.max_code()));
-                a as u8
-            })
-            .collect()
-    }
-
-    /// The approximated attention weights `2^{−a_i}`.
-    pub fn probs(&self, scores: &[f32]) -> Vec<f32> {
-        self.codes(scores).into_iter().map(|a| exp2i(-i32::from(a))).collect()
+                (-log2_p).clamp(0, i32::from(self.max_code())) as u8
+            };
+            emit(o, code);
+        }
     }
 
     /// Shift-and-accumulate `Attn·V` (Fig. 5(e)): `Σ_j V_j · 2^{−a_j}`.
@@ -253,6 +293,26 @@ mod tests {
             }
         }
         assert!(e_norm <= e_raw * 1.05, "norm {e_norm} vs raw {e_raw}");
+    }
+
+    #[test]
+    fn into_variants_and_code_prob_pairing_agree() {
+        let sm = Log2Softmax::new(5);
+        let mut rng = TensorRng::seed(13);
+        for len in [1usize, 2, 7, 33] {
+            let scores: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 2.0)).collect();
+            let mut codes = vec![0u8; len];
+            sm.codes_into(&scores, &mut codes);
+            assert_eq!(codes, sm.codes(&scores));
+            let mut probs = vec![0.0f32; len];
+            sm.probs_into(&scores, &mut probs);
+            assert_eq!(probs, sm.probs(&scores));
+            // The invariant the hardware model relies on: every weight is
+            // exactly 2^-code for the code of the same score.
+            for (&p, &a) in probs.iter().zip(&codes) {
+                assert_eq!(p, exp2i(-i32::from(a)));
+            }
+        }
     }
 
     #[test]

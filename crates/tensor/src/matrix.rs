@@ -142,7 +142,7 @@ impl Matrix {
     /// Copies column `c` into a new vector.
     pub fn col(&self, c: usize) -> Vec<f32> {
         assert!(c < self.cols, "col {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        self.data.chunks_exact(self.cols).map(|row| row[c]).collect()
     }
 
     /// Iterates over rows as slices.
@@ -151,11 +151,20 @@ impl Matrix {
     }
 
     /// Matrix transpose.
+    ///
+    /// Iterates in write-major order: each output row (one input column) is
+    /// filled left to right, so every store is sequential and only the
+    /// strided loads pay for the layout change.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        if self.rows == 0 || self.cols == 0 {
+            return out;
+        }
+        for (c, out_row) in out.data.chunks_exact_mut(self.rows).enumerate() {
+            let mut src = c;
+            for o in out_row.iter_mut() {
+                *o = self.data[src];
+                src += self.cols;
             }
         }
         out
@@ -231,12 +240,29 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.cols`.
     pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix–vector product `self · v` written into `out` — the
+    /// allocation-free kernel behind [`Matrix::matvec`], used by the token
+    /// decode hot path.
+    ///
+    /// Accumulates each output element in `f64` in strict element order
+    /// (the products of `f32` inputs are exact in `f64`, and the sum order
+    /// matches the allocating API), so results are bit-identical to
+    /// [`Matrix::matvec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols` or `out.len() != self.rows`.
+    pub fn matvec_into(&self, v: &[f32], out: &mut [f32]) {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
-        self.iter_rows()
-            .map(|row| {
-                row.iter().zip(v).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum::<f64>() as f32
-            })
-            .collect()
+        assert_eq!(out.len(), self.rows, "output length mismatch");
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols.max(1))) {
+            *o = crate::ops::dot(row, v);
+        }
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -419,6 +445,26 @@ mod tests {
         let got = a.matvec(&v);
         let expect = a.matmul(&Matrix::from_vec(3, 1, v.to_vec()));
         assert_eq!(got, expect.as_slice());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let a = Matrix::from_fn(5, 7, |r, c| (r as f32 - c as f32) * 0.31 + 0.07);
+        let v: Vec<f32> = (0..7).map(|i| (i as f32 - 3.0) * 1.7).collect();
+        let mut out = vec![0.0f32; 5];
+        a.matvec_into(&v, &mut out);
+        let reference = a.matvec(&v);
+        for (x, y) in out.iter().zip(&reference) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn matvec_into_rejects_bad_output_len() {
+        let a = Matrix::zeros(2, 2);
+        let mut out = vec![0.0f32; 3];
+        a.matvec_into(&[1.0, 2.0], &mut out);
     }
 
     #[test]

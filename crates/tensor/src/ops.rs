@@ -2,6 +2,46 @@
 
 use crate::Matrix;
 
+/// Dot product of two equal-length slices, accumulated in `f64`.
+///
+/// The inner kernel of every matvec and attention score in the workspace,
+/// unrolled 4-wide with four independent `f64` accumulators so the adds
+/// pipeline instead of forming one long dependency chain (the seed's
+/// `.sum::<f64>()` was latency-bound on exactly that chain).
+///
+/// On f32 transformer activations the reassociation is invisible after the
+/// final f32 cast: each `f32 × f32` product is *exact* in `f64`, so partial
+/// sums differ from the sequential order by at most a few ULPs of `f64` —
+/// ~29 bits below f32 precision. The decode golden tests
+/// (`crates/model/tests/decode_golden.rs`) pin the output of this kernel to
+/// logit bit patterns captured from the seed implementation.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    // Start at -0.0, matching `Iterator::sum::<f64>()` (which folds from
+    // -0.0 so an all-negative-zero sum keeps its sign) — the seed decoder
+    // summed with `.sum::<f64>()`, and bit-identity covers signed zeros.
+    let mut acc0 = -0.0f64;
+    let mut acc1 = -0.0f64;
+    let mut acc2 = -0.0f64;
+    let mut acc3 = -0.0f64;
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (a4, b4) in ac.by_ref().zip(bc.by_ref()) {
+        acc0 += f64::from(a4[0]) * f64::from(b4[0]);
+        acc1 += f64::from(a4[1]) * f64::from(b4[1]);
+        acc2 += f64::from(a4[2]) * f64::from(b4[2]);
+        acc3 += f64::from(a4[3]) * f64::from(b4[3]);
+    }
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+        acc0 += f64::from(x) * f64::from(y);
+    }
+    ((acc0 + acc1) + (acc2 + acc3)) as f32
+}
+
 /// LayerNorm over the last dimension of each row, with learnable gain and
 /// bias (the OPT family uses LayerNorm).
 ///
@@ -13,17 +53,27 @@ pub fn layer_norm(x: &Matrix, gain: &[f32], bias: &[f32], eps: f32) -> Matrix {
     assert_eq!(bias.len(), x.cols(), "bias length mismatch");
     let mut out = Matrix::zeros(x.rows(), x.cols());
     for r in 0..x.rows() {
-        let row = x.row(r);
-        let mean = row.iter().map(|&v| f64::from(v)).sum::<f64>() / row.len() as f64;
-        let var =
-            row.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / row.len() as f64;
-        let inv = 1.0 / (var + f64::from(eps)).sqrt();
-        let out_row = out.row_mut(r);
-        for (i, &v) in row.iter().enumerate() {
-            out_row[i] = (((f64::from(v) - mean) * inv) as f32) * gain[i] + bias[i];
-        }
+        layer_norm_into(x.row(r), gain, bias, eps, out.row_mut(r));
     }
     out
+}
+
+/// LayerNorm of a single row written into a caller-provided slice — the
+/// allocation-free kernel behind [`layer_norm`].
+///
+/// # Panics
+///
+/// Panics if `gain`, `bias` or `out` lengths differ from `x`.
+pub fn layer_norm_into(x: &[f32], gain: &[f32], bias: &[f32], eps: f32, out: &mut [f32]) {
+    assert_eq!(gain.len(), x.len(), "gain length mismatch");
+    assert_eq!(bias.len(), x.len(), "bias length mismatch");
+    assert_eq!(out.len(), x.len(), "output length mismatch");
+    let mean = x.iter().map(|&v| f64::from(v)).sum::<f64>() / x.len() as f64;
+    let var = x.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / x.len() as f64;
+    let inv = 1.0 / (var + f64::from(eps)).sqrt();
+    for (i, &v) in x.iter().enumerate() {
+        out[i] = (((f64::from(v) - mean) * inv) as f32) * gain[i] + bias[i];
+    }
 }
 
 /// RMSNorm over the last dimension of each row (the Llama family uses
@@ -36,15 +86,25 @@ pub fn rms_norm(x: &Matrix, gain: &[f32], eps: f32) -> Matrix {
     assert_eq!(gain.len(), x.cols(), "gain length mismatch");
     let mut out = Matrix::zeros(x.rows(), x.cols());
     for r in 0..x.rows() {
-        let row = x.row(r);
-        let ms = row.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>() / row.len() as f64;
-        let inv = 1.0 / (ms + f64::from(eps)).sqrt();
-        let out_row = out.row_mut(r);
-        for (i, &v) in row.iter().enumerate() {
-            out_row[i] = ((f64::from(v) * inv) as f32) * gain[i];
-        }
+        rms_norm_into(x.row(r), gain, eps, out.row_mut(r));
     }
     out
+}
+
+/// RMSNorm of a single row written into a caller-provided slice — the
+/// allocation-free kernel behind [`rms_norm`].
+///
+/// # Panics
+///
+/// Panics if `gain` or `out` lengths differ from `x`.
+pub fn rms_norm_into(x: &[f32], gain: &[f32], eps: f32, out: &mut [f32]) {
+    assert_eq!(gain.len(), x.len(), "gain length mismatch");
+    assert_eq!(out.len(), x.len(), "output length mismatch");
+    let ms = x.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>() / x.len() as f64;
+    let inv = 1.0 / (ms + f64::from(eps)).sqrt();
+    for (i, &v) in x.iter().enumerate() {
+        out[i] = ((f64::from(v) * inv) as f32) * gain[i];
+    }
 }
 
 /// Numerically stable softmax applied independently to each row.
@@ -169,6 +229,47 @@ mod tests {
 
     fn assert_close(a: f32, b: f32, tol: f32) {
         assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn dot_matches_sequential_sum() {
+        // Lengths around the 4-wide unroll boundary. The 4-accumulator
+        // reduction may differ from the sequential f64 sum by ULPs of f64 —
+        // far below f32 resolution — so the f32 results must agree to at
+        // most one ULP (and exactly, for every case tried here).
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 15, 33, 128] {
+            let a: Vec<f32> = (0..len).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.37).collect();
+            let b: Vec<f32> = (0..len).map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.19).collect();
+            let reference =
+                a.iter().zip(&b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum::<f64>() as f32;
+            let got = dot(&a, &b);
+            assert!(
+                got.to_bits().abs_diff(reference.to_bits()) <= 1,
+                "len {len}: {got} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_is_exact_on_integer_values() {
+        // Integer-valued products sum exactly in f64 under any association.
+        let a: Vec<f32> = (0..37).map(|i| (i % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i % 7) as f32 - 3.0).collect();
+        let exact: f64 = a.iter().zip(&b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
+        assert_eq!(dot(&a, &b), exact as f32);
+        assert_eq!(dot(&[], &[]).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn norm_into_matches_matrix_norms() {
+        let x = Matrix::from_rows(&[&[1.0, -2.0, 3.5, 0.25]]);
+        let gain = [1.5, 0.5, 2.0, 1.0];
+        let bias = [0.1, -0.2, 0.0, 0.3];
+        let mut out = [0.0f32; 4];
+        layer_norm_into(x.row(0), &gain, &bias, 1e-5, &mut out);
+        assert_eq!(out, layer_norm(&x, &gain, &bias, 1e-5).row(0));
+        rms_norm_into(x.row(0), &gain, 1e-5, &mut out);
+        assert_eq!(out, rms_norm(&x, &gain, 1e-5).row(0));
     }
 
     #[test]

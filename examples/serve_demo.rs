@@ -13,8 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = pipeline.student();
     println!("serving {model:?}");
 
-    let mut engine = ServeEngine::new(model, ServeConfig { max_batch: 4, max_tokens: 16 })
-        .with_accelerator(Accelerator::new(pipeline.operating_point().accelerator_kind()));
+    let mut engine = ServeEngine::new(
+        model,
+        ServeConfig { max_batch: 4, max_tokens: 16, ..ServeConfig::default() },
+    )
+    .with_accelerator(Accelerator::new(pipeline.operating_point().accelerator_kind()));
 
     // Four requests arrive up front...
     let initial: [&[u32]; 4] = [&[1, 2, 3], &[9, 8, 7], &[5], &[30, 31, 32, 33]];
