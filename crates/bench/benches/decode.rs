@@ -7,7 +7,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use opal_model::{Model, ModelConfig, QuantScheme};
-use opal_serve::{ServeConfig, ServeEngine};
+use opal_serve::{ServeConfig, ServeEngine, StepMode};
 use opal_tensor::ops;
 
 fn bench_decode_paths(c: &mut Criterion) {
@@ -46,10 +46,21 @@ fn bench_decode_paths(c: &mut Criterion) {
 fn bench_parallel_step(c: &mut Criterion) {
     let model = Model::new(ModelConfig::tiny(), QuantScheme::bf16(), 22).expect("valid scheme");
     let mut group = c.benchmark_group("serve_step_batch16_8tok");
-    for threads in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+    // Auto at each thread count (what deployments run), then the forced
+    // dispatchers at 4 threads: pool-vs-scoped prices the per-step spawn
+    // overhead the persistent pool removes, cores notwithstanding.
+    let cases: [(&str, usize, StepMode); 5] = [
+        ("auto-1t", 1, StepMode::Auto),
+        ("auto-2t", 2, StepMode::Auto),
+        ("auto-4t", 4, StepMode::Auto),
+        ("pool-4t", 4, StepMode::ForcePool),
+        ("scoped-4t", 4, StepMode::ForceScoped),
+    ];
+    for (name, threads, step_mode) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &threads, |b, &threads| {
             b.iter(|| {
-                let config = ServeConfig { max_batch: 16, max_tokens: 8, num_threads: threads };
+                let config =
+                    ServeConfig { max_batch: 16, max_tokens: 8, num_threads: threads, step_mode };
                 let mut engine = ServeEngine::new(&model, config);
                 for i in 0..16u32 {
                     engine.submit(black_box(&[1 + i, 2, 3])).unwrap();

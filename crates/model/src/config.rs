@@ -129,7 +129,7 @@ impl ModelConfig {
     /// Panics if `d_model` is not divisible by `n_heads`.
     pub fn head_dim(&self) -> usize {
         assert!(
-            self.d_model % self.n_heads == 0,
+            self.d_model.is_multiple_of(self.n_heads),
             "d_model {} not divisible by n_heads {}",
             self.d_model,
             self.n_heads

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use opal_quant::{QuantError, Quantizer};
+use opal_quant::{EncodeScratch, QuantError, Quantizer};
 use opal_softmax::Log2Softmax;
 use opal_tensor::ops;
 use opal_tensor::Matrix;
@@ -206,6 +206,11 @@ struct ScratchSpace {
     hn: Vec<f32>,
     /// Next-token logits, `vocab`.
     logits: Vec<f32>,
+    /// Quantizer encode workspace (block plans, sort buffers) for the
+    /// tensor-global formats; block-local formats ignore it. Owned per
+    /// sequence like every other scratch buffer, so quantized decode steps
+    /// stay allocation-free and thread-isolated.
+    quant: EncodeScratch,
 }
 
 impl ScratchSpace {
@@ -231,6 +236,7 @@ impl ScratchSpace {
             down: vec![0.0; d],
             hn: vec![0.0; d],
             logits: vec![0.0; config.vocab],
+            quant: EncodeScratch::new(),
         }
     }
 }
@@ -514,7 +520,7 @@ impl Model {
             if let Some(rec) = recorder.as_deref_mut() {
                 rec.record(l, Site::QkvInput, &st.x);
             }
-            self.quant_low_into(&st.x, &mut st.xq);
+            self.quant_low_into(&st.x, &mut st.xq, &mut st.quant);
             lw.wq_t.matvec_into(&st.xq, &mut st.q);
             lw.wk_t.matvec_into(&st.xq, &mut st.k);
             lw.wv_t.matvec_into(&st.xq, &mut st.v);
@@ -528,12 +534,12 @@ impl Model {
                 rec.record(l, Site::Key, &st.k);
                 rec.record(l, Site::Value, &st.v);
             }
-            self.quant_high_into(&st.q, &mut st.qq);
+            self.quant_high_into(&st.q, &mut st.qq, &mut st.quant);
             let cache = &mut layers[l];
             let k_start = grow_row(&mut cache.k, d);
-            self.quant_high_into(&st.k, &mut cache.k[k_start..]);
+            self.quant_high_into(&st.k, &mut cache.k[k_start..], &mut st.quant);
             let v_start = grow_row(&mut cache.v, d);
-            self.quant_high_into(&st.v, &mut cache.v[v_start..]);
+            self.quant_high_into(&st.v, &mut cache.v[v_start..], &mut st.quant);
 
             st.ctx.fill(0.0);
             for head in 0..self.config.n_heads {
@@ -558,7 +564,7 @@ impl Model {
             if let Some(rec) = recorder.as_deref_mut() {
                 rec.record(l, Site::ProjInput, &st.ctx);
             }
-            self.quant_high_into(&st.ctx, &mut st.ctxq);
+            self.quant_high_into(&st.ctx, &mut st.ctxq, &mut st.quant);
             lw.wo_t.matvec_into(&st.ctxq, &mut st.attn_out);
             for (hh, oo) in st.h.iter_mut().zip(&st.attn_out) {
                 *hh += oo;
@@ -569,7 +575,7 @@ impl Model {
             if let Some(rec) = recorder.as_deref_mut() {
                 rec.record(l, Site::Fc1Input, &st.x);
             }
-            self.quant_low_into(&st.x, &mut st.xq);
+            self.quant_low_into(&st.x, &mut st.xq, &mut st.quant);
             // The activation always lands in `st.gate`.
             match &lw.w_gate_t {
                 Some(gate) => {
@@ -589,7 +595,7 @@ impl Model {
             if let Some(rec) = recorder.as_deref_mut() {
                 rec.record(l, Site::Fc2Input, &st.gate);
             }
-            self.quant_high_into(&st.gate, &mut st.act_q);
+            self.quant_high_into(&st.gate, &mut st.act_q, &mut st.quant);
             lw.w_down_t.matvec_into(&st.act_q, &mut st.down);
             for (hh, dd) in st.h.iter_mut().zip(&st.down) {
                 *hh += dd;
@@ -652,16 +658,16 @@ impl Model {
         out
     }
 
-    fn quant_low_into(&self, x: &[f32], out: &mut [f32]) {
+    fn quant_low_into(&self, x: &[f32], out: &mut [f32], scratch: &mut EncodeScratch) {
         match &self.low_q {
-            Some(q) => q.quantize_dequantize_into(x, out),
+            Some(q) => q.quantize_dequantize_scratch(x, out, scratch),
             None => bf16_roundtrip_into(x, out),
         }
     }
 
-    fn quant_high_into(&self, x: &[f32], out: &mut [f32]) {
+    fn quant_high_into(&self, x: &[f32], out: &mut [f32], scratch: &mut EncodeScratch) {
         match &self.high_q {
-            Some(q) => q.quantize_dequantize_into(x, out),
+            Some(q) => q.quantize_dequantize_scratch(x, out, scratch),
             None => bf16_roundtrip_into(x, out),
         }
     }

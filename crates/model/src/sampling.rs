@@ -24,6 +24,43 @@ pub enum Sampler {
 }
 
 impl Sampler {
+    /// Checks the sampler's parameters, returning a description of the
+    /// first problem found.
+    ///
+    /// [`Sampler::pick`] `panic!`s on invalid parameters — acceptable in a
+    /// single-sequence loop, fatal inside a batch engine where the panic
+    /// would surface on a worker thread mid-step and poison every other
+    /// sequence in flight. Schedulers call `validate` at admission time and
+    /// reject the request instead; the conditions here are exactly the ones
+    /// `pick` asserts (plus finiteness of `temperature`, which `pick` only
+    /// rejects for NaN).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match *self {
+            Sampler::Greedy => Ok(()),
+            Sampler::Temperature(t) => {
+                if t > 0.0 && t.is_finite() {
+                    Ok(())
+                } else {
+                    Err("temperature must be positive and finite")
+                }
+            }
+            Sampler::TopK(k) => {
+                if k > 0 {
+                    Ok(())
+                } else {
+                    Err("top-k requires k >= 1")
+                }
+            }
+            Sampler::TopP(p) => {
+                if p > 0.0 && p <= 1.0 {
+                    Ok(())
+                } else {
+                    Err("top-p requires p in (0, 1]")
+                }
+            }
+        }
+    }
+
     /// Chooses a token from `logits`.
     ///
     /// # Panics
@@ -164,5 +201,33 @@ mod tests {
     fn rejects_zero_temperature() {
         let mut rng = TensorRng::seed(0);
         Sampler::Temperature(0.0).pick(&[1.0, 2.0], &mut rng);
+    }
+
+    #[test]
+    fn validate_matches_pick_plus_temperature_finiteness() {
+        for ok in [
+            Sampler::Greedy,
+            Sampler::Temperature(0.01),
+            Sampler::Temperature(5.0),
+            Sampler::TopK(1),
+            Sampler::TopK(1000),
+            Sampler::TopP(f32::MIN_POSITIVE),
+            Sampler::TopP(1.0),
+        ] {
+            assert_eq!(ok.validate(), Ok(()), "{ok:?}");
+        }
+        for bad in [
+            Sampler::Temperature(0.0),
+            Sampler::Temperature(-1.0),
+            Sampler::Temperature(f32::NAN),
+            Sampler::Temperature(f32::INFINITY),
+            Sampler::TopK(0),
+            Sampler::TopP(0.0),
+            Sampler::TopP(-0.5),
+            Sampler::TopP(1.5),
+            Sampler::TopP(f32::NAN),
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
     }
 }

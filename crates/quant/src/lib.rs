@@ -49,7 +49,7 @@ pub mod packing;
 pub use error::QuantError;
 pub use minmax::MinMaxQuantizer;
 pub use mxint::{MxIntBlock, MxIntQuantizer};
-pub use mxopal::{MxOpalBlock, MxOpalQuantizer, MxOpalTensor};
+pub use mxopal::{EncodeScratch, MxOpalBlock, MxOpalQuantizer, MxOpalTensor};
 pub use owq::{OwqQuantizer, OwqWeights};
 
 /// A lossy numeric format: quantize a slice and reconstruct it.
@@ -74,6 +74,25 @@ pub trait Quantizer {
     fn quantize_dequantize_into(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(out.len(), x.len(), "output length mismatch");
         out.copy_from_slice(&self.quantize_dequantize(x));
+    }
+
+    /// As [`Quantizer::quantize_dequantize_into`], reusing a caller-owned
+    /// [`EncodeScratch`] workspace.
+    ///
+    /// Block-local formats (MinMax, MXINT) are already allocation-free
+    /// through `quantize_dequantize_into` and ignore the workspace — the
+    /// default implementation simply delegates. Tensor-global encoders
+    /// (MX-OPAL, whose per-block plans depend on a tensor-wide scale)
+    /// override this to stage those plans in `scratch`, making the token
+    /// decode loop allocation-free for every format. Values are identical
+    /// to the allocating API either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != x.len()`.
+    fn quantize_dequantize_scratch(&self, x: &[f32], out: &mut [f32], scratch: &mut EncodeScratch) {
+        let _ = scratch;
+        self.quantize_dequantize_into(x, out);
     }
 
     /// Short human-readable name for reports ("MXINT4", "MX-OPAL3", …).

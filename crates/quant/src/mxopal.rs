@@ -1,8 +1,48 @@
 //! MX-OPAL: the paper's outlier-preserved microscaling format (§3, Fig. 2(c)).
 
+use std::cmp::Ordering;
+
 use opal_numerics::{shift_dequantize, shift_quantize, Bf16, Rounding};
 
 use crate::{QuantError, Quantizer};
+
+/// Reusable workspace for the allocation-free MX-OPAL round trip
+/// ([`Quantizer::quantize_dequantize_scratch`]).
+///
+/// The tensor-global encoder needs two passes — per-block outlier/scale
+/// plans first, then a tensor-wide scale before any element can be encoded
+/// — so unlike the block-local formats it must stage intermediate state
+/// somewhere. This type owns that state: the bfloat16 image of the row, the
+/// top-magnitude selection buffer, and the per-block scale/outlier plans.
+/// Buffers grow to the largest row ever encoded and are reused verbatim
+/// afterwards, so a steady-state decode loop that owns one `EncodeScratch`
+/// per sequence performs no heap allocation in the quantizer.
+///
+/// One workspace may be shared across quantizers of different widths and
+/// block sizes (each call resets it); it carries no encoding state between
+/// calls.
+#[derive(Clone, Debug, Default)]
+pub struct EncodeScratch {
+    /// bf16 image of the input row.
+    bf: Vec<Bf16>,
+    /// Block-local indices of the top `n + 1` magnitudes, in stable rank
+    /// order (the prefix of the allocating path's full descending sort).
+    top: Vec<usize>,
+    /// Natural shared scale per block (`None` for an all-zero block).
+    block_scales: Vec<Option<i32>>,
+    /// Preserved-outlier positions (tensor-global indices), grouped by
+    /// block.
+    outlier_idx: Vec<usize>,
+    /// Per-block end offsets into `outlier_idx`.
+    outlier_end: Vec<usize>,
+}
+
+impl EncodeScratch {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Number of bits used for each block's shared-scale *offset* against the
 /// tensor-wise global scale (§3.1: "store a 4-bit block-wise offset").
@@ -261,11 +301,122 @@ impl MxOpalQuantizer {
             len: x.len(),
         }
     }
+
+    /// The fused, allocation-free round trip behind
+    /// [`Quantizer::quantize_dequantize_scratch`]: encodes and reconstructs
+    /// `x` in two passes over `scratch`, producing bit-for-bit the values of
+    /// `self.quantize(x).dequantize()` without building an [`MxOpalTensor`].
+    ///
+    /// Pass 1 ranks each block's magnitudes with a stable top-`(n+1)`
+    /// selection (the prefix of the allocating path's full descending sort,
+    /// with the same earlier-index-wins tie-break), recording outlier
+    /// positions and the block's natural scale. Pass 2 clamps every block
+    /// scale against the tensor-global scale and round-trips non-outliers
+    /// through the shift datapath; preserved outliers reconstruct to their
+    /// exact bfloat16 value. Equivalence to the allocating encoder is pinned
+    /// by `tests/proptests.rs` across bit-widths, block sizes, outlier
+    /// counts and rounding modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != x.len()`.
+    pub fn quantize_dequantize_fused(&self, x: &[f32], out: &mut [f32], s: &mut EncodeScratch) {
+        assert_eq!(out.len(), x.len(), "output length mismatch");
+        s.bf.clear();
+        s.bf.extend(x.iter().map(|&v| Bf16::from_f32(v)));
+        s.block_scales.clear();
+        s.outlier_idx.clear();
+        s.outlier_end.clear();
+
+        // Pass 1: per-block outlier selection and natural scales, tracking
+        // the scale range for the global-scale rule.
+        let mut scale_min: Option<i32> = None;
+        let mut scale_max: Option<i32> = None;
+        let mut start = 0;
+        while start < x.len() {
+            let end = (start + self.block_size).min(x.len());
+            let n = self.outliers.min(end - start - 1);
+            // Stable top-(n+1) selection over |bf16| — element j displaces
+            // kept entries only when strictly larger, so equal magnitudes
+            // keep ascending-index order exactly like the stable sort.
+            s.top.clear();
+            for j in 0..end - start {
+                let v = s.bf[start + j];
+                let mut pos = s.top.len();
+                for (t, &e) in s.top.iter().enumerate() {
+                    if s.bf[start + e].abs_cmp(v) == Ordering::Less {
+                        pos = t;
+                        break;
+                    }
+                }
+                if pos <= n {
+                    s.top.insert(pos, j);
+                    s.top.truncate(n + 1);
+                }
+            }
+            // Shared scale = exponent of the (n+1)-th largest magnitude.
+            let scale_elem = s.bf[start + s.top[n]];
+            let scale = if scale_elem.is_zero() || scale_elem.is_subnormal() {
+                None
+            } else {
+                Some(scale_elem.unbiased_exponent())
+            };
+            if let Some(sc) = scale {
+                scale_min = Some(scale_min.map_or(sc, |m| m.min(sc)));
+                scale_max = Some(scale_max.map_or(sc, |m| m.max(sc)));
+            }
+            s.block_scales.push(scale);
+            s.outlier_idx.extend(s.top[..n].iter().map(|&j| start + j));
+            s.outlier_end.push(s.outlier_idx.len());
+            start = end;
+        }
+
+        // Global scale: same rule as `quantize` — every block offset must
+        // fit in 4 bits, low blocks clamp upward.
+        let global_scale = match (scale_min, scale_max) {
+            (Some(lo), Some(hi)) => lo.max(hi - MAX_OFFSET),
+            _ => 0,
+        };
+
+        // Pass 2: round-trip each block at its clamped scale, then restore
+        // the preserved outliers exactly.
+        let mut outlier_start = 0;
+        for (b, block_scale) in s.block_scales.iter().enumerate() {
+            let start = b * self.block_size;
+            let end = (start + self.block_size).min(x.len());
+            let scale = block_scale
+                .map(|sc| sc.clamp(global_scale, global_scale + MAX_OFFSET))
+                .unwrap_or(global_scale);
+            for (o, &v) in out[start..end].iter_mut().zip(&s.bf[start..end]) {
+                *o = shift_dequantize(
+                    shift_quantize(v, scale, self.bits, self.rounding),
+                    scale,
+                    self.bits,
+                );
+            }
+            let outlier_end = s.outlier_end[b];
+            for &i in &s.outlier_idx[outlier_start..outlier_end] {
+                out[i] = s.bf[i].to_f32();
+            }
+            outlier_start = outlier_end;
+        }
+    }
 }
 
 impl Quantizer for MxOpalQuantizer {
+    /// Round-trips through the structured [`MxOpalQuantizer::quantize`] /
+    /// [`MxOpalTensor::dequantize`] pair — the allocating specification the
+    /// fused scratch path is property-tested against.
     fn quantize_dequantize(&self, x: &[f32]) -> Vec<f32> {
         self.quantize(x).dequantize()
+    }
+
+    fn quantize_dequantize_into(&self, x: &[f32], out: &mut [f32]) {
+        self.quantize_dequantize_fused(x, out, &mut EncodeScratch::new());
+    }
+
+    fn quantize_dequantize_scratch(&self, x: &[f32], out: &mut [f32], scratch: &mut EncodeScratch) {
+        self.quantize_dequantize_fused(x, out, scratch);
     }
 
     fn name(&self) -> String {
@@ -298,6 +449,22 @@ mod tests {
             (0..k).map(|i| (((i * 37 + 11) % 41) as f32 / 41.0 - 0.5) * 0.8).collect();
         x[k / 3] = 24.0; // single large outlier
         x
+    }
+
+    /// Wild inter-block dynamic range: block scales span >> 15 exponents,
+    /// forcing the 4-bit offset clamp.
+    fn wild_dynamic_range() -> Vec<f32> {
+        (0..64)
+            .map(|i| {
+                if i < 16 {
+                    1e-6 * (1.0 + i as f32 * 0.01)
+                } else if i < 32 {
+                    1e6 * (1.0 + i as f32 * 0.01)
+                } else {
+                    (i as f32 - 48.0) * 0.1
+                }
+            })
+            .collect()
     }
 
     #[test]
@@ -371,17 +538,7 @@ mod tests {
     #[test]
     fn offsets_fit_four_bits() {
         let q = MxOpalQuantizer::new(4, 16, 1).unwrap();
-        // Wild inter-block dynamic range: block scales span >> 15 exponents.
-        let mut x = vec![0.0f32; 64];
-        for i in 0..16 {
-            x[i] = 1e-6 * (1.0 + i as f32 * 0.01);
-        }
-        for i in 16..32 {
-            x[i] = 1e6 * (1.0 + i as f32 * 0.01);
-        }
-        for i in 32..64 {
-            x[i] = (i as f32 - 48.0) * 0.1;
-        }
+        let x = wild_dynamic_range();
         let t = q.quantize(&x);
         for b in &t.blocks {
             assert!(i32::from(b.scale_offset) <= MAX_OFFSET);
@@ -430,6 +587,73 @@ mod tests {
         let ratio = q.storage_bits(128 * 64) as f64 / mxint.storage_bits(128 * 64) as f64;
         let eq1 = crate::overhead::omem(128, 4, 8);
         assert!((ratio - eq1).abs() < 0.03, "packed ratio {ratio} vs Eq.(1) {eq1}");
+    }
+
+    /// Bit-exact comparison of the fused scratch path against the
+    /// allocating specification.
+    fn assert_fused_matches(q: &MxOpalQuantizer, x: &[f32], scratch: &mut EncodeScratch) {
+        let spec = q.quantize_dequantize(x);
+        let mut fused = vec![f32::NAN; x.len()];
+        q.quantize_dequantize_fused(x, &mut fused, scratch);
+        let spec_bits: Vec<u32> = spec.iter().map(|v| v.to_bits()).collect();
+        let fused_bits: Vec<u32> = fused.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(spec_bits, fused_bits, "{} len {}", q.name(), x.len());
+    }
+
+    #[test]
+    fn fused_matches_allocating_on_outlier_data() {
+        let mut scratch = EncodeScratch::new();
+        for bits in [2u32, 3, 4, 5, 7, 8] {
+            let q = MxOpalQuantizer::new(bits, 128, 4).unwrap();
+            assert_fused_matches(&q, &outlier_block(128), &mut scratch);
+            assert_fused_matches(&q, &outlier_block(300), &mut scratch);
+        }
+    }
+
+    #[test]
+    fn fused_matches_on_wild_dynamic_range() {
+        // The 4-bit offset clamp path.
+        let q = MxOpalQuantizer::new(4, 16, 1).unwrap();
+        assert_fused_matches(&q, &wild_dynamic_range(), &mut EncodeScratch::new());
+    }
+
+    #[test]
+    fn fused_handles_ties_zeros_and_short_blocks() {
+        let mut scratch = EncodeScratch::new();
+        let q = MxOpalQuantizer::new(3, 8, 2).unwrap();
+        // Repeated magnitudes force the tie-break (stable sort keeps the
+        // earlier index as the outlier) to matter.
+        let ties = [2.0f32, -2.0, 2.0, 2.0, -2.0, 0.5, 0.5, 0.25, 2.0, -2.0, 0.125];
+        assert_fused_matches(&q, &ties, &mut scratch);
+        assert_fused_matches(&q, &[0.0; 24], &mut scratch);
+        assert_fused_matches(&q, &[3.5], &mut scratch);
+        assert_fused_matches(&q, &[], &mut scratch);
+        // Subnormal-only block: natural scale is None.
+        assert_fused_matches(&q, &[1e-41, -1e-41, 0.0, 1e-40], &mut scratch);
+    }
+
+    #[test]
+    fn scratch_reuse_across_lengths_and_quantizers() {
+        // One workspace serving rows of different widths and two different
+        // quantizer configurations, as the model's low/high sites do.
+        let mut scratch = EncodeScratch::new();
+        let low = MxOpalQuantizer::new(4, 128, 4).unwrap();
+        let high = MxOpalQuantizer::new(7, 128, 4).unwrap();
+        for round in 0..3 {
+            for len in [352usize, 128, 96, 500] {
+                let x: Vec<f32> = (0..len)
+                    .map(|i| (((i * 29 + round * 7 + 3) % 83) as f32 - 41.0) * 0.07)
+                    .collect();
+                assert_fused_matches(&low, &x, &mut scratch);
+                assert_fused_matches(&high, &x, &mut scratch);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_with_truncate_rounding() {
+        let q = MxOpalQuantizer::with_rounding(4, 32, 2, Rounding::Truncate).unwrap();
+        assert_fused_matches(&q, &outlier_block(100), &mut EncodeScratch::new());
     }
 
     #[test]

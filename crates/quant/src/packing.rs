@@ -165,7 +165,7 @@ pub fn unpack(bytes: &[u8]) -> Result<MxOpalTensor, UnpackError> {
         let this_len = remaining.min(k);
         let scale_offset = r.pull(4)? as u8;
         let n = r.pull(8)? as usize;
-        if n >= this_len.max(1) + 1 {
+        if n > this_len.max(1) {
             return Err(UnpackError::BadHeader("outlier count"));
         }
         let mut outliers = Vec::with_capacity(n);

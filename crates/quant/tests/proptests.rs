@@ -1,6 +1,7 @@
 //! Property-based tests of the quantizer invariants.
 
-use opal_quant::{MinMaxQuantizer, MxIntQuantizer, MxOpalQuantizer, Quantizer};
+use opal_numerics::Rounding;
+use opal_quant::{EncodeScratch, MinMaxQuantizer, MxIntQuantizer, MxOpalQuantizer, Quantizer};
 use opal_tensor::stats::{min_max, mse};
 use proptest::prelude::*;
 
@@ -42,6 +43,63 @@ proptest! {
                 let reference = q.quantize_dequantize(&x[..len]);
                 prop_assert_eq!(&out, &reference, "{} len {}", q.name(), len);
             }
+        }
+    }
+
+    #[test]
+    fn mxopal_scratch_path_is_bit_identical_to_allocating(
+        x in block(300),
+        bits in 2u32..=8,
+        block_size in 1usize..40,
+        n in 0usize..8,
+        truncate in 0u32..2,
+    ) {
+        // The fused two-pass encoder behind `quantize_dequantize_scratch`
+        // (and the MX-OPAL `quantize_dequantize_into` override) is an
+        // independent rewrite of the tensor-global spec: same outlier
+        // selection under stable tie-breaks, same (n+1)-th-magnitude block
+        // scales, same 4-bit global-offset clamp. Compare raw f32 bits so
+        // even a -0.0/0.0 divergence would fail. The scratch workspace is
+        // deliberately reused across every length and configuration to
+        // prove it carries no state between calls.
+        let rounding = if truncate == 1 { Rounding::Truncate } else { Rounding::NearestEven };
+        let n = n.min(block_size - 1);
+        let q = MxOpalQuantizer::with_rounding(bits, block_size, n, rounding).unwrap();
+        let mut scratch = EncodeScratch::new();
+        for len in [0usize, 1, block_size, block_size + 1, 2 * block_size + 1, 300] {
+            let len = len.min(x.len());
+            let spec = q.quantize_dequantize(&x[..len]);
+            let mut fused = vec![f32::NAN; len];
+            q.quantize_dequantize_scratch(&x[..len], &mut fused, &mut scratch);
+            let mut into = vec![f32::NAN; len];
+            q.quantize_dequantize_into(&x[..len], &mut into);
+            let spec_bits: Vec<u32> = spec.iter().map(|v| v.to_bits()).collect();
+            let fused_bits: Vec<u32> = fused.iter().map(|v| v.to_bits()).collect();
+            let into_bits: Vec<u32> = into.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&spec_bits, &fused_bits, "scratch path diverged, len {}", len);
+            prop_assert_eq!(&spec_bits, &into_bits, "into path diverged, len {}", len);
+        }
+    }
+
+    #[test]
+    fn scratch_trait_path_matches_allocating_for_all_formats(
+        x in block(96),
+        bits in 2u32..=8,
+    ) {
+        // Formats without an override fall through to
+        // `quantize_dequantize_into`; every implementation must agree with
+        // the allocating API through the scratch entry point the decode
+        // loop actually calls.
+        let quantizers: [Box<dyn Quantizer>; 3] = [
+            Box::new(MinMaxQuantizer::new(bits, 32).unwrap()),
+            Box::new(MxIntQuantizer::new(bits, 32).unwrap()),
+            Box::new(MxOpalQuantizer::new(bits, 32, 2).unwrap()),
+        ];
+        let mut scratch = EncodeScratch::new();
+        for q in &quantizers {
+            let mut out = vec![0.0f32; x.len()];
+            q.quantize_dequantize_scratch(&x, &mut out, &mut scratch);
+            prop_assert_eq!(&out, &q.quantize_dequantize(&x), "{}", q.name());
         }
     }
 

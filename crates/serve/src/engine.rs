@@ -8,6 +8,7 @@ use opal_model::sampling::Sampler;
 use opal_model::{DecodeState, Model};
 use opal_tensor::rng::TensorRng;
 
+use crate::pool::WorkerPool;
 use crate::report::{RequestReport, ServeReport};
 
 /// Per-request decoding policy: which [`Sampler`] picks each token, and the
@@ -91,6 +92,30 @@ impl std::fmt::Display for RequestId {
     }
 }
 
+/// How a multi-threaded decode step is dispatched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum StepMode {
+    /// Decide per step (the default): fan out across the persistent worker
+    /// pool only when the host has spare cores *and* every worker's chunk
+    /// carries enough per-token work to amortize the dispatch — otherwise
+    /// run the step on the caller's thread. This is what makes
+    /// `num_threads = 4` never slower than `num_threads = 1`: a tiny model,
+    /// a small batch, or a single-core host all fall back to the serial
+    /// path instead of paying wake-ups that dwarf the work.
+    #[default]
+    Auto,
+    /// Always fan out across the persistent pool when the batch has more
+    /// than one sequence, regardless of cores or model size. Used by tests
+    /// and benches to exercise the pool machinery deterministically (output
+    /// is identical to every other mode either way).
+    ForcePool,
+    /// Always fan out with per-step `std::thread::scope` workers — the
+    /// pre-pool dispatcher, kept as an A/B baseline so
+    /// `BENCH_decode.json` can price the spawn-per-step overhead the pool
+    /// removes.
+    ForceScoped,
+}
+
 /// Scheduler limits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -102,15 +127,17 @@ pub struct ServeConfig {
     pub max_tokens: usize,
     /// Worker threads for the batch decode step. `1` (the default) steps
     /// sequences on the caller's thread; larger values split the active
-    /// batch across `std::thread::scope` workers. Output is identical for
-    /// every thread count — each sequence owns its state, and results are
-    /// committed in batch order.
+    /// batch across the engine's persistent worker pool (subject to
+    /// [`StepMode`]). Output is identical for every thread count — each
+    /// sequence owns its state, and results are committed in batch order.
     pub num_threads: usize,
+    /// Dispatch policy for multi-threaded steps; see [`StepMode`].
+    pub step_mode: StepMode,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_batch: 8, max_tokens: 32, num_threads: 1 }
+        ServeConfig { max_batch: 8, max_tokens: 32, num_threads: 1, step_mode: StepMode::Auto }
     }
 }
 
@@ -128,6 +155,16 @@ pub enum ServeError {
     },
     /// A per-request token limit of zero was requested.
     ZeroTokenLimit,
+    /// The request's [`SamplingParams`] are invalid (non-positive or
+    /// non-finite temperature, `k == 0`, `p` outside `(0, 1]`).
+    ///
+    /// Caught at submission: letting such a request into the batch would
+    /// panic inside [`opal_model::sampling::Sampler::pick`] mid-step, on a
+    /// worker thread, taking every other in-flight sequence down with it.
+    InvalidSampling {
+        /// What is wrong with the parameters.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -138,6 +175,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "token {token} outside vocabulary of {vocab}")
             }
             ServeError::ZeroTokenLimit => write!(f, "token limit must be at least 1"),
+            ServeError::InvalidSampling { reason } => {
+                write!(f, "invalid sampling parameters: {reason}")
+            }
         }
     }
 }
@@ -168,7 +208,7 @@ struct Queued {
 /// [`DecodeState`] — its KV cache and scratch buffers — plus its sampler
 /// RNG, so sequences are fully isolated and can be stepped from different
 /// threads.
-struct Active {
+pub(crate) struct Active {
     id: RequestId,
     state: DecodeState,
     last_logits: Vec<f32>,
@@ -181,11 +221,29 @@ struct Active {
     admitted_step: u64,
 }
 
+/// Minimum matvec work (multiply-accumulates) a worker's chunk must carry
+/// for [`StepMode::Auto`] to hand it to a pool thread instead of running it
+/// inline.
+///
+/// 400k MACs is roughly 150–250 µs of scalar decode on one current core
+/// (the `llama7b-proxy128` config measures ≈580k MACs/token at ≈250 µs),
+/// an order of magnitude above the few-µs channel-send + wake-up cost of a
+/// dispatch — while the tiny test config (≈30k MACs/token) stays serial up
+/// to batch 13/worker, which is exactly the regime where PR 2's scoped
+/// threads lost to the single-threaded path.
+const FANOUT_MIN_MACS_PER_WORKER: u64 = 400_000;
+
+/// Matvec multiply-accumulates per decoded token: the decoder stack's
+/// weight MACs (identical to its parameter count) plus the unembedding row.
+fn approx_macs_per_token(config: &opal_model::ModelConfig) -> u64 {
+    config.decoder_params() + (config.d_model * config.vocab) as u64
+}
+
 /// Advances one sequence by one token: sample from the last logits, then —
 /// unless the sequence just hit its limit — run the next forward pass,
 /// reusing the `last_logits` buffer. Runs on worker threads; everything it
 /// touches is owned by the sequence.
-fn advance_sequence(model: &Model, seq: &mut Active) {
+pub(crate) fn advance_sequence(model: &Model, seq: &mut Active) {
     let token = seq.sampler.pick(&seq.last_logits, &mut seq.rng);
     seq.tokens.push(token);
     // A sequence that just hit its limit retires without another forward
@@ -207,11 +265,19 @@ fn advance_sequence(model: &Model, seq: &mut Active) {
 /// `OpalPipeline::generate` loop token-for-token at batch size one; each
 /// request may carry its own [`SamplingParams`] for temperature / top-k /
 /// top-p serving. With [`ServeConfig::num_threads`] > 1 the decode step
-/// fans out across scoped threads, one chunk of sequences per worker.
+/// fans out across the engine's persistent worker pool, one chunk of
+/// sequences per worker; the pool is spawned lazily by the first step that
+/// fans out and shut down (channels closed, threads joined) when the engine
+/// drops — even with requests still queued or decoding.
 pub struct ServeEngine<'m> {
     model: &'m Model,
     accelerator: Option<Accelerator>,
     config: ServeConfig,
+    /// Lazily-spawned persistent decode workers. Declared before `active`:
+    /// fields drop in declaration order, so the pool joins its threads
+    /// (which may be finishing a chunk if the engine is dropped during an
+    /// unwinding step) while the sequences they borrow are still alive.
+    pool: Option<WorkerPool>,
     pending: VecDeque<Queued>,
     active: Vec<Active>,
     finished: Vec<RequestReport>,
@@ -235,6 +301,7 @@ impl<'m> ServeEngine<'m> {
             model,
             accelerator: None,
             config,
+            pool: None,
             pending: VecDeque::new(),
             active: Vec::new(),
             finished: Vec::new(),
@@ -314,8 +381,11 @@ impl<'m> ServeEngine<'m> {
     ///
     /// # Errors
     ///
-    /// Rejects empty prompts, out-of-vocabulary tokens, and a zero token
-    /// limit.
+    /// Rejects empty prompts, out-of-vocabulary tokens, a zero token limit
+    /// (which could never retire sanely: the first step would sample a
+    /// token the limit says must not exist), and invalid sampling
+    /// parameters (which would panic mid-step on a worker thread instead
+    /// of failing at the API boundary).
     pub fn submit_request(&mut self, request: Request) -> Result<RequestId, ServeError> {
         if request.prompt.is_empty() {
             return Err(ServeError::EmptyPrompt);
@@ -323,6 +393,9 @@ impl<'m> ServeEngine<'m> {
         let limit = request.max_new_tokens.unwrap_or(self.config.max_tokens);
         if limit == 0 {
             return Err(ServeError::ZeroTokenLimit);
+        }
+        if let Err(reason) = request.sampling.sampler.validate() {
+            return Err(ServeError::InvalidSampling { reason });
         }
         let vocab = self.model.config().vocab;
         if let Some(&bad) = request.prompt.iter().find(|&&t| t as usize >= vocab) {
@@ -377,11 +450,14 @@ impl<'m> ServeEngine<'m> {
     /// hit their limit. A step with nothing to do is a no-op.
     ///
     /// With [`ServeConfig::num_threads`] > 1 the active batch is split into
-    /// contiguous chunks stepped by scoped worker threads. The model is
+    /// contiguous chunks stepped by the engine's persistent worker pool
+    /// (spawned lazily by the first step that fans out; [`StepMode::Auto`]
+    /// keeps small steps on the caller's thread entirely). The model is
     /// shared immutably; every mutable structure (KV cache, scratch,
     /// sampler RNG, output buffer) is owned by exactly one sequence, and
     /// energy accounting and retirement run after the join in batch order —
-    /// so results are deterministic and identical to `num_threads == 1`.
+    /// so results are deterministic and identical to `num_threads == 1`
+    /// under every [`StepMode`].
     pub fn step(&mut self) -> StepSummary {
         let admitted = self.admit();
         let mut summary = StepSummary { admitted, ..StepSummary::default() };
@@ -393,29 +469,51 @@ impl<'m> ServeEngine<'m> {
         }
 
         let model = self.model;
-        let workers = self.config.num_threads.min(self.active.len());
+        let workers = self.plan_workers();
         if workers <= 1 {
             for seq in &mut self.active {
                 advance_sequence(model, seq);
             }
         } else {
             let chunk_size = self.active.len().div_ceil(workers);
-            let mut chunks = self.active.chunks_mut(chunk_size);
-            let first = chunks.next();
-            std::thread::scope(|scope| {
-                for chunk in chunks.by_ref() {
-                    scope.spawn(move || {
-                        for seq in chunk {
-                            advance_sequence(model, seq);
-                        }
-                    });
-                }
-                // The caller's thread works the first chunk instead of
-                // idling at the join — one fewer spawn per step.
-                for seq in first.into_iter().flatten() {
-                    advance_sequence(model, seq);
-                }
-            });
+            if self.config.step_mode == StepMode::ForceScoped {
+                let mut chunks = self.active.chunks_mut(chunk_size);
+                let first = chunks.next();
+                std::thread::scope(|scope| {
+                    for chunk in chunks.by_ref() {
+                        scope.spawn(move || {
+                            for seq in chunk {
+                                advance_sequence(model, seq);
+                            }
+                        });
+                    }
+                    // The caller's thread works the first chunk instead of
+                    // idling at the join — one fewer spawn per step.
+                    for seq in first.into_iter().flatten() {
+                        advance_sequence(model, seq);
+                    }
+                });
+            } else {
+                // Pool size is fixed at first fan-out: `ForcePool` may use
+                // every configured thread, but `Auto` never plans beyond
+                // the host's cores — don't park threads that can never
+                // receive work (num_threads = 16 on a 4-core box would
+                // otherwise idle 12 stacks for the engine's lifetime).
+                let size = match self.config.step_mode {
+                    StepMode::Auto => {
+                        let cores =
+                            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+                        self.config.num_threads.min(cores) - 1
+                    }
+                    _ => self.config.num_threads - 1,
+                };
+                let pool = self.pool.get_or_insert_with(|| WorkerPool::new(size));
+                // `available_parallelism` can in principle change after the
+                // pool is sized; never cut more chunks than pool + caller.
+                let workers = workers.min(pool.len() + 1);
+                let chunk_size = self.active.len().div_ceil(workers);
+                pool.step_chunks(model, self.active.chunks_mut(chunk_size));
+            }
         }
         summary.generated = self.active.len();
         // Charge energy post-join, in batch order, so the f64 accumulation
@@ -451,6 +549,52 @@ impl<'m> ServeEngine<'m> {
         summary.finished = retired.len();
         self.finished.append(&mut retired);
         summary
+    }
+
+    /// How many threads (caller included) this step should use.
+    ///
+    /// The force modes cap only by batch size. [`StepMode::Auto`]
+    /// additionally refuses to fan out beyond what can pay for itself:
+    ///
+    /// * **Cores.** More workers than hardware threads never increases
+    ///   throughput — they time-slice one another and add context-switch
+    ///   overhead on top (the `optimized-4t` < `optimized-1t` regression in
+    ///   the PR-2 `BENCH_decode.json`, measured on a single-core host).
+    /// * **Work.** Each worker's chunk must carry enough arithmetic to
+    ///   amortize the dispatch (a channel send plus a thread wake-up, a few
+    ///   µs): estimated as matvec MACs per token, a chunk below
+    ///   [`FANOUT_MIN_MACS_PER_WORKER`] runs on the caller's thread
+    ///   instead. The attention scan's seq-length term is deliberately
+    ///   ignored — it only grows the true work, so the gate errs toward
+    ///   serial.
+    fn plan_workers(&self) -> usize {
+        self.planned_threads(self.active.len())
+    }
+
+    /// The number of threads (caller included) a decode step would use with
+    /// `batch` active sequences, after [`StepMode::Auto`]'s core and
+    /// per-worker-work gates.
+    ///
+    /// Exposed so operators and benchmarks can tell whether a
+    /// configuration actually fans out on this host — e.g. on a single-core
+    /// machine every `Auto` configuration resolves to `1`, making
+    /// `num_threads = 4` the *same execution* as `num_threads = 1` rather
+    /// than a slower one.
+    pub fn planned_threads(&self, batch: usize) -> usize {
+        let cap = self.config.num_threads.min(batch);
+        match self.config.step_mode {
+            StepMode::ForcePool | StepMode::ForceScoped => cap,
+            StepMode::Auto => {
+                let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+                let cap = cap.min(cores);
+                if cap <= 1 {
+                    return 1;
+                }
+                let total_macs =
+                    approx_macs_per_token(self.model.config()).saturating_mul(batch as u64);
+                cap.min((total_macs / FANOUT_MIN_MACS_PER_WORKER).max(1) as usize)
+            }
+        }
     }
 
     /// Whether any request is still queued or decoding.
@@ -569,6 +713,82 @@ mod tests {
         let report = e.run();
         assert_eq!(report.request(a).unwrap().tokens.len(), 2);
         assert_eq!(report.request(b).unwrap().tokens.len(), 5);
+    }
+
+    #[test]
+    fn planned_threads_respects_gates() {
+        let m = model();
+        let plan = |threads: usize, step_mode: StepMode, batch: usize| {
+            let cfg = ServeConfig { num_threads: threads, step_mode, ..ServeConfig::default() };
+            ServeEngine::new(&m, cfg).planned_threads(batch)
+        };
+        // Force modes cap only by batch size.
+        assert_eq!(plan(4, StepMode::ForcePool, 16), 4);
+        assert_eq!(plan(4, StepMode::ForceScoped, 2), 2);
+        assert_eq!(plan(4, StepMode::ForcePool, 1), 1);
+        // Auto never exceeds cores or the force-mode cap, and the tiny test
+        // model never carries enough per-token work to fan out at all.
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        for batch in [1usize, 4, 16] {
+            let p = plan(4, StepMode::Auto, batch);
+            assert!(p <= cores.min(4).min(batch));
+            assert_eq!(p, 1, "tiny model steps must stay on the caller thread");
+        }
+        // A model the size of the bench proxy fans out wherever cores allow.
+        let proxy =
+            Model::new(ModelConfig::llama2_7b().proxy(128, 4, 192), QuantScheme::bf16(), 11)
+                .expect("valid scheme");
+        let cfg = ServeConfig { num_threads: 4, ..ServeConfig::default() };
+        assert_eq!(ServeEngine::new(&proxy, cfg).planned_threads(16), 4.min(cores));
+    }
+
+    #[test]
+    fn zero_token_limit_rejected_on_every_path() {
+        // Regression guard: a zero `max_new_tokens` must not slip into the
+        // queue through any submission path and bypass the `max_tokens > 0`
+        // constructor invariant via the admission-time clamp.
+        let m = model();
+        let mut e = ServeEngine::new(&m, ServeConfig::default());
+        assert_eq!(e.submit_with_limit(&[1, 2], 0), Err(ServeError::ZeroTokenLimit));
+        assert_eq!(
+            e.submit_request(Request::new(&[1, 2]).with_limit(0)),
+            Err(ServeError::ZeroTokenLimit)
+        );
+        assert_eq!(
+            e.submit_request(
+                Request::new(&[1]).with_limit(0).with_sampling(SamplingParams::default())
+            ),
+            Err(ServeError::ZeroTokenLimit)
+        );
+        assert_eq!(e.pending_len(), 0, "rejected requests must not be queued");
+    }
+
+    #[test]
+    fn invalid_sampling_rejected_at_submission() {
+        // These parameters would panic inside `Sampler::pick` on a worker
+        // thread mid-step; they must be caught at the API boundary instead.
+        let m = model();
+        let mut e = ServeEngine::new(&m, ServeConfig::default());
+        for sampler in [
+            Sampler::Temperature(0.0),
+            Sampler::Temperature(-2.0),
+            Sampler::Temperature(f32::NAN),
+            Sampler::TopK(0),
+            Sampler::TopP(0.0),
+            Sampler::TopP(1.0001),
+        ] {
+            let req = Request::new(&[1, 2]).with_sampling(SamplingParams { sampler, seed: 1 });
+            assert!(
+                matches!(e.submit_request(req), Err(ServeError::InvalidSampling { .. })),
+                "{sampler:?} must be rejected"
+            );
+        }
+        assert_eq!(e.pending_len(), 0);
+        // Valid parameters still pass, and the engine drains normally.
+        let ok = SamplingParams { sampler: Sampler::TopK(4), seed: 5 };
+        e.submit_request(Request::new(&[1, 2]).with_limit(2).with_sampling(ok)).unwrap();
+        let report = e.run();
+        assert_eq!(report.requests.len(), 1);
     }
 
     #[test]

@@ -36,13 +36,19 @@
 //!
 //! [`opal::OpalPipeline::generate`]: https://docs.rs/opal
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;
+// The worker pool hands `&Model` / `&mut [Active]` borrows to long-lived
+// threads through raw pointers; the module documents the dispatch protocol
+// that makes this sound and is the only place in the workspace allowed to
+// use `unsafe`.
+#[allow(unsafe_code)]
+mod pool;
 mod report;
 
 pub use engine::{
-    Request, RequestId, SamplingParams, ServeConfig, ServeEngine, ServeError, StepSummary,
+    Request, RequestId, SamplingParams, ServeConfig, ServeEngine, ServeError, StepMode, StepSummary,
 };
 pub use report::{RequestReport, ServeReport};

@@ -1,0 +1,203 @@
+//! The persistent decode worker pool.
+//!
+//! `ServeEngine::step` used to fan the active batch out under
+//! `std::thread::scope`, paying a thread spawn (~25 µs) per worker per
+//! step — invisible on large models, dominant on small ones. This module
+//! replaces those per-step spawns with long-lived threads owned by the
+//! engine: workers park on a job channel, a step sends each one a chunk of
+//! the batch, and the dispatcher blocks until every chunk is reported done.
+//! Chunk assignment, intra-chunk order and post-join accounting are
+//! identical to the scoped dispatcher, so output is bit-for-bit unchanged
+//! for every thread count.
+//!
+//! Shutdown is channel-driven: dropping the pool closes the job channels,
+//! each worker's `recv` errors out and the thread exits, and `Drop` joins
+//! them all — no sentinel messages, no leaked threads, safe to run with
+//! requests still queued (pending work simply stays in the engine).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// One chunk acknowledgement: `Ok` on success, or the worker's caught
+/// panic payload, re-raised on the dispatcher thread so the original
+/// assertion message/location is not lost.
+type Ack = Result<(), Box<dyn std::any::Any + Send>>;
+
+use opal_model::Model;
+
+use crate::engine::{advance_sequence, Active};
+
+/// One chunk of the active batch, dispatched to a worker for one step.
+///
+/// The raw pointers stand in for the `&Model` and `&mut [Active]` borrows
+/// that `ServeEngine::step` holds: a long-lived thread cannot carry those
+/// lifetimes in its type, so the dispatch protocol carries the proof
+/// instead. [`WorkerPool::step_chunks`] sends jobs and then blocks until
+/// every worker acknowledges completion, so a `Job`'s pointers are only
+/// dereferenced while the step's borrows are alive, and every chunk is
+/// disjoint from every other (they come from one `chunks_mut`).
+struct Job {
+    model: *const Model,
+    seqs: *mut Active,
+    len: usize,
+}
+
+// SAFETY: a `Job` transfers exclusive access to a disjoint `&mut [Active]`
+// chunk (`Active` is `Send`: every field is owned data) plus a shared
+// `&Model` (`Model` is `Sync`; its quantizer boxes are `Send + Sync` by
+// construction). The channel handoff provides the happens-before edges on
+// both sides of the step.
+unsafe impl Send for Job {}
+
+/// Statically prove the assumptions the `unsafe impl Send` above rests on.
+fn _assert_bounds() {
+    fn send<T: Send>() {}
+    fn sync<T: Sync>() {}
+    send::<Active>();
+    sync::<Model>();
+}
+
+struct Worker {
+    /// `None` only during shutdown: dropping the sender is what tells the
+    /// thread to exit.
+    jobs: Option<Sender<Job>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Long-lived decode workers, created lazily by the first step that fans
+/// out and owned by the engine for the rest of its life.
+pub(crate) struct WorkerPool {
+    workers: Vec<Worker>,
+    done: Receiver<Ack>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` named threads, each parked on its job channel.
+    pub(crate) fn new(workers: usize) -> Self {
+        let (done_tx, done) = channel();
+        let workers = (0..workers)
+            .map(|i| {
+                let (jobs_tx, jobs_rx) = channel::<Job>();
+                let done_tx = done_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("opal-serve-{i}"))
+                    .spawn(move || worker_loop(&jobs_rx, &done_tx))
+                    .expect("spawn serve worker");
+                Worker { jobs: Some(jobs_tx), handle: Some(handle) }
+            })
+            .collect();
+        WorkerPool { workers, done }
+    }
+
+    /// Number of pool threads.
+    pub(crate) fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Advances every sequence of every chunk by one token: chunks after
+    /// the first go to the pool, the caller's thread works the first chunk
+    /// instead of idling at the join (mirroring the scoped dispatcher),
+    /// then the call blocks until all dispatched chunks complete.
+    ///
+    /// This function **never returns or unwinds with a job in flight** —
+    /// the soundness keystone. Acknowledgements are drained by a drop
+    /// guard, so even a panic on the caller's chunk (or in the panicking
+    /// branch below) blocks until every worker has finished touching the
+    /// step's borrows before the unwind proceeds; afterwards the engine —
+    /// and the `active` vector the jobs pointed into — can be reused or
+    /// dropped freely.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker's panic payload if one panicked while advancing
+    /// its chunk (the engine's step cannot produce a consistent batch
+    /// state in that case; the panic is raised only after all
+    /// acknowledgements are in), and panics if more chunks arrive than the
+    /// pool has workers.
+    pub(crate) fn step_chunks<'a>(
+        &self,
+        model: &Model,
+        mut chunks: impl Iterator<Item = &'a mut [Active]>,
+    ) {
+        /// Blocks, on drop, until every outstanding job has been
+        /// acknowledged — the in-flight count is owned here so no early
+        /// exit path can skip the wait.
+        struct PendingAcks<'p> {
+            done: &'p Receiver<Ack>,
+            outstanding: usize,
+        }
+        impl Drop for PendingAcks<'_> {
+            fn drop(&mut self) {
+                while self.outstanding > 0 {
+                    let _ = self.done.recv();
+                    self.outstanding -= 1;
+                }
+            }
+        }
+
+        let first = chunks.next();
+        let mut workers = self.workers.iter();
+        let mut pending = PendingAcks { done: &self.done, outstanding: 0 };
+        for chunk in chunks {
+            let worker = workers.next().expect("more chunks than pool workers");
+            let job = Job { model, seqs: chunk.as_mut_ptr(), len: chunk.len() };
+            worker.jobs.as_ref().expect("pool shutting down").send(job).expect("worker exited");
+            pending.outstanding += 1;
+        }
+        for seq in first.into_iter().flatten() {
+            advance_sequence(model, seq);
+        }
+        let mut panic_payload = None;
+        while pending.outstanding > 0 {
+            match pending.done.recv() {
+                Ok(ack) => {
+                    pending.outstanding -= 1;
+                    if let Err(payload) = ack {
+                        panic_payload.get_or_insert(payload);
+                    }
+                }
+                Err(_) => unreachable!("workers outlive the pool"),
+            }
+        }
+        if let Some(payload) = panic_payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.jobs = None; // close the channel: the worker's recv errors out
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(jobs: &Receiver<Job>, done: &Sender<Ack>) {
+    while let Ok(job) = jobs.recv() {
+        // A panic inside the model (e.g. an assert tripping on corrupt
+        // state) must not strand the dispatcher at its join: catch it,
+        // ship the payload back, and let the dispatcher re-raise it on its
+        // own thread with the original message intact.
+        let ack = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: `step_chunks` blocks until this job is acknowledged
+            // below, so the `&Model` and `&mut [Active]` borrows it was
+            // built from are still live, and no other thread touches this
+            // chunk in the meantime.
+            let model = unsafe { &*job.model };
+            let seqs = unsafe { std::slice::from_raw_parts_mut(job.seqs, job.len) };
+            for seq in seqs {
+                advance_sequence(model, seq);
+            }
+        }));
+        if done.send(ack).is_err() {
+            break;
+        }
+    }
+}

@@ -5,15 +5,22 @@
 
 use opal::{ModelConfig, OpalPipeline, OperatingPoint};
 use opal_model::sampling::Sampler;
-use opal_serve::{Request, SamplingParams, ServeConfig, ServeEngine};
+use opal_serve::{Request, SamplingParams, ServeConfig, ServeEngine, StepMode};
 
 fn pipeline() -> OpalPipeline {
     OpalPipeline::new(ModelConfig::tiny(), OperatingPoint::W4A47, 42).expect("valid point")
 }
 
-/// Mixed prompt lengths, batch 16, one token stream per thread count —
-/// every member must match its solo run exactly, and the three engines
-/// (1 thread, 4 threads, oversubscribed 16 threads) must agree.
+/// Every dispatch mode the engine supports. `ForcePool` and `ForceScoped`
+/// genuinely cross threads regardless of host core count; `Auto` may
+/// legitimately serialize (that's its job), but must still be
+/// token-identical.
+const MODES: [StepMode; 3] = [StepMode::Auto, StepMode::ForcePool, StepMode::ForceScoped];
+
+/// Mixed prompt lengths, batch 16, one token stream per (thread count,
+/// dispatch mode) — every member must match its solo run exactly, and all
+/// engines (1 thread, 4 threads, oversubscribed 16 threads; persistent
+/// pool, per-step scoped threads, and the auto heuristic) must agree.
 #[test]
 fn parallel_step_matches_sequential_for_mixed_prompts() {
     let p = pipeline();
@@ -22,28 +29,106 @@ fn parallel_step_matches_sequential_for_mixed_prompts() {
     let n = 12;
 
     let mut outputs = Vec::new();
-    for threads in [1usize, 4, 16] {
-        let config = ServeConfig { max_batch: 16, max_tokens: n, num_threads: threads };
-        let mut engine = ServeEngine::new(p.student(), config);
-        let ids: Vec<_> =
-            prompts.iter().map(|pr| engine.submit(pr).expect("valid prompt")).collect();
-        let report = engine.run();
-        let tokens: Vec<Vec<u32>> =
-            ids.iter().map(|id| report.request(*id).expect("finished").tokens.clone()).collect();
-        outputs.push((threads, tokens));
+    for step_mode in MODES {
+        for threads in [1usize, 4, 16] {
+            let config =
+                ServeConfig { max_batch: 16, max_tokens: n, num_threads: threads, step_mode };
+            let mut engine = ServeEngine::new(p.student(), config);
+            let ids: Vec<_> =
+                prompts.iter().map(|pr| engine.submit(pr).expect("valid prompt")).collect();
+            let report = engine.run();
+            let tokens: Vec<Vec<u32>> = ids
+                .iter()
+                .map(|id| report.request(*id).expect("finished").tokens.clone())
+                .collect();
+            outputs.push((step_mode, threads, tokens));
+        }
     }
 
-    for (threads, tokens) in &outputs {
-        for (prompt, got) in prompts.iter().zip(tokens) {
-            let solo = p.generate(prompt, n);
+    let (_, _, reference) = &outputs[0];
+    for (prompt, got) in prompts.iter().zip(reference) {
+        let solo = p.generate(prompt, n);
+        assert_eq!(got, &solo, "batched output diverged from solo for {prompt:?}");
+    }
+    for (mode, threads, tokens) in &outputs[1..] {
+        assert_eq!(tokens, reference, "{mode:?} with num_threads={threads} diverged");
+    }
+}
+
+/// The pool under churn: requests retire mid-run (staggered limits) while
+/// new ones are admitted from the queue, across thread counts. Chunk
+/// boundaries shift every step as the batch shrinks and refills; output
+/// must not.
+#[test]
+fn pool_is_deterministic_under_mid_run_admission_and_retirement() {
+    let p = pipeline();
+    let prompts: Vec<Vec<u32>> =
+        (0..12u32).map(|i| (0..(i % 4 + 1)).map(|j| (i * 11 + j * 5) % 64).collect()).collect();
+    // Staggered limits: retirements at different steps reshuffle the batch.
+    let limit = |i: usize| 3 + (i * 5) % 9;
+
+    let run = |step_mode: StepMode, threads: usize| -> Vec<Vec<u32>> {
+        let config = ServeConfig { max_batch: 4, max_tokens: 16, num_threads: threads, step_mode };
+        let mut engine = ServeEngine::new(p.student(), config);
+        // Submit in two waves with steps in between, so admission happens
+        // both into a fresh batch and into one mid-decode.
+        let mut ids = Vec::new();
+        for (i, pr) in prompts[..6].iter().enumerate() {
+            ids.push(engine.submit_with_limit(pr, limit(i)).expect("valid prompt"));
+        }
+        for _ in 0..5 {
+            engine.step();
+        }
+        for (i, pr) in prompts[6..].iter().enumerate() {
+            ids.push(engine.submit_with_limit(pr, limit(6 + i)).expect("valid prompt"));
+        }
+        let report = engine.run();
+        ids.iter().map(|id| report.request(*id).expect("finished").tokens.clone()).collect()
+    };
+
+    let reference = run(StepMode::Auto, 1);
+    for (i, tokens) in reference.iter().enumerate() {
+        assert_eq!(tokens.len(), limit(i), "request {i} must run to its own limit");
+        assert_eq!(tokens, &p.generate(&prompts[i], limit(i)), "request {i} diverged from solo");
+    }
+    for step_mode in MODES {
+        for threads in [2usize, 4, 16] {
             assert_eq!(
-                got, &solo,
-                "num_threads={threads}: batched output diverged from solo for {prompt:?}"
+                run(step_mode, threads),
+                reference,
+                "{step_mode:?} with num_threads={threads} diverged under churn"
             );
         }
     }
-    assert_eq!(outputs[0].1, outputs[1].1, "1 vs 4 threads diverged");
-    assert_eq!(outputs[1].1, outputs[2].1, "4 vs 16 threads diverged");
+}
+
+/// Dropping an engine mid-flight — queued requests, active sequences, pool
+/// threads spawned — must join every worker and return; repeatedly, so a
+/// leaked thread or wedged channel would show up as a hang or as resource
+/// exhaustion across iterations.
+#[test]
+fn engine_drop_with_work_pending_shuts_down_cleanly() {
+    let p = pipeline();
+    for step_mode in [StepMode::ForcePool, StepMode::Auto] {
+        for _ in 0..8 {
+            let config = ServeConfig { max_batch: 4, max_tokens: 64, num_threads: 16, step_mode };
+            let mut engine = ServeEngine::new(p.student(), config);
+            for i in 0..8u32 {
+                engine.submit(&[i, i + 1]).expect("valid prompt");
+            }
+            for _ in 0..3 {
+                engine.step();
+            }
+            assert!(!engine.is_idle());
+            drop(engine); // joins the pool with 4 active + 4 queued requests
+        }
+    }
+    // Dropping an engine whose pool was never spawned (no step fanned out)
+    // must be equally clean.
+    let config = ServeConfig { max_batch: 2, max_tokens: 4, ..ServeConfig::default() };
+    let mut engine = ServeEngine::new(p.student(), config);
+    engine.submit(&[1]).expect("valid prompt");
+    drop(engine);
 }
 
 /// Mid-stream admission under 4 threads: late joiners must not perturb
@@ -55,7 +140,8 @@ fn parallel_mid_stream_admission_is_isolated() {
     let late: &[u32] = &[40, 41];
     let n = 10;
 
-    let config = ServeConfig { max_batch: 4, max_tokens: n, num_threads: 4 };
+    let config =
+        ServeConfig { max_batch: 4, max_tokens: n, num_threads: 4, step_mode: StepMode::ForcePool };
     let mut engine = ServeEngine::new(p.student(), config);
     let early_ids: Vec<_> =
         early.iter().map(|pr| engine.submit(pr).expect("valid prompt")).collect();
@@ -83,7 +169,12 @@ fn per_request_sampling_is_deterministic_across_batches_and_threads() {
     let n = 10;
 
     let run = |threads: usize, with_neighbours: bool| -> Vec<u32> {
-        let config = ServeConfig { max_batch: 8, max_tokens: n, num_threads: threads };
+        let config = ServeConfig {
+            max_batch: 8,
+            max_tokens: n,
+            num_threads: threads,
+            step_mode: StepMode::ForcePool,
+        };
         let mut engine = ServeEngine::new(p.student(), config);
         if with_neighbours {
             engine.submit(&[4, 5, 6]).expect("valid prompt");
@@ -116,7 +207,8 @@ fn per_request_sampling_is_deterministic_across_batches_and_threads() {
 fn greedy_request_matches_plain_submit() {
     let p = pipeline();
     let n = 8;
-    let config = ServeConfig { max_batch: 2, max_tokens: n, num_threads: 2 };
+    let config =
+        ServeConfig { max_batch: 2, max_tokens: n, num_threads: 2, step_mode: StepMode::ForcePool };
     let mut engine = ServeEngine::new(p.student(), config);
     let a = engine.submit(&[3, 1, 4]).expect("valid prompt");
     let b = engine

@@ -179,7 +179,7 @@ pub fn rope_in_place(x: &mut Matrix, pos0: usize, theta: f32) {
 /// Panics if the vector length is odd.
 pub fn rope_row(row: &mut [f32], pos: usize, theta: f32) {
     let d = row.len();
-    assert!(d % 2 == 0, "RoPE requires an even head dimension");
+    assert!(d.is_multiple_of(2), "RoPE requires an even head dimension");
     let pos = pos as f32;
     for i in 0..d / 2 {
         let freq = theta.powf(-2.0 * i as f32 / d as f32);

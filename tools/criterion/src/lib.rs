@@ -53,6 +53,19 @@ impl Display for BenchmarkId {
     }
 }
 
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`]
+/// (accepted for API parity; the shim times every call individually).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: criterion would amortize setup over large batches.
+    #[default]
+    SmallInput,
+    /// Large inputs: criterion would use small batches.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
 /// Passed to the benchmark closure; [`Bencher::iter`] runs and times the
 /// workload.
 pub struct Bencher<'a> {
@@ -64,14 +77,28 @@ impl Bencher<'_> {
     /// Runs `routine` repeatedly, recording one timing sample per call,
     /// until the sample budget is exhausted.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Runs `routine` over fresh inputs from `setup`, timing only the
+    /// routine. The shim prepares one input per sample (setup time is
+    /// excluded from the recorded duration either way). This is the one
+    /// timing policy — warm-up count, minimum samples, sample cap — that
+    /// every entry point shares.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
         // Warm-up: a few unrecorded calls to fault in caches/allocations.
         for _ in 0..3 {
-            black_box(routine());
+            black_box(routine(setup()));
         }
         let start = Instant::now();
         while start.elapsed() < self.budget || self.samples.len() < 10 {
+            let input = setup();
             let t0 = Instant::now();
-            black_box(routine());
+            black_box(routine(input));
             self.samples.push(t0.elapsed());
             if self.samples.len() >= 10_000 {
                 break;
