@@ -43,6 +43,38 @@ fn bench_decode_paths(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_prefill_paths(c: &mut Criterion) {
+    let model = Model::new(ModelConfig::tiny(), QuantScheme::bf16(), 21).expect("valid scheme");
+    let prompt: Vec<u32> = (0..48u32).map(|i| (i * 11 + 3) % 64).collect();
+    let mut group = c.benchmark_group("prefill_48tok");
+
+    // The fused multi-token path: whole chunks of positions per layer pass.
+    group.bench_function("fused", |b| {
+        let mut logits = vec![0.0f32; model.config().vocab];
+        b.iter(|| {
+            let mut state = model.begin_decode();
+            model.prefill_into(&mut state, black_box(&prompt), &mut logits);
+            black_box(logits[0])
+        });
+    });
+
+    // The pre-fusion baseline: one layer pass per token (chunk size 1),
+    // with the same skip-logits-until-last behaviour.
+    group.bench_function("tokenwise", |b| {
+        let mut logits = vec![0.0f32; model.config().vocab];
+        b.iter(|| {
+            let mut state = model.begin_decode();
+            let (last, head) = prompt.split_last().expect("non-empty");
+            for &t in black_box(head) {
+                model.prefill_chunk(&mut state, &[t]);
+            }
+            model.prefill_chunk_into(&mut state, &[*last], &mut logits);
+            black_box(logits[0])
+        });
+    });
+    group.finish();
+}
+
 fn bench_parallel_step(c: &mut Criterion) {
     let model = Model::new(ModelConfig::tiny(), QuantScheme::bf16(), 22).expect("valid scheme");
     let mut group = c.benchmark_group("serve_step_batch16_8tok");
@@ -59,8 +91,13 @@ fn bench_parallel_step(c: &mut Criterion) {
     for (name, threads, step_mode) in cases {
         group.bench_with_input(BenchmarkId::from_parameter(name), &threads, |b, &threads| {
             b.iter(|| {
-                let config =
-                    ServeConfig { max_batch: 16, max_tokens: 8, num_threads: threads, step_mode };
+                let config = ServeConfig {
+                    max_batch: 16,
+                    max_tokens: 8,
+                    num_threads: threads,
+                    step_mode,
+                    ..ServeConfig::default()
+                };
                 let mut engine = ServeEngine::new(&model, config);
                 for i in 0..16u32 {
                     engine.submit(black_box(&[1 + i, 2, 3])).unwrap();
@@ -72,5 +109,5 @@ fn bench_parallel_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decode_paths, bench_parallel_step);
+criterion_group!(benches, bench_decode_paths, bench_prefill_paths, bench_parallel_step);
 criterion_main!(benches);

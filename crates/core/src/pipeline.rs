@@ -153,12 +153,13 @@ impl OpalPipeline {
     pub fn generate(&self, prompt: &[u32], n: usize) -> Vec<u32> {
         assert!(!prompt.is_empty(), "empty prompt");
         let mut state = self.student.begin_decode();
-        let mut logits = self.student.prefill(&mut state, prompt);
+        let mut logits = vec![0.0f32; self.student.config().vocab];
+        self.student.prefill_into(&mut state, prompt, &mut logits);
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let t = ops::argmax(&logits).unwrap_or(0) as u32;
             out.push(t);
-            logits = self.student.decode_step(&mut state, t);
+            self.student.decode_step_into(&mut state, t, &mut logits);
         }
         out
     }

@@ -155,9 +155,83 @@ struct LayerCache {
 /// allocation when full, so a decode of `n` tokens performs `O(log n)`
 /// reallocations.
 fn grow_row(buf: &mut Vec<f32>, width: usize) -> usize {
+    grow_rows(buf, width, 1)
+}
+
+/// Appends `rows` zeroed `width`-wide rows to a flat cache buffer in one
+/// resize, returning the start offset of the first — the chunked-prefill
+/// form of [`grow_row`].
+fn grow_rows(buf: &mut Vec<f32>, width: usize, rows: usize) -> usize {
     let start = buf.len();
-    buf.resize(start + width, 0.0);
+    buf.resize(start + rows * width, 0.0);
     start
+}
+
+/// Reshapes a scratch matrix to `rows × cols` in place, reusing the backing
+/// buffer (zero-filled; allocation-free once grown to the largest shape
+/// seen). Same-width reshapes — the common case, chunk length changing
+/// between prefill calls — go through [`Matrix::resize_rows`]; a width
+/// change (sequence length growing for the score buffers) rebuilds the
+/// layout around the same `Vec`.
+fn ensure_shape(m: &mut Matrix, rows: usize, cols: usize) {
+    if m.cols() == cols && !m.is_empty() {
+        m.resize_rows(rows);
+        return;
+    }
+    let mut data = std::mem::replace(m, Matrix::zeros(0, 0)).into_vec();
+    data.clear();
+    data.resize(rows * cols, 0.0);
+    *m = Matrix::from_vec(rows, cols, data);
+}
+
+/// Reusable multi-row buffers of the fused prefill path: one row per prompt
+/// position of the chunk in flight.
+///
+/// [`Model::prefill_chunk`] pushes a whole block of prompt positions
+/// through each layer in one pass — norm rows, one GEMM per projection,
+/// multi-row causal attention against the flat KV caches — and every
+/// intermediate lands here. Buffers are reshaped (never reallocated, once
+/// grown) to the live chunk length at the start of each pass, so steady
+/// chunked prefill allocates nothing, mirroring the single-token
+/// [`ScratchSpace`] discipline — and the whole workspace is dropped again
+/// by the chunk that computes the prompt logits, so a decoding sequence
+/// carries no prefill buffers for the rest of its life.
+#[derive(Debug, Default)]
+struct PrefillScratch {
+    /// Residual streams, `chunk × d_model`.
+    hs: Matrix,
+    /// Norm outputs feeding QKV or FC1, `chunk × d_model`.
+    xs: Matrix,
+    /// Quantized norm outputs, `chunk × d_model`.
+    xqs: Matrix,
+    /// Query projections (pre-quantization), `chunk × d_model`.
+    qs: Matrix,
+    /// Key projections (pre-quantization), `chunk × d_model`.
+    ks: Matrix,
+    /// Value projections (pre-quantization), `chunk × d_model`.
+    vs: Matrix,
+    /// Quantized queries, `chunk × d_model`.
+    qqs: Matrix,
+    /// Attention contexts, `chunk × d_model`.
+    ctxs: Matrix,
+    /// Quantized contexts, `chunk × d_model`.
+    ctxqs: Matrix,
+    /// Output of the attention and FFN down projections (used one after
+    /// the other), `chunk × d_model`.
+    proj: Matrix,
+    /// FFN gate/activation buffer, `chunk × d_ff`.
+    gates: Matrix,
+    /// FFN up-projections, `chunk × d_ff`.
+    ups: Matrix,
+    /// Quantized FFN activations, `chunk × d_ff`.
+    act_qs: Matrix,
+    /// Attention scores for one head, `chunk × seq` (row `r` uses its
+    /// causal prefix `lens[r]`).
+    scores: Matrix,
+    /// Attention weights for one head, `chunk × seq` (causal prefixes).
+    weights: Matrix,
+    /// Causal row lengths: `lens[r] = pos0 + r + 1`.
+    lens: Vec<usize>,
 }
 
 /// Reusable per-sequence buffers for the token decode hot path.
@@ -208,9 +282,13 @@ struct ScratchSpace {
     logits: Vec<f32>,
     /// Quantizer encode workspace (block plans, sort buffers) for the
     /// tensor-global formats; block-local formats ignore it. Owned per
-    /// sequence like every other scratch buffer, so quantized decode steps
+    /// sequence like every other scratch buffer — and shared across the
+    /// rows of a prefill chunk — so quantized decode *and* chunked prefill
     /// stay allocation-free and thread-isolated.
     quant: EncodeScratch,
+    /// Multi-row buffers of the fused prefill path (empty until the first
+    /// [`Model::prefill_chunk`], unused by single-token decoding).
+    prefill: PrefillScratch,
 }
 
 impl ScratchSpace {
@@ -237,6 +315,7 @@ impl ScratchSpace {
             hn: vec![0.0; d],
             logits: vec![0.0; config.vocab],
             quant: EncodeScratch::new(),
+            prefill: PrefillScratch::default(),
         }
     }
 }
@@ -307,6 +386,14 @@ pub struct Model {
 }
 
 impl Model {
+    /// Prompt positions [`Model::prefill_into`] fuses per layer pass.
+    ///
+    /// Large enough that each transposed weight matrix streamed through a
+    /// pass is amortized over many positions (the locality win of the fused
+    /// GEMM), small enough that the `chunk × d_ff` scratch rows stay
+    /// cache-resident for realistic configurations.
+    pub const DEFAULT_PREFILL_CHUNK: usize = 32;
+
     /// Builds a model with synthetic weights from `seed`, quantized
     /// according to `scheme`.
     ///
@@ -446,27 +533,84 @@ impl Model {
     /// Feeds a whole prompt through the decoder, returning the logits after
     /// its last token.
     ///
+    /// Allocating convenience wrapper over [`Model::prefill_into`]; see
+    /// there for the fused-chunk execution model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty or contains out-of-range tokens.
+    pub fn prefill(&self, state: &mut DecodeState, prompt: &[u32]) -> Vec<f32> {
+        let mut out = vec![0.0; self.config.vocab];
+        self.prefill_into(state, prompt, &mut out);
+        out
+    }
+
+    /// Feeds a whole prompt through the decoder, writing the logits after
+    /// its last token into `out` — the allocation-free entry point behind
+    /// [`Model::prefill`].
+    ///
     /// This is the shared prompt-consumption path of every generation loop:
     /// the single-sequence samplers ([`crate::sampling::generate`], the
     /// pipeline's greedy loop) and the batched `opal-serve` scheduler all
     /// prefill through here, so they are guaranteed to agree token-for-token
     /// with a raw [`Model::decode_step`] loop.
     ///
-    /// Only the final prompt token materializes vocab-sized logits: the
-    /// unembedding matvec — by far the widest in the model — is skipped for
-    /// every earlier position, whose logits nobody reads.
+    /// The prompt is consumed in fused multi-token chunks of
+    /// [`Model::DEFAULT_PREFILL_CHUNK`] positions via
+    /// [`Model::prefill_chunk`] — one layer pass per chunk instead of one
+    /// per token — and only the final prompt token materializes vocab-sized
+    /// logits: the unembedding matvec — by far the widest in the model — is
+    /// skipped for every earlier position, whose logits nobody reads.
     ///
     /// # Panics
     ///
-    /// Panics if `prompt` is empty or contains out-of-range tokens.
-    pub fn prefill(&self, state: &mut DecodeState, prompt: &[u32]) -> Vec<f32> {
+    /// Panics if `prompt` is empty, contains out-of-range tokens, or
+    /// `out.len()` differs from the vocabulary size.
+    pub fn prefill_into(&self, state: &mut DecodeState, prompt: &[u32], out: &mut [f32]) {
         assert!(!prompt.is_empty(), "empty prompt");
-        let (last, head) = prompt.split_last().expect("non-empty prompt");
-        for &t in head {
-            self.decode_core(state, t, None, false);
+        let chunk = Self::DEFAULT_PREFILL_CHUNK;
+        let mut i = 0;
+        while prompt.len() - i > chunk {
+            self.prefill_chunk(state, &prompt[i..i + chunk]);
+            i += chunk;
         }
-        self.decode_core(state, *last, None, true);
-        state.scratch.logits.clone()
+        self.prefill_chunk_into(state, &prompt[i..], out);
+    }
+
+    /// Consumes one chunk of prompt positions in a single fused pass per
+    /// layer, without materializing logits (the mid-prompt form of
+    /// [`Model::prefill_chunk_into`]).
+    ///
+    /// Each layer normalizes, quantizes and projects *all* chunk rows at
+    /// once — one [`Matrix::matmul_t_into`] GEMM per projection instead of
+    /// one matvec per token — then runs multi-row causal attention against
+    /// the flat KV caches (row `r` attends to cached positions
+    /// `0..=pos0+r`, including the chunk rows appended just before). Every
+    /// per-position operation is the exact kernel of the single-token
+    /// [`Model::decode_step`] loop, so the KV caches and any later logits
+    /// are bit-identical to stepping the same tokens one at a time
+    /// (`tests/decode_golden.rs` pins this for chunk sizes 1/3/8/whole
+    /// prompt across scheme families).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains out-of-range ids.
+    pub fn prefill_chunk(&self, state: &mut DecodeState, tokens: &[u32]) {
+        self.prefill_core(state, tokens, false);
+    }
+
+    /// As [`Model::prefill_chunk`], additionally writing the next-token
+    /// logits of the chunk's final position into `out` — the form used for
+    /// a prompt's last chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty, contains out-of-range ids, or
+    /// `out.len()` differs from the vocabulary size.
+    pub fn prefill_chunk_into(&self, state: &mut DecodeState, tokens: &[u32], out: &mut [f32]) {
+        assert_eq!(out.len(), self.config.vocab, "logits length mismatch");
+        self.prefill_core(state, tokens, true);
+        out.copy_from_slice(&state.scratch.logits);
     }
 
     /// As [`Model::decode_step`], optionally reporting activations to a
@@ -613,6 +757,161 @@ impl Model {
         }
     }
 
+    /// The fused multi-token prefill pass: advances `state` by
+    /// `tokens.len()` prompt positions in one layer sweep, leaving the
+    /// final position's logits in `state.scratch.logits` when
+    /// `compute_logits` is set.
+    ///
+    /// Bit-identity with the token-by-token loop holds operation by
+    /// operation: norms and quantizers run per row with the same kernels
+    /// (the [`EncodeScratch`] carries capacity, never state, across rows),
+    /// projections go through [`Matrix::matmul_t_into`] whose rows equal
+    /// the per-token matvecs exactly, and attention for row `r` scans the
+    /// same cache rows in the same order the sequential path would at
+    /// position `pos0 + r` — K/V rows never depend on attention, so
+    /// appending the whole chunk before attending changes nothing.
+    fn prefill_core(&self, state: &mut DecodeState, tokens: &[u32], compute_logits: bool) {
+        let n = tokens.len();
+        assert!(n > 0, "empty prefill chunk");
+        for &t in tokens {
+            assert!((t as usize) < self.config.vocab, "token {t} out of range");
+        }
+        let d = self.config.d_model;
+        let ff = self.config.d_ff;
+        let dh = self.config.head_dim();
+        let inv_sqrt_dh = 1.0 / (dh as f32).sqrt();
+        let DecodeState { pos, layers, scratch: st } = state;
+        let pos0 = *pos;
+        let seq = pos0 + n;
+        let ScratchSpace { prefill: pf, quant, hn, logits, .. } = st;
+
+        for m in [&mut pf.hs, &mut pf.xs, &mut pf.xqs, &mut pf.qs, &mut pf.ks, &mut pf.vs] {
+            ensure_shape(m, n, d);
+        }
+        for m in [&mut pf.qqs, &mut pf.ctxs, &mut pf.ctxqs, &mut pf.proj] {
+            ensure_shape(m, n, d);
+        }
+        for m in [&mut pf.gates, &mut pf.ups, &mut pf.act_qs] {
+            ensure_shape(m, n, ff);
+        }
+        for m in [&mut pf.scores, &mut pf.weights] {
+            ensure_shape(m, n, seq);
+        }
+        pf.lens.clear();
+        pf.lens.extend((0..n).map(|r| pos0 + r + 1));
+
+        for (r, &t) in tokens.iter().enumerate() {
+            pf.hs.row_mut(r).copy_from_slice(self.embedding.row(t as usize));
+        }
+
+        for (l, lw) in self.layers.iter().enumerate() {
+            // ---- attention ----
+            for r in 0..n {
+                self.norm_into(pf.hs.row(r), &lw.attn_gain, &lw.attn_bias, pf.xs.row_mut(r));
+            }
+            self.quant_low_block(&pf.xs, &mut pf.xqs, quant);
+            pf.xqs.matmul_t_into(&lw.wq_t, &mut pf.qs);
+            pf.xqs.matmul_t_into(&lw.wk_t, &mut pf.ks);
+            pf.xqs.matmul_t_into(&lw.wv_t, &mut pf.vs);
+            for r in 0..n {
+                let p = pos0 + r;
+                for head in 0..self.config.n_heads {
+                    let s = head * dh;
+                    ops::rope_row(&mut pf.qs.row_mut(r)[s..s + dh], p, self.rope_theta);
+                    ops::rope_row(&mut pf.ks.row_mut(r)[s..s + dh], p, self.rope_theta);
+                }
+            }
+            self.quant_high_block(&pf.qs, &mut pf.qqs, quant);
+            let cache = &mut layers[l];
+            let k_start = grow_rows(&mut cache.k, d, n);
+            self.quant_high_flat(pf.ks.as_slice(), d, &mut cache.k[k_start..], quant);
+            let v_start = grow_rows(&mut cache.v, d, n);
+            self.quant_high_flat(pf.vs.as_slice(), d, &mut cache.v[v_start..], quant);
+
+            pf.ctxs.as_mut_slice().fill(0.0);
+            for head in 0..self.config.n_heads {
+                let s = head * dh;
+                for (r, &len) in pf.lens.iter().enumerate() {
+                    let q_h = &pf.qqs.row(r)[s..s + dh];
+                    let srow = &mut pf.scores.row_mut(r)[..len];
+                    for (score, k_row) in srow.iter_mut().zip(cache.k.chunks_exact(d)) {
+                        *score = ops::dot(q_h, &k_row[s..s + dh]) * inv_sqrt_dh;
+                    }
+                }
+                match &self.log2_softmax {
+                    None => {
+                        for (r, &len) in pf.lens.iter().enumerate() {
+                            ops::softmax_into(
+                                &pf.scores.row(r)[..len],
+                                &mut pf.weights.row_mut(r)[..len],
+                            );
+                        }
+                    }
+                    Some(sm) => sm.probs_rows_into(&pf.scores, &pf.lens, &mut pf.weights),
+                }
+                for (r, &len) in pf.lens.iter().enumerate() {
+                    let ctx = &mut pf.ctxs.row_mut(r)[s..s + dh];
+                    let weights = &pf.weights.row(r)[..len];
+                    for (&w, v_row) in weights.iter().zip(cache.v.chunks_exact(d)) {
+                        if w == 0.0 {
+                            continue;
+                        }
+                        for (c, &vv) in ctx.iter_mut().zip(&v_row[s..s + dh]) {
+                            *c += w * vv;
+                        }
+                    }
+                }
+            }
+            self.quant_high_block(&pf.ctxs, &mut pf.ctxqs, quant);
+            pf.ctxqs.matmul_t_into(&lw.wo_t, &mut pf.proj);
+            for (hh, oo) in pf.hs.as_mut_slice().iter_mut().zip(pf.proj.as_slice()) {
+                *hh += oo;
+            }
+
+            // ---- FFN ----
+            for r in 0..n {
+                self.norm_into(pf.hs.row(r), &lw.ffn_gain, &lw.ffn_bias, pf.xs.row_mut(r));
+            }
+            self.quant_low_block(&pf.xs, &mut pf.xqs, quant);
+            // The activation always lands in `pf.gates`.
+            match &lw.w_gate_t {
+                Some(gate) => {
+                    pf.xqs.matmul_t_into(gate, &mut pf.gates);
+                    pf.xqs.matmul_t_into(&lw.w_up_t, &mut pf.ups);
+                    for (g, &u) in pf.gates.as_mut_slice().iter_mut().zip(pf.ups.as_slice()) {
+                        *g = ops::silu(*g) * u;
+                    }
+                }
+                None => {
+                    pf.xqs.matmul_t_into(&lw.w_up_t, &mut pf.gates);
+                    for g in pf.gates.as_mut_slice() {
+                        *g = ops::relu(*g);
+                    }
+                }
+            }
+            self.quant_high_block(&pf.gates, &mut pf.act_qs, quant);
+            pf.act_qs.matmul_t_into(&lw.w_down_t, &mut pf.proj);
+            for (hh, dd) in pf.hs.as_mut_slice().iter_mut().zip(pf.proj.as_slice()) {
+                *hh += dd;
+            }
+        }
+
+        *pos += n;
+        if compute_logits {
+            self.norm_into(pf.hs.row(n - 1), &self.final_norm_gain, &self.final_norm_bias, hn);
+            self.unembedding.matvec_into(hn, logits);
+            for v in logits.iter_mut() {
+                *v *= self.logit_scale;
+            }
+            // Logits are only requested for a prompt's final chunk: the
+            // prompt is consumed, so drop the chunk-sized buffers instead
+            // of carrying ~13 `chunk × d_ff`/`chunk × seq` matrices through
+            // the sequence's whole decode lifetime (they regrow lazily if
+            // another prompt chunk ever arrives).
+            *pf = PrefillScratch::default();
+        }
+    }
+
     /// Full-sequence forward pass: runs the incremental decoder over
     /// `tokens` and stacks the per-position next-token logits.
     ///
@@ -668,6 +967,43 @@ impl Model {
     fn quant_high_into(&self, x: &[f32], out: &mut [f32], scratch: &mut EncodeScratch) {
         match &self.high_q {
             Some(q) => q.quantize_dequantize_scratch(x, out, scratch),
+            None => bf16_roundtrip_into(x, out),
+        }
+    }
+
+    /// Low-bit quantization of every row of a chunk matrix through the
+    /// shared [`EncodeScratch`] — bit-identical to [`Model::quant_low_into`]
+    /// per row.
+    fn quant_low_block(&self, x: &Matrix, out: &mut Matrix, scratch: &mut EncodeScratch) {
+        match &self.low_q {
+            Some(q) => q.quantize_dequantize_block_scratch(
+                x.as_slice(),
+                x.cols(),
+                out.as_mut_slice(),
+                scratch,
+            ),
+            None => bf16_roundtrip_into(x.as_slice(), out.as_mut_slice()),
+        }
+    }
+
+    /// High-bit quantization of every row of a chunk matrix (see
+    /// [`Model::quant_low_block`]).
+    fn quant_high_block(&self, x: &Matrix, out: &mut Matrix, scratch: &mut EncodeScratch) {
+        self.quant_high_flat(x.as_slice(), x.cols(), out.as_mut_slice(), scratch);
+    }
+
+    /// High-bit quantization of `width`-wide rows of a flat row-major
+    /// block, writing straight into a flat destination — used to quantize a
+    /// chunk's K/V rows directly into the contiguous cache.
+    fn quant_high_flat(
+        &self,
+        x: &[f32],
+        width: usize,
+        out: &mut [f32],
+        scratch: &mut EncodeScratch,
+    ) {
+        match &self.high_q {
+            Some(q) => q.quantize_dequantize_block_scratch(x, width, out, scratch),
             None => bf16_roundtrip_into(x, out),
         }
     }

@@ -121,12 +121,13 @@ pub fn generate(model: &Model, prompt: &[u32], n: usize, sampler: Sampler, seed:
     assert!(!prompt.is_empty(), "empty prompt");
     let mut rng = TensorRng::seed(seed);
     let mut state: DecodeState = model.begin_decode();
-    let mut logits = model.prefill(&mut state, prompt);
+    let mut logits = vec![0.0f32; model.config().vocab];
+    model.prefill_into(&mut state, prompt, &mut logits);
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let t = sampler.pick(&logits, &mut rng);
         out.push(t);
-        logits = model.decode_step(&mut state, t);
+        model.decode_step_into(&mut state, t, &mut logits);
     }
     out
 }

@@ -170,6 +170,107 @@ fn opt_arch_optimized_matches_reference() {
     }
 }
 
+/// The fused multi-token prefill must be bit-identical to the token-by-token
+/// loop *and* to the preserved seed algorithm, for every chunk size, across
+/// scheme families: logits after the prompt, the KV caches (checked through
+/// subsequent decode steps), and the position counter.
+#[test]
+fn prefill_chunk_is_bit_identical_for_all_chunk_sizes() {
+    let schemes = [
+        ("bf16", QuantScheme::bf16()),
+        ("mxopal_w4a47", QuantScheme::mxopal_w4a47()),
+        ("mxopal_w3a35", QuantScheme::mxopal_w3a35()),
+        ("w4a47+log2", QuantScheme::mxopal_w4a47().with_log2_softmax(5)),
+    ];
+    let prompt: Vec<u32> = (0..13u32).map(|i| (i * 17 + 3) % 64).collect();
+    for (name, scheme) in schemes {
+        let model = Model::new(ModelConfig::tiny(), scheme, 42).expect("valid scheme");
+
+        // Token-by-token oracle through the optimized single-step path...
+        let mut step_state = model.begin_decode();
+        let mut step_logits = Vec::new();
+        for &t in &prompt {
+            step_logits = model.decode_step(&mut step_state, t);
+        }
+        // ...cross-checked against the preserved seed algorithm.
+        let mut ref_state = model.begin_reference_decode();
+        let mut ref_logits = Vec::new();
+        for &t in &prompt {
+            ref_logits = model.reference_decode_step(&mut ref_state, t);
+        }
+        assert!(step_logits.iter().zip(&ref_logits).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        for chunk in [1usize, 3, 8, prompt.len()] {
+            let mut state = model.begin_decode();
+            let mut logits = vec![0.0f32; model.config().vocab];
+            let mut i = 0;
+            while prompt.len() - i > chunk {
+                model.prefill_chunk(&mut state, &prompt[i..i + chunk]);
+                i += chunk;
+            }
+            model.prefill_chunk_into(&mut state, &prompt[i..], &mut logits);
+            assert_eq!(state.pos(), prompt.len(), "{name} chunk {chunk}: position drifted");
+            for (i, (a, b)) in logits.iter().zip(&step_logits).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name} chunk {chunk}: prompt logit {i} diverged: {a} vs {b}"
+                );
+            }
+            // The KV caches must match too: decode a few more greedy tokens
+            // from both states and compare every logit bit.
+            let mut fused_next = state;
+            let mut step_next = model.begin_decode();
+            for &t in &prompt {
+                model.decode_step(&mut step_next, t);
+            }
+            let mut token = ops::argmax(&logits).unwrap_or(0) as u32;
+            for extra in 0..4 {
+                let a = model.decode_step(&mut fused_next, token);
+                let b = model.decode_step(&mut step_next, token);
+                assert!(
+                    a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{name} chunk {chunk}: decode diverged {extra} steps after prefill"
+                );
+                token = ops::argmax(&a).unwrap_or(0) as u32;
+            }
+        }
+    }
+}
+
+/// `prefill_into` (the chunked driver) must agree with `prefill` and leave
+/// the state ready to decode, and `prefill_chunk` must also compose with a
+/// *resumed* prompt (prefill after some tokens were already decoded — the
+/// serving engine's incremental-admission pattern never does this today,
+/// but chunk boundaries mid-conversation must not be special).
+#[test]
+fn prefill_into_matches_prefill_and_resumes() {
+    let model = Model::new(ModelConfig::tiny(), QuantScheme::mxopal_w4a47(), 42).expect("valid");
+    let prompt: Vec<u32> = (0..37u32).map(|i| (i * 7 + 1) % 64).collect();
+
+    let mut a = model.begin_decode();
+    let mut into_logits = vec![0.0f32; model.config().vocab];
+    model.prefill_into(&mut a, &prompt, &mut into_logits);
+    let mut b = model.begin_decode();
+    let alloc_logits = model.prefill(&mut b, &prompt);
+    assert!(into_logits.iter().zip(&alloc_logits).all(|(x, y)| x.to_bits() == y.to_bits()));
+    assert_eq!(a.pos(), b.pos());
+
+    // Resume: decode two tokens, then prefill a second chunk of "prompt"
+    // positions; must equal stepping those tokens one by one.
+    let extra: Vec<u32> = vec![5, 9, 2, 44, 17];
+    let mut stepped = model.begin_decode();
+    model.prefill_into(&mut stepped, &prompt, &mut into_logits);
+    for &t in &extra {
+        model.decode_step(&mut stepped, t);
+    }
+    model.prefill_chunk_into(&mut a, &extra, &mut into_logits);
+    let probe = 3u32;
+    let x = model.decode_step(&mut a, probe);
+    let y = model.decode_step(&mut stepped, probe);
+    assert!(x.iter().zip(&y).all(|(p, q)| p.to_bits() == q.to_bits()));
+}
+
 /// The prefill fast path (logits skipped for all but the last prompt token)
 /// must not change the returned logits or the downstream decode.
 #[test]

@@ -95,6 +95,38 @@ pub trait Quantizer {
         self.quantize_dequantize_into(x, out);
     }
 
+    /// Quantizes every `width`-wide row of a flat row-major block through
+    /// one shared [`EncodeScratch`], row `i` of `x` landing in row `i` of
+    /// `out`.
+    ///
+    /// This is the chunked-prefill entry point: a fused layer pass
+    /// quantizes a whole block of token positions (post-norm activations,
+    /// the K/V rows entering the cache, FFN activations) in one call, and
+    /// reusing the workspace across the rows keeps the quantized prefill
+    /// allocation-free exactly like the single-token decode loop. Each row
+    /// is the unmodified [`Quantizer::quantize_dequantize_scratch`] kernel,
+    /// so the values are bit-identical to quantizing the rows one call at a
+    /// time — the scratch carries no state between rows, only capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`, or `x.len()`/`out.len()` differ or are not
+    /// multiples of `width`.
+    fn quantize_dequantize_block_scratch(
+        &self,
+        x: &[f32],
+        width: usize,
+        out: &mut [f32],
+        scratch: &mut EncodeScratch,
+    ) {
+        assert!(width > 0, "row width must be positive");
+        assert_eq!(x.len(), out.len(), "output length mismatch");
+        assert!(x.len().is_multiple_of(width), "block not a whole number of rows");
+        for (xi, oi) in x.chunks_exact(width).zip(out.chunks_exact_mut(width)) {
+            self.quantize_dequantize_scratch(xi, oi, scratch);
+        }
+    }
+
     /// Short human-readable name for reports ("MXINT4", "MX-OPAL3", …).
     fn name(&self) -> String;
 

@@ -104,6 +104,35 @@ proptest! {
     }
 
     #[test]
+    fn block_scratch_rows_match_per_row_calls(
+        x in block(96),
+        bits in 2u32..=8,
+        width_sel in 0usize..3,
+    ) {
+        // The chunked-prefill entry point: quantizing a whole block of
+        // token rows through one shared scratch must reproduce the per-row
+        // scratch calls bit-for-bit (the workspace carries capacity, never
+        // state) for every format family.
+        let width = [8usize, 24, 96][width_sel];
+        let quantizers: [Box<dyn Quantizer>; 3] = [
+            Box::new(MinMaxQuantizer::new(bits, 32).unwrap()),
+            Box::new(MxIntQuantizer::new(bits, 32).unwrap()),
+            Box::new(MxOpalQuantizer::new(bits, 16, 2).unwrap()),
+        ];
+        let mut scratch = EncodeScratch::new();
+        for q in &quantizers {
+            let mut fused = vec![0.0f32; x.len()];
+            q.quantize_dequantize_block_scratch(&x, width, &mut fused, &mut scratch);
+            let mut by_row = vec![0.0f32; x.len()];
+            let mut row_scratch = EncodeScratch::new();
+            for (xi, oi) in x.chunks_exact(width).zip(by_row.chunks_exact_mut(width)) {
+                q.quantize_dequantize_scratch(xi, oi, &mut row_scratch);
+            }
+            prop_assert_eq!(&fused, &by_row, "{} width {}", q.name(), width);
+        }
+    }
+
+    #[test]
     fn mxint_streaming_into_matches_block_api(x in block(96), bits in 2u32..=8) {
         // Belt and braces for the streaming MXINT rewrite: compare it
         // directly against the explicit block encode/decode composition.

@@ -133,11 +133,66 @@ pub struct ServeConfig {
     pub num_threads: usize,
     /// Dispatch policy for multi-threaded steps; see [`StepMode`].
     pub step_mode: StepMode,
+    /// Prompt positions the scheduler prefills per step, shared across the
+    /// batch (the per-step [`PrefillBudget`]). Admitted requests consume
+    /// their prompt incrementally in fused chunks of up to this many
+    /// positions, interleaved with decoding, so one long prompt can stall a
+    /// step by at most `prefill_chunk` extra forward passes instead of its
+    /// whole length. `usize::MAX` restores blocking admission (a prompt
+    /// prefills entirely in its first step). Must be at least 1; default 8.
+    pub prefill_chunk: usize,
+    /// Maximum requests waiting in the admission queue; a
+    /// [`ServeEngine::submit`] beyond this is rejected with
+    /// [`ServeError::QueueFull`] instead of growing `pending` without
+    /// bound. Must be at least 1; default `usize::MAX` (unbounded).
+    pub max_queue: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_batch: 8, max_tokens: 32, num_threads: 1, step_mode: StepMode::Auto }
+        ServeConfig {
+            max_batch: 8,
+            max_tokens: 32,
+            num_threads: 1,
+            step_mode: StepMode::Auto,
+            prefill_chunk: 8,
+            max_queue: usize::MAX,
+        }
+    }
+}
+
+/// The per-step allowance of prompt positions the scheduler may prefill.
+///
+/// One budget of [`ServeConfig::prefill_chunk`] positions is minted per
+/// [`ServeEngine::step`] and handed out round-robin over the sequences
+/// still in their `Prefilling` phase — the scan resuming just past the last
+/// grantee, so a sequence that drained the budget this step goes last the
+/// next, however many decoding neighbours sit between the prefilling slots.
+/// This bounds the prompt work any single step performs (the decode
+/// stall a long prompt can inflict) while guaranteeing every queued prompt
+/// makes progress: intake is chunked and latency-bounded rather than
+/// blocking, in the spirit of sustained-throughput DAQ pipelines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefillBudget {
+    remaining: usize,
+}
+
+impl PrefillBudget {
+    /// A fresh budget of `limit` prompt positions.
+    pub fn new(limit: usize) -> Self {
+        PrefillBudget { remaining: limit }
+    }
+
+    /// Grants up to `want` positions, returning how many were granted.
+    pub fn take(&mut self, want: usize) -> usize {
+        let granted = want.min(self.remaining);
+        self.remaining -= granted;
+        granted
+    }
+
+    /// Positions still available this step.
+    pub fn remaining(&self) -> usize {
+        self.remaining
     }
 }
 
@@ -165,6 +220,13 @@ pub enum ServeError {
         /// What is wrong with the parameters.
         reason: &'static str,
     },
+    /// The admission queue already holds [`ServeConfig::max_queue`]
+    /// requests. Backpressure for callers: retry after draining some steps
+    /// instead of letting `pending` grow without bound.
+    QueueFull {
+        /// The configured queue bound that was hit.
+        max_queue: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -178,6 +240,9 @@ impl std::fmt::Display for ServeError {
             ServeError::InvalidSampling { reason } => {
                 write!(f, "invalid sampling parameters: {reason}")
             }
+            ServeError::QueueFull { max_queue } => {
+                write!(f, "admission queue full ({max_queue} requests)")
+            }
         }
     }
 }
@@ -187,8 +252,12 @@ impl std::error::Error for ServeError {}
 /// What one call to [`ServeEngine::step`] did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StepSummary {
-    /// Requests admitted from the queue before this step.
+    /// Requests admitted from the queue before this step (they enter the
+    /// `Prefilling` phase; their prompts are consumed over later steps).
     pub admitted: usize,
+    /// Prompt positions prefilled across the batch during this step
+    /// (bounded by [`ServeConfig::prefill_chunk`]).
+    pub prefilled: usize,
     /// Tokens generated across the batch during this step.
     pub generated: usize,
     /// Requests that reached their token limit and retired.
@@ -204,21 +273,65 @@ struct Queued {
     submitted_at: Instant,
 }
 
-/// A sequence currently in the decode batch. Each owns a private
-/// [`DecodeState`] — its KV cache and scratch buffers — plus its sampler
-/// RNG, so sequences are fully isolated and can be stepped from different
-/// threads.
+/// What [`advance_sequence`] did to one sequence during one step — written
+/// by the worker that stepped it, read back by the scheduler's post-join
+/// accounting (energy, throughput counters) in batch order, so the
+/// bookkeeping is independent of thread scheduling.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct StepWork {
+    /// Cache position before this step's prefill slice (meaningful when
+    /// `prefilled > 0`).
+    prefill_start: usize,
+    /// Prompt positions consumed this step.
+    prefilled: usize,
+    /// Whether a token was sampled this step.
+    sampled: bool,
+    /// Whether a decode forward pass ran this step.
+    forwarded: bool,
+}
+
+/// A sequence currently in the batch. Each owns a private [`DecodeState`] —
+/// its KV cache and scratch buffers — plus its sampler RNG, so sequences
+/// are fully isolated and can be stepped from different threads.
+///
+/// # Lifecycle
+///
+/// An admitted sequence starts in the **`Prefilling` phase**
+/// (`prefilled < prompt.len()`): each step it consumes up to its granted
+/// share of the step's [`PrefillBudget`] in one fused
+/// [`Model::prefill_chunk`] pass, generating nothing. The step whose grant
+/// covers the last prompt position computes the prompt logits and the
+/// sequence transitions to **`Decoding`** — sampling its first token in
+/// that same step, exactly as blocking admission would have — where it
+/// advances one token per step until it retires at its limit.
 pub(crate) struct Active {
     id: RequestId,
     state: DecodeState,
     last_logits: Vec<f32>,
     tokens: Vec<u32>,
-    prompt_len: usize,
+    /// The full prompt; `prompt[..prefilled]` has been consumed.
+    prompt: Vec<u32>,
+    /// Prompt positions already in the KV cache.
+    prefilled: usize,
+    /// Prompt positions this step's scheduler granted (consumed and reset
+    /// by [`advance_sequence`]).
+    grant: usize,
+    /// Per-step activity record for post-join accounting.
+    work: StepWork,
     limit: usize,
     sampler: Sampler,
     rng: TensorRng,
     submitted_at: Instant,
+    /// Time spent in the admission queue (submission → batch slot).
+    queue_wait: std::time::Duration,
     admitted_step: u64,
+}
+
+impl Active {
+    /// Whether this sequence is still consuming its prompt.
+    fn prefilling(&self) -> bool {
+        self.prefilled < self.prompt.len()
+    }
 }
 
 /// Minimum matvec work (multiply-accumulates) a worker's chunk must carry
@@ -239,17 +352,100 @@ fn approx_macs_per_token(config: &opal_model::ModelConfig) -> u64 {
     config.decoder_params() + (config.d_model * config.vocab) as u64
 }
 
-/// Advances one sequence by one token: sample from the last logits, then —
-/// unless the sequence just hit its limit — run the next forward pass,
-/// reusing the `last_logits` buffer. Runs on worker threads; everything it
-/// touches is owned by the sequence.
+/// Decode-equivalent forward passes this sequence will run this step: its
+/// granted prefill positions (each one layer sweep of the fused chunk)
+/// plus one if it will sample (a prefill position costs about as much as a
+/// decoded token).
+fn seq_units(seq: &Active) -> u64 {
+    seq.grant as u64 + u64::from(seq.prefilled + seq.grant >= seq.prompt.len())
+}
+
+/// Exclusive end indices (all but the last) cutting `units` into `chunks`
+/// contiguous groups of near-equal sum, each with at least one element.
+fn balanced_cuts(units: &[u64], chunks: usize) -> Vec<usize> {
+    let n = units.len();
+    let chunks = chunks.clamp(1, n.max(1));
+    let total: u64 = units.iter().sum();
+    let mut cuts = Vec::with_capacity(chunks.saturating_sub(1));
+    let mut acc = 0u64;
+    let mut end = 0usize;
+    for k in 1..chunks {
+        let target = total * k as u64 / chunks as u64;
+        // Leave at least one element for each group still to cut.
+        let max_end = n - (chunks - k);
+        let min_end = end + 1;
+        while end < max_end && (end < min_end || acc + units[end] <= target) {
+            acc += units[end];
+            end += 1;
+        }
+        cuts.push(end);
+    }
+    cuts
+}
+
+/// Cuts the active batch into at most `workers` contiguous chunks weighted
+/// by per-sequence work ([`seq_units`]), not by sequence count: a sequence
+/// carrying a large prefill grant would otherwise turn its equal-count
+/// chunk into the step's straggler, idling the threads the work-based
+/// fan-out plan just justified. Cut placement is a pure function of
+/// scheduler state fixed before the fan-out, so dispatch stays
+/// deterministic (and chunk shape never affects output — sequences are
+/// independent and accounting runs post-join in batch order).
+fn split_by_work(seqs: &mut [Active], workers: usize) -> Vec<&mut [Active]> {
+    let units: Vec<u64> = seqs.iter().map(seq_units).collect();
+    let cuts = balanced_cuts(&units, workers);
+    let mut chunks = Vec::with_capacity(cuts.len() + 1);
+    let mut rest = seqs;
+    let mut prev = 0usize;
+    for &cut in &cuts {
+        let (chunk, tail) = rest.split_at_mut(cut - prev);
+        chunks.push(chunk);
+        rest = tail;
+        prev = cut;
+    }
+    chunks.push(rest);
+    chunks
+}
+
+/// Advances one sequence by one step. Runs on worker threads; everything
+/// it touches is owned by the sequence, and the work it performs is fully
+/// determined by scheduler state fixed before the fan-out (`grant`), so
+/// output is independent of thread count and dispatch mode.
+///
+/// A `Prefilling` sequence consumes its granted prompt slice in one fused
+/// [`Model::prefill_chunk`] pass; if the grant covers the rest of the
+/// prompt it computes the prompt logits and falls through to `Decoding`.
+/// A `Decoding` sequence samples from the last logits, then — unless it
+/// just hit its limit — runs the next forward pass, reusing the
+/// `last_logits` buffer.
 pub(crate) fn advance_sequence(model: &Model, seq: &mut Active) {
+    seq.work = StepWork::default();
+    if seq.prefilling() {
+        let grant = std::mem::take(&mut seq.grant);
+        if grant == 0 {
+            return; // another sequence drained this step's budget
+        }
+        let start = seq.prefilled;
+        let end = start + grant; // the scheduler never grants past the prompt
+        seq.work.prefill_start = start;
+        seq.work.prefilled = grant;
+        seq.prefilled = end;
+        if end < seq.prompt.len() {
+            model.prefill_chunk(&mut seq.state, &seq.prompt[start..end]);
+            return;
+        }
+        // Final chunk: materialize the prompt logits and sample the first
+        // token in this same step, exactly like blocking admission did.
+        model.prefill_chunk_into(&mut seq.state, &seq.prompt[start..end], &mut seq.last_logits);
+    }
     let token = seq.sampler.pick(&seq.last_logits, &mut seq.rng);
     seq.tokens.push(token);
+    seq.work.sampled = true;
     // A sequence that just hit its limit retires without another forward
     // pass — its next logits would be discarded.
     if seq.tokens.len() < seq.limit {
         model.decode_step_into(&mut seq.state, token, &mut seq.last_logits);
+        seq.work.forwarded = true;
     }
 }
 
@@ -287,7 +483,51 @@ pub struct ServeEngine<'m> {
     generated_tokens: u64,
     peak_batch: usize,
     energy_j: f64,
+    /// Rotates which `Prefilling` sequence gets first claim on each step's
+    /// [`PrefillBudget`] (the round-robin fairness policy).
+    prefill_cursor: usize,
+    /// Prefix sums of per-position prefill energy (see [`PrefillEnergy`]).
+    prefill_energy: PrefillEnergy,
     started_at: Option<Instant>,
+}
+
+/// Lazily-extended prefix sums of per-position prefill energy:
+/// `prefix[n] = Σ_{pos=1..=n} energy_per_token(pos)`, accumulated
+/// sequentially in `f64` — the exact sum the retired per-position admission
+/// loop produced.
+///
+/// Charging a prompt slice covering cache positions `(start, start+n]` is
+/// then one subtraction, `prefix[start+n] − prefix[start]`: amortized O(1)
+/// per admission regardless of prompt length (each position's energy is
+/// evaluated once per engine lifetime and shared by every later request),
+/// where the old loop re-evaluated the analytical accelerator model once
+/// per prompt position per request.
+#[derive(Debug)]
+struct PrefillEnergy {
+    prefix: Vec<f64>,
+}
+
+impl PrefillEnergy {
+    fn new() -> Self {
+        PrefillEnergy { prefix: vec![0.0] }
+    }
+
+    /// Energy of prefilling cache positions `(start, start+n]`.
+    fn range_j(
+        &mut self,
+        acc: &Accelerator,
+        config: &opal_model::ModelConfig,
+        start: usize,
+        n: usize,
+    ) -> f64 {
+        let end = start + n;
+        while self.prefix.len() <= end {
+            let pos = self.prefix.len();
+            let last = *self.prefix.last().expect("prefix is never empty");
+            self.prefix.push(last + acc.energy_per_token(config, pos).total_j());
+        }
+        self.prefix[end] - self.prefix[start]
+    }
 }
 
 impl<'m> ServeEngine<'m> {
@@ -297,6 +537,8 @@ impl<'m> ServeEngine<'m> {
         assert!(config.max_batch > 0, "max_batch must be at least 1");
         assert!(config.max_tokens > 0, "max_tokens must be at least 1");
         assert!(config.num_threads > 0, "num_threads must be at least 1");
+        assert!(config.prefill_chunk > 0, "prefill_chunk must be at least 1");
+        assert!(config.max_queue > 0, "max_queue must be at least 1");
         ServeEngine {
             model,
             accelerator: None,
@@ -311,6 +553,8 @@ impl<'m> ServeEngine<'m> {
             generated_tokens: 0,
             peak_batch: 0,
             energy_j: 0.0,
+            prefill_cursor: 0,
+            prefill_energy: PrefillEnergy::new(),
             started_at: None,
         }
     }
@@ -321,6 +565,9 @@ impl<'m> ServeEngine<'m> {
     /// [`ServeReport::energy_j`].
     #[must_use]
     pub fn with_accelerator(mut self, accelerator: Accelerator) -> Self {
+        // The prefix sums cache per-position energies of the *current*
+        // accelerator; swapping models mid-life must not mix the two.
+        self.prefill_energy = PrefillEnergy::new();
         self.accelerator = Some(accelerator);
         self
     }
@@ -340,9 +587,16 @@ impl<'m> ServeEngine<'m> {
         self.pending.len()
     }
 
-    /// Sequences currently decoding.
+    /// Sequences currently in the batch (prefilling or decoding).
     pub fn active_len(&self) -> usize {
         self.active.len()
+    }
+
+    /// Batch sequences still consuming their prompt (the `Prefilling`
+    /// phase). Useful for benchmarks and operators separating admission
+    /// latency from steady-state decode.
+    pub fn prefilling_len(&self) -> usize {
+        self.active.iter().filter(|s| s.prefilling()).count()
     }
 
     /// Enqueues a request generating the configured default
@@ -381,11 +635,12 @@ impl<'m> ServeEngine<'m> {
     ///
     /// # Errors
     ///
-    /// Rejects empty prompts, out-of-vocabulary tokens, a zero token limit
-    /// (which could never retire sanely: the first step would sample a
-    /// token the limit says must not exist), and invalid sampling
-    /// parameters (which would panic mid-step on a worker thread instead
-    /// of failing at the API boundary).
+    /// Rejects submissions while the admission queue is at
+    /// [`ServeConfig::max_queue`] (backpressure), empty prompts,
+    /// out-of-vocabulary tokens, a zero token limit (which could never
+    /// retire sanely: the first step would sample a token the limit says
+    /// must not exist), and invalid sampling parameters (which would panic
+    /// mid-step on a worker thread instead of failing at the API boundary).
     pub fn submit_request(&mut self, request: Request) -> Result<RequestId, ServeError> {
         if request.prompt.is_empty() {
             return Err(ServeError::EmptyPrompt);
@@ -401,6 +656,11 @@ impl<'m> ServeEngine<'m> {
         if let Some(&bad) = request.prompt.iter().find(|&&t| t as usize >= vocab) {
             return Err(ServeError::TokenOutOfRange { token: bad, vocab });
         }
+        // Capacity last: a permanently-invalid request must surface its own
+        // error, not a retryable `QueueFull` the client would wait out.
+        if self.pending.len() >= self.config.max_queue {
+            return Err(ServeError::QueueFull { max_queue: self.config.max_queue });
+        }
         let id = RequestId(self.next_id);
         self.next_id += 1;
         self.pending.push_back(Queued {
@@ -413,29 +673,35 @@ impl<'m> ServeEngine<'m> {
         Ok(id)
     }
 
-    /// Admits queued requests into free batch slots, prefilling their
-    /// prompts. Returns the number admitted. Called automatically by
-    /// [`step`](Self::step).
+    /// Admits queued requests into free batch slots. Returns the number
+    /// admitted. Called automatically by [`step`](Self::step).
+    ///
+    /// Admission is O(1) per request and independent of prompt length: an
+    /// admitted request merely enters its `Prefilling` phase — its prompt
+    /// is consumed incrementally by later steps under the per-step
+    /// [`PrefillBudget`], never synchronously here (the pre-rewrite
+    /// scheduler prefilled the whole prompt inside `admit`, stalling every
+    /// active decode behind the longest prompt in the queue).
     pub fn admit(&mut self) -> usize {
         let mut admitted = 0;
         while self.active.len() < self.config.max_batch {
             let Some(q) = self.pending.pop_front() else { break };
-            let mut state = self.model.begin_decode();
-            let last_logits = self.model.prefill(&mut state, &q.prompt);
-            for pos in 1..=q.prompt.len() {
-                self.charge_energy(pos);
-            }
-            self.prefill_tokens += q.prompt.len() as u64;
             self.active.push(Active {
                 id: q.id,
-                state,
-                last_logits,
-                tokens: Vec::with_capacity(q.limit),
-                prompt_len: q.prompt.len(),
+                state: self.model.begin_decode(),
+                last_logits: vec![0.0; self.model.config().vocab],
+                // Capacity is only a hint: effectively-unbounded limits
+                // (long-running residents) must not reserve absurd buffers.
+                tokens: Vec::with_capacity(q.limit.min(4096)),
+                prompt: q.prompt,
+                prefilled: 0,
+                grant: 0,
+                work: StepWork::default(),
                 limit: q.limit,
                 sampler: q.sampling.sampler,
                 rng: TensorRng::seed(q.sampling.seed),
                 submitted_at: q.submitted_at,
+                queue_wait: q.submitted_at.elapsed(),
                 admitted_step: self.steps,
             });
             admitted += 1;
@@ -444,20 +710,24 @@ impl<'m> ServeEngine<'m> {
         admitted
     }
 
-    /// Runs one scheduler step: admit what fits, then advance every active
-    /// sequence by exactly one token (sampled per the request's
-    /// [`SamplingParams`], greedy by default), then retire sequences that
-    /// hit their limit. A step with nothing to do is a no-op.
+    /// Runs one scheduler step: admit what fits, hand out the step's
+    /// [`PrefillBudget`] round-robin over `Prefilling` sequences, then
+    /// advance every active sequence — a granted prefill chunk for
+    /// prefilling sequences, one sampled token (per the request's
+    /// [`SamplingParams`], greedy by default) for decoding ones — and
+    /// finally retire sequences that hit their limit. A step with nothing
+    /// to do is a no-op.
     ///
     /// With [`ServeConfig::num_threads`] > 1 the active batch is split into
     /// contiguous chunks stepped by the engine's persistent worker pool
     /// (spawned lazily by the first step that fans out; [`StepMode::Auto`]
     /// keeps small steps on the caller's thread entirely). The model is
     /// shared immutably; every mutable structure (KV cache, scratch,
-    /// sampler RNG, output buffer) is owned by exactly one sequence, and
-    /// energy accounting and retirement run after the join in batch order —
-    /// so results are deterministic and identical to `num_threads == 1`
-    /// under every [`StepMode`].
+    /// sampler RNG, output buffer) is owned by exactly one sequence, the
+    /// work each worker performs is fixed by scheduler state decided before
+    /// the fan-out, and energy accounting and retirement run after the join
+    /// in batch order — so results are deterministic and identical to
+    /// `num_threads == 1` under every [`StepMode`].
     pub fn step(&mut self) -> StepSummary {
         let admitted = self.admit();
         let mut summary = StepSummary { admitted, ..StepSummary::default() };
@@ -468,65 +738,105 @@ impl<'m> ServeEngine<'m> {
             self.started_at = Some(Instant::now());
         }
 
+        // Hand out this step's prefill budget before any fan-out. The scan
+        // starts at the rotating cursor and the cursor advances to just
+        // past the last sequence that received a grant, so a prompt that
+        // drained the budget goes last next step — round-robin over the
+        // *prefilling* sequences, regardless of how many decoding
+        // neighbours sit between them in the slot order (advancing the
+        // cursor one slot per step would let a long prompt in a low slot
+        // reclaim the whole budget on almost every step).
+        let batch = self.active.len();
+        if self.active.iter().any(Active::prefilling) {
+            let mut budget = PrefillBudget::new(self.config.prefill_chunk);
+            let start = self.prefill_cursor % batch;
+            let mut last_grantee = None;
+            for i in 0..batch {
+                if budget.remaining() == 0 {
+                    break;
+                }
+                let idx = (start + i) % batch;
+                let seq = &mut self.active[idx];
+                if seq.prefilling() {
+                    seq.grant = budget.take(seq.prompt.len() - seq.prefilled);
+                    if seq.grant > 0 {
+                        last_grantee = Some(idx);
+                    }
+                }
+            }
+            self.prefill_cursor = match last_grantee {
+                Some(idx) => idx + 1,
+                None => self.prefill_cursor.wrapping_add(1),
+            };
+        }
+
         let model = self.model;
         let workers = self.plan_workers();
         if workers <= 1 {
             for seq in &mut self.active {
                 advance_sequence(model, seq);
             }
+        } else if self.config.step_mode == StepMode::ForceScoped {
+            let mut chunks = split_by_work(&mut self.active, workers).into_iter();
+            let first = chunks.next();
+            std::thread::scope(|scope| {
+                for chunk in chunks.by_ref() {
+                    scope.spawn(move || {
+                        for seq in chunk {
+                            advance_sequence(model, seq);
+                        }
+                    });
+                }
+                // The caller's thread works the first chunk instead of
+                // idling at the join — one fewer spawn per step.
+                for seq in first.into_iter().flatten() {
+                    advance_sequence(model, seq);
+                }
+            });
         } else {
-            let chunk_size = self.active.len().div_ceil(workers);
-            if self.config.step_mode == StepMode::ForceScoped {
-                let mut chunks = self.active.chunks_mut(chunk_size);
-                let first = chunks.next();
-                std::thread::scope(|scope| {
-                    for chunk in chunks.by_ref() {
-                        scope.spawn(move || {
-                            for seq in chunk {
-                                advance_sequence(model, seq);
-                            }
-                        });
-                    }
-                    // The caller's thread works the first chunk instead of
-                    // idling at the join — one fewer spawn per step.
-                    for seq in first.into_iter().flatten() {
-                        advance_sequence(model, seq);
-                    }
-                });
-            } else {
-                // Pool size is fixed at first fan-out: `ForcePool` may use
-                // every configured thread, but `Auto` never plans beyond
-                // the host's cores — don't park threads that can never
-                // receive work (num_threads = 16 on a 4-core box would
-                // otherwise idle 12 stacks for the engine's lifetime).
-                let size = match self.config.step_mode {
-                    StepMode::Auto => {
-                        let cores =
-                            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-                        self.config.num_threads.min(cores) - 1
-                    }
-                    _ => self.config.num_threads - 1,
-                };
-                let pool = self.pool.get_or_insert_with(|| WorkerPool::new(size));
-                // `available_parallelism` can in principle change after the
-                // pool is sized; never cut more chunks than pool + caller.
-                let workers = workers.min(pool.len() + 1);
-                let chunk_size = self.active.len().div_ceil(workers);
-                pool.step_chunks(model, self.active.chunks_mut(chunk_size));
-            }
+            // Pool size is fixed at first fan-out: `ForcePool` may use
+            // every configured thread, but `Auto` never plans beyond
+            // the host's cores — don't park threads that can never
+            // receive work (num_threads = 16 on a 4-core box would
+            // otherwise idle 12 stacks for the engine's lifetime).
+            let size = match self.config.step_mode {
+                StepMode::Auto => {
+                    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+                    self.config.num_threads.min(cores) - 1
+                }
+                _ => self.config.num_threads - 1,
+            };
+            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(size));
+            // `available_parallelism` can in principle change after the
+            // pool is sized; never cut more chunks than pool + caller.
+            let workers = workers.min(pool.len() + 1);
+            pool.step_chunks(model, split_by_work(&mut self.active, workers).into_iter());
         }
-        summary.generated = self.active.len();
+        for seq in &self.active {
+            summary.prefilled += seq.work.prefilled;
+            summary.generated += usize::from(seq.work.sampled);
+        }
         // Charge energy post-join, in batch order, so the f64 accumulation
-        // is independent of thread scheduling. A sequence at its limit did
-        // not run a forward pass this step.
+        // is independent of thread scheduling — prefill charges before
+        // decode charges, matching the order the blocking scheduler used
+        // (admission first, then the step's forward passes). A sequence at
+        // its limit did not run a forward pass this step.
         if let Some(acc) = &self.accelerator {
+            let config = self.model.config();
             for seq in &self.active {
-                if seq.tokens.len() < seq.limit {
+                let w = seq.work;
+                if w.prefilled > 0 {
                     self.energy_j +=
-                        acc.energy_per_token(self.model.config(), seq.state.pos()).total_j();
+                        self.prefill_energy.range_j(acc, config, w.prefill_start, w.prefilled);
+                }
+            }
+            for seq in &self.active {
+                if seq.work.forwarded {
+                    self.energy_j += acc.energy_per_token(config, seq.state.pos()).total_j();
                 }
             }
         }
+        self.prefill_tokens += summary.prefilled as u64;
         self.generated_tokens += summary.generated as u64;
         self.steps += 1;
 
@@ -538,10 +848,11 @@ impl<'m> ServeEngine<'m> {
             }
             retired.push(RequestReport {
                 id: seq.id,
-                prompt_len: seq.prompt_len,
+                prompt_len: seq.prompt.len(),
                 tokens: std::mem::take(&mut seq.tokens),
                 admitted_step: seq.admitted_step,
                 finished_step: steps,
+                queue_wait: seq.queue_wait,
                 latency: seq.submitted_at.elapsed(),
             });
             false
@@ -568,7 +879,11 @@ impl<'m> ServeEngine<'m> {
     ///   ignored — it only grows the true work, so the gate errs toward
     ///   serial.
     fn plan_workers(&self) -> usize {
-        self.planned_threads(self.active.len())
+        // Work this step ≈ one decode-equivalent pass per granted prefill
+        // position, plus one per sequence that will sample (a prefill
+        // position costs the same layer sweep as a decoded token).
+        let units: u64 = self.active.iter().map(seq_units).sum();
+        self.planned_threads_for(self.active.len(), units)
     }
 
     /// The number of threads (caller included) a decode step would use with
@@ -581,6 +896,13 @@ impl<'m> ServeEngine<'m> {
     /// `num_threads = 4` the *same execution* as `num_threads = 1` rather
     /// than a slower one.
     pub fn planned_threads(&self, batch: usize) -> usize {
+        self.planned_threads_for(batch, batch as u64)
+    }
+
+    /// [`ServeEngine::planned_threads`] with an explicit work estimate:
+    /// `units` decode-equivalent forward passes across the step (each
+    /// granted prefill position counts as one).
+    fn planned_threads_for(&self, batch: usize, units: u64) -> usize {
         let cap = self.config.num_threads.min(batch);
         match self.config.step_mode {
             StepMode::ForcePool | StepMode::ForceScoped => cap,
@@ -590,8 +912,7 @@ impl<'m> ServeEngine<'m> {
                 if cap <= 1 {
                     return 1;
                 }
-                let total_macs =
-                    approx_macs_per_token(self.model.config()).saturating_mul(batch as u64);
+                let total_macs = approx_macs_per_token(self.model.config()).saturating_mul(units);
                 cap.min((total_macs / FANOUT_MIN_MACS_PER_WORKER).max(1) as usize)
             }
         }
@@ -635,12 +956,6 @@ impl<'m> ServeEngine<'m> {
             generated_per_sec: if secs > 0.0 { self.generated_tokens as f64 / secs } else { 0.0 },
             energy_j: self.energy_j,
             requests,
-        }
-    }
-
-    fn charge_energy(&mut self, seq_len: usize) {
-        if let Some(acc) = &self.accelerator {
-            self.energy_j += acc.energy_per_token(self.model.config(), seq_len.max(1)).total_j();
         }
     }
 }
@@ -789,6 +1104,278 @@ mod tests {
         e.submit_request(Request::new(&[1, 2]).with_limit(2).with_sampling(ok)).unwrap();
         let report = e.run();
         assert_eq!(report.requests.len(), 1);
+    }
+
+    #[test]
+    fn queue_full_rejected_at_submission() {
+        // Regression guard for unbounded `pending` growth: the bound holds
+        // on every submission path, and draining the queue frees capacity.
+        let m = model();
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig { max_batch: 1, max_tokens: 1, max_queue: 2, ..ServeConfig::default() },
+        );
+        e.submit(&[1]).unwrap();
+        e.submit(&[2]).unwrap();
+        assert_eq!(e.submit(&[3]), Err(ServeError::QueueFull { max_queue: 2 }));
+        assert_eq!(e.submit_with_limit(&[3], 1), Err(ServeError::QueueFull { max_queue: 2 }));
+        assert_eq!(
+            e.submit_request(Request::new(&[3])),
+            Err(ServeError::QueueFull { max_queue: 2 })
+        );
+        assert_eq!(e.pending_len(), 2);
+        // One step admits a request into the freed batch slot; capacity is
+        // available again.
+        e.step();
+        assert!(e.pending_len() < 2);
+        e.submit(&[3]).unwrap();
+        let report = e.run();
+        assert_eq!(report.requests.len(), 3);
+    }
+
+    #[test]
+    fn chunked_prefill_consumes_prompts_incrementally() {
+        let m = model();
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig { max_batch: 2, max_tokens: 2, prefill_chunk: 2, ..ServeConfig::default() },
+        );
+        e.submit(&[1, 2, 3, 4, 5]).unwrap();
+        // Step 1: admission + first chunk. Nothing decodes yet.
+        let s1 = e.step();
+        assert_eq!((s1.admitted, s1.prefilled, s1.generated), (1, 2, 0));
+        assert_eq!(e.prefilling_len(), 1);
+        // Step 2: second chunk.
+        let s2 = e.step();
+        assert_eq!((s2.admitted, s2.prefilled, s2.generated), (0, 2, 0));
+        // Step 3: final prompt position + the first sampled token, in the
+        // same step (blocking admission parity).
+        let s3 = e.step();
+        assert_eq!((s3.prefilled, s3.generated), (1, 1));
+        assert_eq!(e.prefilling_len(), 0);
+        let s4 = e.step();
+        assert_eq!((s4.prefilled, s4.generated, s4.finished), (0, 1, 1));
+        let report = e.report(std::time::Duration::from_millis(1));
+        assert_eq!(report.prefill_tokens, 5);
+        assert_eq!(report.generated_tokens, 2);
+    }
+
+    #[test]
+    fn chunked_admission_matches_blocking_tokens_and_steps() {
+        // `prefill_chunk = usize::MAX` is the blocking scheduler: one step
+        // consumes the whole prompt and samples the first token. Chunked
+        // admission must produce the same tokens (logits are bit-identical)
+        // while spreading the prompt over more steps.
+        let m = model();
+        let run = |chunk: usize| {
+            let mut e = ServeEngine::new(
+                &m,
+                ServeConfig {
+                    max_batch: 2,
+                    max_tokens: 4,
+                    prefill_chunk: chunk,
+                    ..ServeConfig::default()
+                },
+            );
+            let a = e.submit(&[1, 2, 3, 4, 5, 6, 7]).unwrap();
+            let b = e.submit(&[9, 8]).unwrap();
+            let report = e.run();
+            (
+                report.request(a).unwrap().tokens.clone(),
+                report.request(b).unwrap().tokens.clone(),
+                report.steps,
+            )
+        };
+        let (a_blocking, b_blocking, steps_blocking) = run(usize::MAX);
+        for chunk in [1usize, 3, 8] {
+            let (a, b, steps) = run(chunk);
+            assert_eq!(a, a_blocking, "chunk {chunk}");
+            assert_eq!(b, b_blocking, "chunk {chunk}");
+            if chunk < 8 {
+                assert!(steps > steps_blocking, "chunk {chunk} must spread prompt work");
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_budget_grants_round_robin() {
+        let mut b = PrefillBudget::new(4);
+        assert_eq!(b.take(3), 3);
+        assert_eq!(b.remaining(), 1);
+        assert_eq!(b.take(5), 1);
+        assert_eq!(b.take(2), 0);
+        // Two equally long prompts sharing one budget finish their prefill
+        // within one step of each other — neither starves.
+        let m = model();
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig { max_batch: 2, max_tokens: 2, prefill_chunk: 4, ..ServeConfig::default() },
+        );
+        let long_a: Vec<u32> = (0..10u32).collect();
+        let long_b: Vec<u32> = (10..20u32).collect();
+        let a = e.submit(&long_a).unwrap();
+        let b = e.submit(&long_b).unwrap();
+        let report = e.run();
+        let (ra, rb) = (report.request(a).unwrap(), report.request(b).unwrap());
+        assert!(
+            ra.finished_step.abs_diff(rb.finished_step) <= 1,
+            "round-robin budget must not starve one prompt: {} vs {}",
+            ra.finished_step,
+            rb.finished_step
+        );
+        // And every step's prompt work stayed within the budget.
+        assert!(report.steps >= (20 / 4) as u64);
+    }
+
+    #[test]
+    fn prefill_round_robin_skips_decoding_neighbours() {
+        // Two long prompts admitted into a batch dominated by decoding
+        // residents: the budget cursor must alternate between the two
+        // *prefilling* sequences, not between batch slots — rotating one
+        // slot per step would let the lower-slot prompt reclaim the whole
+        // budget on almost every step and starve the other.
+        let m = model();
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig {
+                max_batch: 8,
+                max_tokens: 64,
+                prefill_chunk: 4,
+                ..ServeConfig::default()
+            },
+        );
+        for i in 0..6u32 {
+            e.submit_with_limit(&[i + 1, i + 2], 64).unwrap();
+        }
+        for _ in 0..3 {
+            e.step();
+        }
+        let long_a: Vec<u32> = (0..24u32).collect();
+        let long_b: Vec<u32> = (24..48u32).collect();
+        let a = e.submit(&long_a).unwrap();
+        let b = e.submit(&long_b).unwrap();
+        let report = e.run();
+        let (ra, rb) = (report.request(a).unwrap(), report.request(b).unwrap());
+        // Fair share: each prompt needs 24/4 = 6 granted steps; alternating
+        // grants finish them within one step of each other. Slot-based
+        // rotation would push B's finish ~6 steps past A's.
+        assert!(
+            ra.finished_step.abs_diff(rb.finished_step) <= 1,
+            "budget rotation starved a prompt behind decoding neighbours: {} vs {}",
+            ra.finished_step,
+            rb.finished_step
+        );
+    }
+
+    #[test]
+    fn invalid_request_reported_over_queue_full() {
+        // A permanently-invalid request must surface its own error even
+        // when the queue is full — `QueueFull` is a retryable signal.
+        let m = model();
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig { max_batch: 1, max_tokens: 1, max_queue: 1, ..ServeConfig::default() },
+        );
+        e.submit(&[1]).unwrap();
+        assert_eq!(e.submit(&[2]), Err(ServeError::QueueFull { max_queue: 1 }));
+        assert_eq!(e.submit(&[]), Err(ServeError::EmptyPrompt));
+        assert_eq!(e.submit_with_limit(&[1], 0), Err(ServeError::ZeroTokenLimit));
+    }
+
+    #[test]
+    fn batched_prefill_charge_matches_per_position_loop() {
+        // The admission energy charge is a prefix-sum subtraction now; it
+        // must reproduce the retired per-position loop *exactly* (the
+        // prefix sums accumulate in the same order the loop did).
+        use opal_hw::accelerator::{Accelerator, AcceleratorKind};
+        let m = model();
+        let acc = Accelerator::new(AcceleratorKind::OpalW4A47);
+        let prompt: Vec<u32> = (0..9u32).collect();
+        let limit = 3usize;
+
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig {
+                max_batch: 1,
+                max_tokens: limit,
+                prefill_chunk: usize::MAX,
+                ..ServeConfig::default()
+            },
+        )
+        .with_accelerator(acc.clone());
+        e.submit(&prompt).unwrap();
+        let report = e.run();
+
+        // Oracle: the blocking scheduler's charge order — per-position
+        // prefill loop first, then one decode charge per forward pass.
+        let mut expected = 0.0f64;
+        for pos in 1..=prompt.len() {
+            expected += acc.energy_per_token(m.config(), pos).total_j();
+        }
+        for step in 0..limit - 1 {
+            expected += acc.energy_per_token(m.config(), prompt.len() + 1 + step).total_j();
+        }
+        assert_eq!(report.energy_j.to_bits(), expected.to_bits(), "energy drifted from the loop");
+    }
+
+    #[test]
+    fn chunked_energy_matches_blocking_admission() {
+        use opal_hw::accelerator::{Accelerator, AcceleratorKind};
+        let m = model();
+        let run = |chunk: usize| {
+            let mut e = ServeEngine::new(
+                &m,
+                ServeConfig {
+                    max_batch: 1,
+                    max_tokens: 3,
+                    prefill_chunk: chunk,
+                    ..ServeConfig::default()
+                },
+            )
+            .with_accelerator(Accelerator::new(AcceleratorKind::OpalW4A47));
+            e.submit(&[1, 2, 3, 4, 5, 6, 7, 8, 9]).unwrap();
+            e.run().energy_j
+        };
+        let blocking = run(usize::MAX);
+        for chunk in [2usize, 4] {
+            let chunked = run(chunk);
+            // Chunk-boundary prefix subtractions can round differently by a
+            // few ULPs; the physical accounting must be identical.
+            let rel = ((chunked - blocking) / blocking).abs();
+            assert!(rel < 1e-12, "chunk {chunk}: energy drifted {rel}");
+        }
+    }
+
+    #[test]
+    fn balanced_cuts_weight_chunks_by_work() {
+        // Uniform work: same boundaries as equal-count chunking.
+        assert_eq!(balanced_cuts(&[1; 16], 4), vec![4, 8, 12]);
+        // One heavy sequence (a big prefill grant) gets its own chunk
+        // instead of dragging three decoders along as the straggler.
+        assert_eq!(balanced_cuts(&[8, 1, 1, 1], 2), vec![1]);
+        assert_eq!(balanced_cuts(&[1, 1, 1, 8], 2), vec![3]);
+        // Every group keeps at least one element, even with zero work.
+        assert_eq!(balanced_cuts(&[0, 0, 0], 3), vec![1, 2]);
+        assert_eq!(balanced_cuts(&[5, 5], 4), vec![1]);
+        assert_eq!(balanced_cuts(&[3], 1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn queue_wait_is_recorded_per_request() {
+        let m = model();
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig { max_batch: 1, max_tokens: 4, ..ServeConfig::default() },
+        );
+        let first = e.submit(&[1, 2]).unwrap();
+        let second = e.submit(&[3, 4]).unwrap();
+        let report = e.run();
+        let (r1, r2) = (report.request(first).unwrap(), report.request(second).unwrap());
+        // The second request sat in the queue while the first decoded.
+        assert!(r2.queue_wait >= r1.queue_wait);
+        assert!(r1.latency >= r1.queue_wait);
+        assert!(r2.latency >= r2.queue_wait);
+        assert!(report.mean_queue_wait() <= report.mean_latency());
     }
 
     #[test]

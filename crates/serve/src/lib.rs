@@ -5,16 +5,22 @@
 //! flight: each decode step advances every active sequence by one token,
 //! new requests are admitted between steps as soon as a batch slot frees up
 //! (continuous batching), and every sequence owns its own KV cache so
-//! admissions never perturb neighbours.
+//! admissions never perturb neighbours. Admission itself is *chunked and
+//! fairness-aware*: a freshly admitted request consumes its prompt in fused
+//! multi-token chunks under a per-step [`PrefillBudget`]
+//! ([`ServeConfig::prefill_chunk`], granted round-robin between prompts),
+//! so a long prompt bounds — rather than monopolizes — every step it shares
+//! with decoding neighbours.
 //!
 //! This crate layers that scheduler on top of
-//! [`opal_model::Model::decode_step`], the same single-step API the
-//! single-sequence generation loop uses — both paths share one decoder
-//! code path, so a batch of one is token-identical to
-//! `OpalPipeline::generate`. Energy is accounted per decoded token through
-//! the [`opal_hw::accelerator::Accelerator`] analytical model, giving each
-//! [`ServeReport`] an aggregate energy figure alongside throughput and
-//! per-request latency.
+//! [`opal_model::Model::decode_step`] and the fused
+//! [`opal_model::Model::prefill_chunk`], the same APIs the single-sequence
+//! generation loop uses — all paths share one decoder code path, so a batch
+//! of one is token-identical to `OpalPipeline::generate` for every chunk
+//! size. Energy is accounted per forward pass through the
+//! [`opal_hw::accelerator::Accelerator`] analytical model, giving each
+//! [`ServeReport`] an aggregate energy figure alongside throughput,
+//! per-request latency and queue wait.
 //!
 //! # Example
 //!
@@ -49,6 +55,7 @@ mod pool;
 mod report;
 
 pub use engine::{
-    Request, RequestId, SamplingParams, ServeConfig, ServeEngine, ServeError, StepMode, StepSummary,
+    PrefillBudget, Request, RequestId, SamplingParams, ServeConfig, ServeEngine, ServeError,
+    StepMode, StepSummary,
 };
 pub use report::{RequestReport, ServeReport};

@@ -13,17 +13,25 @@ pub struct RequestReport {
     pub prompt_len: usize,
     /// The generated tokens, in order.
     pub tokens: Vec<u32>,
-    /// Scheduler step at which the request entered the batch.
+    /// Scheduler step at which the request entered the batch (the start of
+    /// its `Prefilling` phase).
     pub admitted_step: u64,
     /// Scheduler step at which the request retired.
     pub finished_step: u64,
+    /// Wall time spent waiting in the admission queue (submission → batch
+    /// slot). Under chunked admission this is the fairness-sensitive
+    /// number: a long prompt ahead in the queue costs bounded per-step
+    /// work, not its whole prefill, before this request gets a slot.
+    pub queue_wait: Duration,
     /// Wall time from submission to retirement.
     pub latency: Duration,
 }
 
 impl RequestReport {
-    /// Decode steps spent in the batch (equals generated tokens under the
-    /// one-token-per-step scheduler).
+    /// Scheduler steps spent in the batch: the chunked-prefill steps of the
+    /// `Prefilling` phase plus one step per generated token (with blocking
+    /// admission — `prefill_chunk = usize::MAX` — this equals the generated
+    /// token count).
     pub fn decode_steps(&self) -> u64 {
         self.finished_step - self.admitted_step
     }
@@ -68,6 +76,16 @@ impl ServeReport {
         total / self.requests.len() as u32
     }
 
+    /// Mean time finished requests spent in the admission queue, or zero
+    /// when no request finished.
+    pub fn mean_queue_wait(&self) -> Duration {
+        if self.requests.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.requests.iter().map(|r| r.queue_wait).sum();
+        total / self.requests.len() as u32
+    }
+
     /// Energy per generated token in joules, or zero without accounting.
     pub fn energy_per_generated_token(&self) -> f64 {
         if self.generated_tokens == 0 {
@@ -98,7 +116,12 @@ impl std::fmt::Display for ServeReport {
             "  throughput: {:.1} tok/s total, {:.1} tok/s generated",
             self.tokens_per_sec, self.generated_per_sec
         )?;
-        writeln!(f, "  mean latency: {:.3?}", self.mean_latency())?;
+        writeln!(
+            f,
+            "  mean latency: {:.3?} (queue wait {:.3?})",
+            self.mean_latency(),
+            self.mean_queue_wait()
+        )?;
         if self.energy_j > 0.0 {
             writeln!(
                 f,

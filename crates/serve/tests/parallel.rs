@@ -31,8 +31,13 @@ fn parallel_step_matches_sequential_for_mixed_prompts() {
     let mut outputs = Vec::new();
     for step_mode in MODES {
         for threads in [1usize, 4, 16] {
-            let config =
-                ServeConfig { max_batch: 16, max_tokens: n, num_threads: threads, step_mode };
+            let config = ServeConfig {
+                max_batch: 16,
+                max_tokens: n,
+                num_threads: threads,
+                step_mode,
+                ..ServeConfig::default()
+            };
             let mut engine = ServeEngine::new(p.student(), config);
             let ids: Vec<_> =
                 prompts.iter().map(|pr| engine.submit(pr).expect("valid prompt")).collect();
@@ -68,7 +73,13 @@ fn pool_is_deterministic_under_mid_run_admission_and_retirement() {
     let limit = |i: usize| 3 + (i * 5) % 9;
 
     let run = |step_mode: StepMode, threads: usize| -> Vec<Vec<u32>> {
-        let config = ServeConfig { max_batch: 4, max_tokens: 16, num_threads: threads, step_mode };
+        let config = ServeConfig {
+            max_batch: 4,
+            max_tokens: 16,
+            num_threads: threads,
+            step_mode,
+            ..ServeConfig::default()
+        };
         let mut engine = ServeEngine::new(p.student(), config);
         // Submit in two waves with steps in between, so admission happens
         // both into a fresh batch and into one mid-decode.
@@ -102,6 +113,54 @@ fn pool_is_deterministic_under_mid_run_admission_and_retirement() {
     }
 }
 
+/// Chunked, fairness-aware admission under every dispatch mode: long
+/// prompts consumed a few positions per step, interleaved with decode,
+/// while slots churn — output must be identical to the solo run for every
+/// `prefill_chunk`, `StepMode` and thread count (prefill grants are fixed
+/// by scheduler state before any fan-out, so workers cannot race on them).
+#[test]
+fn chunked_admission_is_deterministic_across_modes_and_threads() {
+    let p = pipeline();
+    // Long prompts (up to 23 tokens) so small chunks genuinely span many
+    // steps; lengths staggered so prefill completions interleave with
+    // decode and retirement.
+    let prompts: Vec<Vec<u32>> =
+        (0..8u32).map(|i| (0..(5 + i * 3)).map(|j| (i * 13 + j * 7) % 64).collect()).collect();
+    let n = 6;
+
+    let run = |step_mode: StepMode, threads: usize, chunk: usize| -> Vec<Vec<u32>> {
+        let config = ServeConfig {
+            max_batch: 3,
+            max_tokens: n,
+            num_threads: threads,
+            step_mode,
+            prefill_chunk: chunk,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(p.student(), config);
+        let ids: Vec<_> =
+            prompts.iter().map(|pr| engine.submit(pr).expect("valid prompt")).collect();
+        let report = engine.run();
+        ids.iter().map(|id| report.request(*id).expect("finished").tokens.clone()).collect()
+    };
+
+    let reference = run(StepMode::Auto, 1, 3);
+    for (prompt, got) in prompts.iter().zip(&reference) {
+        assert_eq!(got, &p.generate(prompt, n), "chunked output diverged from solo");
+    }
+    for step_mode in MODES {
+        for threads in [1usize, 4, 16] {
+            for chunk in [1usize, 3, 7, usize::MAX] {
+                assert_eq!(
+                    run(step_mode, threads, chunk),
+                    reference,
+                    "{step_mode:?} threads={threads} chunk={chunk} diverged"
+                );
+            }
+        }
+    }
+}
+
 /// Dropping an engine mid-flight — queued requests, active sequences, pool
 /// threads spawned — must join every worker and return; repeatedly, so a
 /// leaked thread or wedged channel would show up as a hang or as resource
@@ -111,7 +170,13 @@ fn engine_drop_with_work_pending_shuts_down_cleanly() {
     let p = pipeline();
     for step_mode in [StepMode::ForcePool, StepMode::Auto] {
         for _ in 0..8 {
-            let config = ServeConfig { max_batch: 4, max_tokens: 64, num_threads: 16, step_mode };
+            let config = ServeConfig {
+                max_batch: 4,
+                max_tokens: 64,
+                num_threads: 16,
+                step_mode,
+                ..ServeConfig::default()
+            };
             let mut engine = ServeEngine::new(p.student(), config);
             for i in 0..8u32 {
                 engine.submit(&[i, i + 1]).expect("valid prompt");
@@ -140,8 +205,13 @@ fn parallel_mid_stream_admission_is_isolated() {
     let late: &[u32] = &[40, 41];
     let n = 10;
 
-    let config =
-        ServeConfig { max_batch: 4, max_tokens: n, num_threads: 4, step_mode: StepMode::ForcePool };
+    let config = ServeConfig {
+        max_batch: 4,
+        max_tokens: n,
+        num_threads: 4,
+        step_mode: StepMode::ForcePool,
+        ..ServeConfig::default()
+    };
     let mut engine = ServeEngine::new(p.student(), config);
     let early_ids: Vec<_> =
         early.iter().map(|pr| engine.submit(pr).expect("valid prompt")).collect();
@@ -174,6 +244,7 @@ fn per_request_sampling_is_deterministic_across_batches_and_threads() {
             max_tokens: n,
             num_threads: threads,
             step_mode: StepMode::ForcePool,
+            ..ServeConfig::default()
         };
         let mut engine = ServeEngine::new(p.student(), config);
         if with_neighbours {
@@ -207,8 +278,13 @@ fn per_request_sampling_is_deterministic_across_batches_and_threads() {
 fn greedy_request_matches_plain_submit() {
     let p = pipeline();
     let n = 8;
-    let config =
-        ServeConfig { max_batch: 2, max_tokens: n, num_threads: 2, step_mode: StepMode::ForcePool };
+    let config = ServeConfig {
+        max_batch: 2,
+        max_tokens: n,
+        num_threads: 2,
+        step_mode: StepMode::ForcePool,
+        ..ServeConfig::default()
+    };
     let mut engine = ServeEngine::new(p.student(), config);
     let a = engine.submit(&[3, 1, 4]).expect("valid prompt");
     let b = engine

@@ -113,6 +113,45 @@ impl Log2Softmax {
         self.for_each_code(scores, out, |o, code| *o = exp2i(-i32::from(code)));
     }
 
+    /// Batched [`Log2Softmax::codes_into`] over the rows of a causal score
+    /// matrix: row `r` holds `lens[r]` valid scores (its causal prefix) and
+    /// gets its shift codes written to the same prefix of the output row;
+    /// the tails of both are ignored. Each row is the exact single-row
+    /// kernel, so the codes are bit-identical to `codes_into` per row —
+    /// this is the chunked-prefill entry point, where one layer pass scores
+    /// a whole block of query positions against the KV cache at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lens.len() != scores.rows()`, any `lens[r]` exceeds the
+    /// score width, or `out` is shorter than `scores.len()` (row-major,
+    /// same stride as `scores`).
+    pub fn codes_rows_into(&self, scores: &Matrix, lens: &[usize], out: &mut [u8]) {
+        assert_eq!(lens.len(), scores.rows(), "row length count mismatch");
+        assert!(out.len() >= scores.len(), "output buffer too short");
+        for (r, &len) in lens.iter().enumerate() {
+            let start = r * scores.cols();
+            self.codes_into(&scores.row(r)[..len], &mut out[start..start + len]);
+        }
+    }
+
+    /// Batched [`Log2Softmax::probs_into`] over the rows of a causal score
+    /// matrix (see [`Log2Softmax::codes_rows_into`] for the ragged-row
+    /// convention): attention weights `2^{−a}` land in the `lens[r]` prefix
+    /// of each output row, bit-identical to `probs_into` per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lens.len() != scores.rows()`, any `lens[r]` exceeds the
+    /// score width, or `out` has a different shape than `scores`.
+    pub fn probs_rows_into(&self, scores: &Matrix, lens: &[usize], out: &mut Matrix) {
+        assert_eq!(lens.len(), scores.rows(), "row length count mismatch");
+        assert_eq!((out.rows(), out.cols()), (scores.rows(), scores.cols()), "shape mismatch");
+        for (r, &len) in lens.iter().enumerate() {
+            self.probs_into(&scores.row(r)[..len], &mut out.row_mut(r)[..len]);
+        }
+    }
+
     /// The shared streaming Eq. (3) kernel: computes the shift code of each
     /// score and hands it to `emit` with the matching output slot, so
     /// [`Log2Softmax::codes_into`] and [`Log2Softmax::probs_into`] cannot
@@ -313,6 +352,40 @@ mod tests {
                 assert_eq!(p, exp2i(-i32::from(a)));
             }
         }
+    }
+
+    #[test]
+    fn batched_rows_match_single_row_kernels() {
+        // Causal layout: row r of a chunk scores positions 0..=r+base.
+        let sm = Log2Softmax::new(5);
+        let mut rng = TensorRng::seed(29);
+        let (rows, cols) = (5usize, 9usize);
+        let scores = rng.normal_matrix(rows, cols, 0.0, 2.0);
+        let lens: Vec<usize> = (0..rows).map(|r| cols - rows + r + 1).collect();
+
+        let mut probs = Matrix::zeros(rows, cols);
+        sm.probs_rows_into(&scores, &lens, &mut probs);
+        let mut codes = vec![0u8; rows * cols];
+        sm.codes_rows_into(&scores, &lens, &mut codes);
+
+        for (r, &len) in lens.iter().enumerate() {
+            let want_p = sm.probs(&scores.row(r)[..len]);
+            let want_c = sm.codes(&scores.row(r)[..len]);
+            assert_eq!(&probs.row(r)[..len], want_p.as_slice(), "row {r}");
+            assert_eq!(&codes[r * cols..r * cols + len], want_c.as_slice(), "row {r}");
+            // Tails untouched.
+            assert!(probs.row(r)[len..].iter().all(|&v| v == 0.0));
+            assert!(codes[r * cols + len..(r + 1) * cols].iter().all(|&c| c == 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row length count mismatch")]
+    fn batched_rows_reject_bad_lens() {
+        let sm = Log2Softmax::new(5);
+        let scores = Matrix::zeros(2, 4);
+        let mut out = Matrix::zeros(2, 4);
+        sm.probs_rows_into(&scores, &[1], &mut out);
     }
 
     #[test]

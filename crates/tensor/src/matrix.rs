@@ -206,6 +206,43 @@ impl Matrix {
         out
     }
 
+    /// Matrix product `self · rhs` written into a caller-provided `out`
+    /// matrix, bit-identical to [`Matrix::matmul`] (same per-element `f64`
+    /// accumulation in the same order; one `f64` accumulator row is still
+    /// allocated per call, reused across output rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows` or `out` is not
+    /// `self.rows × rhs.cols`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!((out.rows, out.cols), (self.rows, rhs.cols), "output shape mismatch");
+        let mut acc = vec![0.0f64; rhs.cols];
+        for r in 0..self.rows {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            acc.fill(0.0);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let a = f64::from(a);
+                for (j, &b) in b_row.iter().enumerate() {
+                    acc[j] += a * f64::from(b);
+                }
+            }
+            let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+            for (o, a) in out_row.iter_mut().zip(&acc) {
+                *o = *a as f32;
+            }
+        }
+    }
+
     /// Matrix product with the transpose of `rhs`: `self · rhsᵀ`.
     ///
     /// Used for `Q · Kᵀ` without materializing the transpose.
@@ -232,6 +269,54 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Matrix product with the transpose of `rhs` written into `out`:
+    /// `out = self · rhsᵀ`, computed with the 4-accumulator
+    /// [`crate::ops::dot`] kernel — the fused GEMM of the multi-token
+    /// prefill path.
+    ///
+    /// Both operands are read row-major, so every inner product runs over
+    /// two contiguous rows. The loop is ordered `rhs`-row-major: each `rhs`
+    /// row (a transposed weight row) is loaded once and dotted against every
+    /// row of `self` while hot, which is where the fused prefill gains its
+    /// weight-locality over a matvec per token.
+    ///
+    /// Because `ops::dot` is bitwise commutative in its arguments (each
+    /// `f32×f32` product is exact in `f64` and the accumulator schedule is
+    /// symmetric), row `i` of the output is bit-identical to
+    /// `rhs.matvec_into(self.row(i), ..)` — the single-token projection this
+    /// GEMM replaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols` or `out` is not
+    /// `self.rows × rhs.rows`.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "dimension mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!((out.rows, out.cols), (self.rows, rhs.rows), "output shape mismatch");
+        if self.cols == 0 {
+            // Zero-width operands: every output element is the empty dot
+            // reduction (numerically zero), matching `matmul` on the same
+            // degenerate shapes instead of leaving `out` stale.
+            out.data.fill(crate::ops::dot(&[], &[]));
+            return;
+        }
+        if self.rows == 0 || rhs.rows == 0 {
+            return;
+        }
+        let width = self.cols.max(1);
+        for (j, b_row) in rhs.data.chunks_exact(rhs.cols.max(1)).enumerate() {
+            for (a_row, out_row) in
+                self.data.chunks_exact(width).zip(out.data.chunks_exact_mut(rhs.rows))
+            {
+                out_row[j] = crate::ops::dot(a_row, b_row);
+            }
+        }
     }
 
     /// Matrix–vector product `self · v`.
@@ -263,6 +348,19 @@ impl Matrix {
         for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols.max(1))) {
             *o = crate::ops::dot(row, v);
         }
+    }
+
+    /// Resizes the matrix to `rows` rows in place, keeping the column
+    /// width; new rows are zeroed, and shrinking keeps the allocation.
+    ///
+    /// This is the row-block helper behind the chunked-prefill scratch
+    /// buffers: a scratch matrix is resized to the live chunk length each
+    /// pass, so kernels like [`Matrix::matmul_t_into`] see exactly the rows
+    /// in flight while the backing `Vec` is reused across chunks
+    /// (allocation-free once grown to the largest chunk).
+    pub fn resize_rows(&mut self, rows: usize) {
+        self.data.resize(rows * self.cols, 0.0);
+        self.rows = rows;
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -360,6 +458,13 @@ impl Matrix {
         let mut data = self.data.clone();
         data.extend_from_slice(&rhs.data);
         Matrix { data, rows: self.rows + rhs.rows, cols: self.cols }
+    }
+}
+
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix (no allocation).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -465,6 +570,62 @@ mod tests {
         let a = Matrix::zeros(2, 2);
         let mut out = vec![0.0f32; 3];
         a.matvec_into(&[1.0, 2.0], &mut out);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_bitwise() {
+        let a = Matrix::from_fn(4, 6, |r, c| (r as f32 - c as f32) * 0.37 + 0.11);
+        let b = Matrix::from_fn(6, 3, |r, c| ((r * 3 + c) as f32).sin());
+        let mut out = Matrix::zeros(4, 3);
+        a.matmul_into(&b, &mut out);
+        let reference = a.matmul(&b);
+        for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_t_into_rows_match_matvec_bitwise() {
+        // The fused-prefill contract: row i of X · Wᵀ must be bit-identical
+        // to the matvec W · xᵢ it replaces, for widths around the dot
+        // kernel's 4-wide unroll boundary.
+        for width in [1usize, 3, 4, 5, 8, 17] {
+            let x = Matrix::from_fn(5, width, |r, c| ((r * 7 + c * 3) as f32).cos() * 1.3);
+            let w = Matrix::from_fn(9, width, |r, c| ((r + c * 5) as f32).sin() * 0.7);
+            let mut out = Matrix::zeros(5, 9);
+            x.matmul_t_into(&w, &mut out);
+            let mut row = vec![0.0f32; 9];
+            for r in 0..5 {
+                w.matvec_into(x.row(r), &mut row);
+                for (got, want) in out.row(r).iter().zip(&row) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "width {width} row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn matmul_t_into_rejects_bad_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 3);
+        let mut out = Matrix::zeros(2, 3);
+        a.matmul_t_into(&b, &mut out);
+    }
+
+    #[test]
+    fn resize_rows_zeroes_new_rows_and_keeps_content() {
+        let mut m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32 + 1.0);
+        m.resize_rows(4);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.row(3), &[0.0, 0.0, 0.0]);
+        m.resize_rows(1);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        // Regrowing reuses the zeroed tail.
+        m.resize_rows(2);
+        assert_eq!(m.row(1), &[0.0, 0.0, 0.0]);
     }
 
     #[test]
