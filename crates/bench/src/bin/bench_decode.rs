@@ -1,5 +1,5 @@
-//! Decode-throughput benchmark: the optimized serving engine (contiguous
-//! KV caches, zero-allocation scratch decode, parallel batch stepping)
+//! Decode-throughput benchmark: the optimized serving engine (paged KV
+//! cache, zero-allocation scratch decode, parallel batch stepping)
 //! against the preserved seed implementation, at batch 1 / 4 / 16.
 //!
 //! Emits `BENCH_decode.json` in the working directory so successive PRs
@@ -25,6 +25,15 @@
 //! admitting long prompts into a busy batch plus the max per-step wall time
 //! (the decode stall neighbours feel), chunked `prefill_chunk = 8` vs
 //! blocking admission.
+//!
+//! The `kv_paging` section prices the paged cache: batch-16 decode with
+//! 16-token blocks vs a flat-equivalent single page (the table-walk
+//! overhead), the shared-prefix admission speedup (followers adopting a
+//! warm prefix from the trie vs re-prefilling it) with the full-batch
+//! block residency proving the prefix is stored once, and a preemption
+//! shakedown under a deliberately tiny `max_blocks` pool that *asserts*
+//! preempted requests complete with output identical to the uncontended
+//! run.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -110,6 +119,22 @@ fn run_opt_engine(
     new_tokens: usize,
     runs: usize,
 ) -> (f64, f64) {
+    run_opt_engine_paged(model, batch, threads, step_mode, new_tokens, runs, 16)
+}
+
+/// [`run_opt_engine`] with an explicit KV block size, for the `kv_paging`
+/// section's paged-vs-flat comparison (a block far larger than any
+/// sequence reproduces the old contiguous-buffer layout: one page per
+/// sequence per layer, no table walking).
+fn run_opt_engine_paged(
+    model: &Model,
+    batch: usize,
+    threads: usize,
+    step_mode: StepMode,
+    new_tokens: usize,
+    runs: usize,
+    block_size: usize,
+) -> (f64, f64) {
     let mut best = (0.0f64, 0.0f64);
     for _ in 0..runs {
         let config = ServeConfig {
@@ -118,6 +143,7 @@ fn run_opt_engine(
             num_threads: threads,
             step_mode,
             prefill_chunk: usize::MAX,
+            block_size,
             ..ServeConfig::default()
         };
         let mut engine = ServeEngine::new(model, config);
@@ -413,6 +439,109 @@ fn bench_admission(
     }
 }
 
+/// Shared-prefix admission: one request warms the prefix cache, then the
+/// remaining `n - 1` join concurrently, with and without sharing.
+struct SharedPrefixStats {
+    first_admit_ms: f64,
+    shared_followers_ms: f64,
+    unshared_followers_ms: f64,
+    admission_speedup: f64,
+    shared_blocks: usize,
+    unshared_blocks: usize,
+}
+
+/// Requests share a `prefix_len`-token prefix with distinct 4-token tails.
+/// With sharing enabled the first request publishes the prefix blocks and
+/// every follower adopts them read-only, prefilling only its tail —
+/// `followers_ms` measures submit-to-all-prefilled for the `n - 1`
+/// followers, and the block counts are the pool residency with the whole
+/// batch resident (the "prefix stored once" figure).
+fn bench_shared_prefix(model: &Model, n: usize, prefix_len: usize) -> SharedPrefixStats {
+    let vocab = model.config().vocab as u32;
+    let prefix: Vec<u32> = (0..prefix_len as u32).map(|i| (i * 31 + 7) % vocab).collect();
+    let run = |sharing: bool| -> (f64, f64, usize) {
+        let config = ServeConfig {
+            max_batch: n,
+            max_tokens: 64, // residents outlive the measurement window
+            prefill_chunk: usize::MAX,
+            block_size: 16,
+            prefix_sharing: sharing,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(model, config);
+        let prompt = |a: u32| -> Vec<u32> {
+            let mut p = prefix.clone();
+            p.extend((0..4u32).map(|j| (a * 7 + j + 1) % vocab));
+            p
+        };
+        let t0 = Instant::now();
+        engine.submit(&prompt(0)).expect("valid prompt");
+        while engine.prefilling_len() > 0 || engine.pending_len() > 0 {
+            engine.step();
+        }
+        let first_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        for a in 1..n as u32 {
+            engine.submit(&prompt(a)).expect("valid prompt");
+        }
+        while engine.prefilling_len() > 0 || engine.pending_len() > 0 {
+            engine.step();
+        }
+        let followers_ms = t1.elapsed().as_secs_f64() * 1e3;
+        (first_ms, followers_ms, engine.kv_blocks_in_use())
+    };
+    let (first_admit_ms, shared_followers_ms, shared_blocks) = run(true);
+    let (_, unshared_followers_ms, unshared_blocks) = run(false);
+    SharedPrefixStats {
+        first_admit_ms,
+        shared_followers_ms,
+        unshared_followers_ms,
+        admission_speedup: unshared_followers_ms / shared_followers_ms,
+        shared_blocks,
+        unshared_blocks,
+    }
+}
+
+/// Pool exhaustion: a block budget far below the offered load must preempt
+/// and still complete every request with output identical to the
+/// uncontended run.
+struct PreemptionStats {
+    max_blocks: usize,
+    preemptions: u64,
+    completed: usize,
+    matches_uncontended: bool,
+}
+
+fn bench_preemption(model: &Model) -> PreemptionStats {
+    let vocab = model.config().vocab as u32;
+    let prompts: Vec<Vec<u32>> =
+        (0..4u32).map(|i| (0..8).map(|j| (i * 17 + j * 3 + 1) % vocab).collect()).collect();
+    let max_blocks = model.config().n_layers * 6; // ~1.2x one sequence's worst case
+    let run = |cap: usize| -> (Vec<Vec<u32>>, u64, usize) {
+        let config = ServeConfig {
+            max_batch: 4,
+            max_tokens: 6,
+            block_size: 4,
+            max_blocks: cap,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(model, config);
+        let ids: Vec<_> = prompts.iter().map(|p| engine.submit(p).expect("valid prompt")).collect();
+        let report = engine.run();
+        let tokens: Vec<Vec<u32>> =
+            ids.iter().filter_map(|id| report.request(*id).map(|r| r.tokens.clone())).collect();
+        (tokens, report.preemptions, report.requests.len())
+    };
+    let (reference, _, _) = run(usize::MAX);
+    let (pressured, preemptions, completed) = run(max_blocks);
+    PreemptionStats {
+        max_blocks,
+        preemptions,
+        completed,
+        matches_uncontended: pressured == reference,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let new_tokens = if smoke { 6 } else { 32 };
@@ -545,6 +674,45 @@ fn main() {
         blocking.max_step_ms / chunked.max_step_ms
     );
 
+    // Paged KV cache: per-step decode overhead of walking block tables
+    // (block 16 vs a flat-equivalent single page), the shared-prefix
+    // admission speedup, and a preemption shakedown under a tiny pool.
+    let kv_runs = measure_runs(16).min(if smoke { 3 } else { 8 });
+    let (_, paged_dec) =
+        run_opt_engine_paged(&proxy_model, 16, 1, StepMode::Auto, new_tokens, kv_runs, 16);
+    let (_, flat_dec) =
+        run_opt_engine_paged(&proxy_model, 16, 1, StepMode::Auto, new_tokens, kv_runs, 4096);
+    let shared_prefix_len = if smoke { 48 } else { 128 };
+    let shared_n = if smoke { 4 } else { 8 };
+    let sp = bench_shared_prefix(&proxy_model, shared_n, shared_prefix_len);
+    let tiny_model = Model::new(tiny.clone(), QuantScheme::bf16(), 21).expect("valid scheme");
+    let pre = bench_preemption(&tiny_model);
+    println!();
+    println!(
+        "kv paging batch-16 decode [llama7b-proxy128/bf16]: paged(16) {paged_dec:.0} tok/s vs \
+         flat-equivalent {flat_dec:.0} tok/s ({:.3}x)",
+        paged_dec / flat_dec
+    );
+    println!(
+        "shared-prefix admission ({shared_n} x {shared_prefix_len}-token prefix + 4-token tail): \
+         first {:.2} ms, {} cached followers {:.2} ms vs unshared {:.2} ms ({:.1}x); \
+         full-batch residency {} blocks shared vs {} unshared",
+        sp.first_admit_ms,
+        shared_n - 1,
+        sp.shared_followers_ms,
+        sp.unshared_followers_ms,
+        sp.admission_speedup,
+        sp.shared_blocks,
+        sp.unshared_blocks
+    );
+    println!(
+        "preemption under a {}-block pool: {} preemptions, {}/4 requests completed, \
+         outputs match uncontended run: {}",
+        pre.max_blocks, pre.preemptions, pre.completed, pre.matches_uncontended
+    );
+    assert!(pre.matches_uncontended, "preemption must not change output");
+    assert_eq!(pre.completed, 4, "preempted requests must complete");
+
     let mut json = String::from("{\n  \"benchmark\": \"decode_throughput\",\n");
     let _ = writeln!(json, "  \"new_tokens_per_request\": {new_tokens},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
@@ -589,6 +757,30 @@ fn main() {
         admission_json(&chunked),
         admission_json(&blocking),
         blocking.max_step_ms / chunked.max_step_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"kv_paging\": {{\n    \"model\": \"llama7b-proxy128\", \"scheme\": \"bf16\", \
+         \"block_size\": 16,\n    \
+         \"paged_decode_tok_s\": {paged_dec:.1}, \"flat_equiv_decode_tok_s\": {flat_dec:.1}, \
+         \"paged_over_flat\": {:.4},\n    \
+         \"shared_prefix\": {{ \"requests\": {shared_n}, \"prefix_len\": {shared_prefix_len}, \
+         \"first_admit_ms\": {:.3}, \"shared_followers_ms\": {:.3}, \
+         \"unshared_followers_ms\": {:.3}, \"admission_speedup\": {:.3}, \
+         \"resident_blocks_shared\": {}, \"resident_blocks_unshared\": {} }},\n    \
+         \"preemption\": {{ \"model\": \"tiny\", \"max_blocks\": {}, \"preemptions\": {}, \
+         \"completed\": {}, \"matches_uncontended\": {} }}\n  }},",
+        paged_dec / flat_dec,
+        sp.first_admit_ms,
+        sp.shared_followers_ms,
+        sp.unshared_followers_ms,
+        sp.admission_speedup,
+        sp.shared_blocks,
+        sp.unshared_blocks,
+        pre.max_blocks,
+        pre.preemptions,
+        pre.completed,
+        pre.matches_uncontended
     );
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -1,6 +1,7 @@
 //! The quantized decoder-only transformer and its generation loop.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use opal_quant::{EncodeScratch, QuantError, Quantizer};
 use opal_softmax::Log2Softmax;
@@ -8,6 +9,7 @@ use opal_tensor::ops;
 use opal_tensor::Matrix;
 
 use crate::config::{Arch, ModelConfig};
+use crate::kv::{BlockPool, KvBlock, PagedKv};
 use crate::scheme::{QuantScheme, SoftmaxKind};
 use crate::weights::{generate_weights, ModelWeights};
 
@@ -140,33 +142,6 @@ pub(crate) struct ReadyLayer {
     pub(crate) ffn_bias: Vec<f32>,
 }
 
-/// Per-layer key/value cache: contiguous row-major buffers holding one
-/// `d_model`-wide row per cached position, so the attention scan over
-/// position `j` reads `k[j*d .. (j+1)*d]` sequentially instead of chasing a
-/// `Vec<Vec<f32>>` pointer per row.
-#[derive(Debug, Default)]
-struct LayerCache {
-    k: Vec<f32>,
-    v: Vec<f32>,
-}
-
-/// Appends one zeroed `width`-wide row to a flat cache buffer, returning
-/// the row's start offset. `Vec`'s amortized growth at least doubles the
-/// allocation when full, so a decode of `n` tokens performs `O(log n)`
-/// reallocations.
-fn grow_row(buf: &mut Vec<f32>, width: usize) -> usize {
-    grow_rows(buf, width, 1)
-}
-
-/// Appends `rows` zeroed `width`-wide rows to a flat cache buffer in one
-/// resize, returning the start offset of the first — the chunked-prefill
-/// form of [`grow_row`].
-fn grow_rows(buf: &mut Vec<f32>, width: usize, rows: usize) -> usize {
-    let start = buf.len();
-    buf.resize(start + rows * width, 0.0);
-    start
-}
-
 /// Reshapes a scratch matrix to `rows × cols` in place, reusing the backing
 /// buffer (zero-filled; allocation-free once grown to the largest shape
 /// seen). Same-width reshapes — the common case, chunk length changing
@@ -189,7 +164,7 @@ fn ensure_shape(m: &mut Matrix, rows: usize, cols: usize) {
 ///
 /// [`Model::prefill_chunk`] pushes a whole block of prompt positions
 /// through each layer in one pass — norm rows, one GEMM per projection,
-/// multi-row causal attention against the flat KV caches — and every
+/// multi-row causal attention against the paged KV cache — and every
 /// intermediate lands here. Buffers are reshaped (never reallocated, once
 /// grown) to the live chunk length at the start of each pass, so steady
 /// chunked prefill allocates nothing, mirroring the single-token
@@ -239,9 +214,9 @@ struct PrefillScratch {
 /// Every intermediate of a decode step — q/k/v projections, attention
 /// scores and weights, context, FFN activations, norm outputs and the
 /// vocab-sized logits — writes into these buffers, so a steady-state decode
-/// step performs no heap allocation (the KV cache grows amortized via
-/// [`grow_row`], and `scores`/`weights` stop growing once they reach the
-/// sequence length).
+/// step performs no heap allocation (the paged KV cache allocates one
+/// recycled block per [`BlockPool::block_size`] positions, and
+/// `scores`/`weights` stop growing once they reach the sequence length).
 #[derive(Debug)]
 struct ScratchSpace {
     /// Residual stream, `d_model`.
@@ -320,15 +295,20 @@ impl ScratchSpace {
     }
 }
 
-/// Decoding state: the position counter, contiguous KV caches and the
+/// Decoding state: the position counter, paged KV block tables and the
 /// reusable scratch buffers of one sequence.
 ///
 /// Each sequence owns its `DecodeState`; the [`Model`] stays immutable
 /// during decoding, which is what lets a batch scheduler step many states
-/// against one model from parallel threads.
+/// against one model from parallel threads. The KV cache is paged (see
+/// [`crate::kv`]): per-layer tables of refcounted fixed-size blocks drawn
+/// from a [`BlockPool`] — private and unbounded under
+/// [`Model::begin_decode`], engine-shared and bounded under
+/// [`Model::begin_decode_paged`], where tables of different sequences may
+/// map common prefix blocks read-only.
 pub struct DecodeState {
     pos: usize,
-    layers: Vec<LayerCache>,
+    kv: PagedKv,
     scratch: ScratchSpace,
 }
 
@@ -337,11 +317,68 @@ impl DecodeState {
     pub fn pos(&self) -> usize {
         self.pos
     }
+
+    /// KV blocks per layer currently mapped by this sequence.
+    pub fn blocks_per_layer(&self) -> usize {
+        self.kv.layers.first().map_or(0, Vec::len)
+    }
+
+    /// The block at `index` of `layer`'s table (a refcount bump — this is
+    /// how the serve engine publishes prompt blocks into its prefix cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` or `index` is out of range.
+    pub fn block(&self, layer: usize, index: usize) -> Arc<KvBlock> {
+        Arc::clone(&self.kv.layers[layer][index])
+    }
+
+    /// Whether an append at the current position would copy-on-write a
+    /// shared tail block (schedulers use this to reserve the extra block).
+    pub fn tail_block_shared(&self) -> bool {
+        self.kv.tail_shared()
+    }
+
+    /// Maps an already-computed token prefix into this fresh state: the
+    /// first `len` positions of every layer are backed by `prefix[layer]`
+    /// read-only (refcount bumps, no copies, no prefill), and decoding
+    /// resumes at position `len`. The first divergent write into a shared
+    /// partial tail block copies it on write.
+    ///
+    /// The blocks must hold exactly the K/V rows the model would produce
+    /// for the shared tokens — callers (the serve engine's prefix trie) key
+    /// them by token ids, which determines those rows bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state already holds positions, `len` is zero, the
+    /// per-layer block counts don't cover exactly `len` positions, or any
+    /// block comes from a different [`BlockPool`].
+    pub fn adopt_shared_prefix(&mut self, prefix: Vec<Vec<Arc<KvBlock>>>, len: usize) {
+        assert_eq!(self.pos, 0, "shared prefix must be adopted before any token");
+        assert!(len > 0, "empty shared prefix");
+        assert_eq!(prefix.len(), self.kv.layers.len(), "layer count mismatch");
+        let blocks = len.div_ceil(self.kv.pool.block_size());
+        for table in &prefix {
+            assert_eq!(table.len(), blocks, "prefix blocks must cover exactly len positions");
+            for b in table {
+                assert!(b.from_pool(&self.kv.pool), "shared block from a foreign pool");
+            }
+        }
+        self.kv.layers = prefix;
+        self.pos = len;
+    }
 }
 
 impl std::fmt::Debug for DecodeState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DecodeState(pos={}, layers={})", self.pos, self.layers.len())
+        write!(
+            f,
+            "DecodeState(pos={}, layers={}, blocks/layer={})",
+            self.pos,
+            self.kv.layers.len(),
+            self.blocks_per_layer()
+        )
     }
 }
 
@@ -498,11 +535,29 @@ impl Model {
         &self.outlier_channels
     }
 
-    /// Starts a fresh decoding session.
+    /// Starts a fresh decoding session over a private, unbounded
+    /// [`BlockPool`] (block size [`BlockPool::DEFAULT_BLOCK_SIZE`]).
     pub fn begin_decode(&self) -> DecodeState {
+        let pool = Arc::new(BlockPool::new(
+            BlockPool::DEFAULT_BLOCK_SIZE,
+            self.config.d_model,
+            usize::MAX,
+        ));
+        self.begin_decode_paged(&pool)
+    }
+
+    /// Starts a fresh decoding session whose KV blocks come from `pool` —
+    /// the entry point for engines that bound KV memory across a batch and
+    /// share prompt-prefix blocks between sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's row width differs from the model's `d_model`.
+    pub fn begin_decode_paged(&self, pool: &Arc<BlockPool>) -> DecodeState {
+        assert_eq!(pool.width(), self.config.d_model, "pool row width must equal d_model");
         DecodeState {
             pos: 0,
-            layers: (0..self.config.n_layers).map(|_| LayerCache::default()).collect(),
+            kv: PagedKv::new(Arc::clone(pool), self.config.n_layers),
             scratch: ScratchSpace::new(&self.config),
         }
     }
@@ -584,7 +639,7 @@ impl Model {
     /// Each layer normalizes, quantizes and projects *all* chunk rows at
     /// once — one [`Matrix::matmul_t_into`] GEMM per projection instead of
     /// one matvec per token — then runs multi-row causal attention against
-    /// the flat KV caches (row `r` attends to cached positions
+    /// the paged KV cache (row `r` attends to cached positions
     /// `0..=pos0+r`, including the chunk rows appended just before). Every
     /// per-position operation is the exact kernel of the single-token
     /// [`Model::decode_step`] loop, so the KV caches and any later logits
@@ -647,10 +702,9 @@ impl Model {
         compute_logits: bool,
     ) {
         assert!((token as usize) < self.config.vocab, "token {token} out of range");
-        let d = self.config.d_model;
         let dh = self.config.head_dim();
         let inv_sqrt_dh = 1.0 / (dh as f32).sqrt();
-        let DecodeState { pos, layers, scratch: st } = state;
+        let DecodeState { pos, kv, scratch: st } = state;
         let pos = *pos;
         let seq = pos + 1;
 
@@ -679,24 +733,22 @@ impl Model {
                 rec.record(l, Site::Value, &st.v);
             }
             self.quant_high_into(&st.q, &mut st.qq, &mut st.quant);
-            let cache = &mut layers[l];
-            let k_start = grow_row(&mut cache.k, d);
-            self.quant_high_into(&st.k, &mut cache.k[k_start..], &mut st.quant);
-            let v_start = grow_row(&mut cache.v, d);
-            self.quant_high_into(&st.v, &mut cache.v[v_start..], &mut st.quant);
+            let (k_row, v_row) = kv.rows_mut(l, pos, 1);
+            self.quant_high_into(&st.k, k_row, &mut st.quant);
+            self.quant_high_into(&st.v, v_row, &mut st.quant);
 
             st.ctx.fill(0.0);
             for head in 0..self.config.n_heads {
                 let s = head * dh;
                 let q_h = &st.qq[s..s + dh];
-                for (score, k_row) in st.scores.iter_mut().zip(cache.k.chunks_exact(d)) {
+                for (score, k_row) in st.scores.iter_mut().zip(kv.k_rows(l, seq)) {
                     *score = ops::dot(q_h, &k_row[s..s + dh]) * inv_sqrt_dh;
                 }
                 match &self.log2_softmax {
                     None => ops::softmax_into(&st.scores, &mut st.weights),
                     Some(sm) => sm.probs_into(&st.scores, &mut st.weights),
                 }
-                for (&w, v_row) in st.weights.iter().zip(cache.v.chunks_exact(d)) {
+                for (&w, v_row) in st.weights.iter().zip(kv.v_rows(l, seq)) {
                     if w == 0.0 {
                         continue;
                     }
@@ -780,9 +832,10 @@ impl Model {
         let ff = self.config.d_ff;
         let dh = self.config.head_dim();
         let inv_sqrt_dh = 1.0 / (dh as f32).sqrt();
-        let DecodeState { pos, layers, scratch: st } = state;
+        let DecodeState { pos, kv, scratch: st } = state;
         let pos0 = *pos;
         let seq = pos0 + n;
+        let bs = kv.pool.block_size();
         let ScratchSpace { prefill: pf, quant, hn, logits, .. } = st;
 
         for m in [&mut pf.hs, &mut pf.xs, &mut pf.xqs, &mut pf.qs, &mut pf.ks, &mut pf.vs] {
@@ -822,11 +875,18 @@ impl Model {
                 }
             }
             self.quant_high_block(&pf.qs, &mut pf.qqs, quant);
-            let cache = &mut layers[l];
-            let k_start = grow_rows(&mut cache.k, d, n);
-            self.quant_high_flat(pf.ks.as_slice(), d, &mut cache.k[k_start..], quant);
-            let v_start = grow_rows(&mut cache.v, d, n);
-            self.quant_high_flat(pf.vs.as_slice(), d, &mut cache.v[v_start..], quant);
+            // Quantize the chunk's K/V rows straight into the paged cache,
+            // one contiguous segment per block the chunk spans (the block
+            // quantizer is row-wise, so the split is bit-invisible).
+            let mut off = 0;
+            while off < n {
+                let p = pos0 + off;
+                let rows = (bs - p % bs).min(n - off);
+                let (k_dst, v_dst) = kv.rows_mut(l, p, rows);
+                self.quant_high_flat(&pf.ks.as_slice()[off * d..(off + rows) * d], d, k_dst, quant);
+                self.quant_high_flat(&pf.vs.as_slice()[off * d..(off + rows) * d], d, v_dst, quant);
+                off += rows;
+            }
 
             pf.ctxs.as_mut_slice().fill(0.0);
             for head in 0..self.config.n_heads {
@@ -834,7 +894,7 @@ impl Model {
                 for (r, &len) in pf.lens.iter().enumerate() {
                     let q_h = &pf.qqs.row(r)[s..s + dh];
                     let srow = &mut pf.scores.row_mut(r)[..len];
-                    for (score, k_row) in srow.iter_mut().zip(cache.k.chunks_exact(d)) {
+                    for (score, k_row) in srow.iter_mut().zip(kv.k_rows(l, len)) {
                         *score = ops::dot(q_h, &k_row[s..s + dh]) * inv_sqrt_dh;
                     }
                 }
@@ -852,7 +912,7 @@ impl Model {
                 for (r, &len) in pf.lens.iter().enumerate() {
                     let ctx = &mut pf.ctxs.row_mut(r)[s..s + dh];
                     let weights = &pf.weights.row(r)[..len];
-                    for (&w, v_row) in weights.iter().zip(cache.v.chunks_exact(d)) {
+                    for (&w, v_row) in weights.iter().zip(kv.v_rows(l, len)) {
                         if w == 0.0 {
                             continue;
                         }

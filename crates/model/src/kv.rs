@@ -1,0 +1,298 @@
+//! Paged key/value cache: fixed-size refcounted blocks from a shared pool.
+//!
+//! The flat per-sequence KV buffers scaled memory with
+//! `max_batch × longest-sequence` and stored identical prompt prefixes once
+//! per request. This module pages the cache instead, vLLM-style:
+//!
+//! * a [`BlockPool`] owns every page — `block_size` rows of `width` floats
+//!   for K and the same for V — behind a free-list allocator with a hard
+//!   `max_blocks` bound and `in_use`/`peak` accounting,
+//! * each sequence's [`DecodeState`](crate::DecodeState) holds a per-layer
+//!   *block table* (`Vec<Arc<KvBlock>>`) that attention walks instead of a
+//!   contiguous slice,
+//! * blocks are refcounted ([`Arc`]), so two sequences with a common token
+//!   prefix can map the same prefix blocks read-only, and
+//! * writes are **copy-on-write**: appending a row into a block something
+//!   else still references (a prefix-sharing peer, the serve engine's
+//!   prefix trie) clones the filled rows into a fresh block first —
+//!   [`Arc::get_mut`] is the entire aliasing proof, no `unsafe` anywhere.
+//!
+//! Dropping the last `Arc` to a block returns its storage to the pool's
+//! free list, so releasing a sequence (retirement, cancellation, or a
+//! memory-pressure preemption) frees exactly the blocks nobody else maps.
+
+use std::sync::{Arc, Mutex};
+
+/// Storage of one recycled page pair (K rows, V rows).
+type FreePage = (Vec<f32>, Vec<f32>);
+
+#[derive(Debug)]
+struct PoolInner {
+    free: Vec<FreePage>,
+    in_use: usize,
+    peak: usize,
+    max_blocks: usize,
+}
+
+/// A workspace-wide allocator of fixed-size KV pages.
+///
+/// One pool serves every layer of every sequence decoding under it
+/// (`opal-serve` creates one per engine; [`crate::Model::begin_decode`]
+/// creates a private unbounded one per state). Allocation pops the free
+/// list — pages are recycled without zeroing, callers never read past the
+/// rows they wrote — and a hard `max_blocks` bound caps total KV memory at
+/// `max_blocks × block_size × width × 2` floats.
+#[derive(Debug)]
+pub struct BlockPool {
+    block_size: usize,
+    width: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl BlockPool {
+    /// Block size of the private pool behind [`crate::Model::begin_decode`].
+    pub const DEFAULT_BLOCK_SIZE: usize = 32;
+
+    /// Creates a pool of up to `max_blocks` pages of `block_size` rows ×
+    /// `width` floats (per K and V each). `usize::MAX` means unbounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` or `width` is zero.
+    pub fn new(block_size: usize, width: usize, max_blocks: usize) -> Self {
+        assert!(block_size > 0, "block_size must be at least 1");
+        assert!(width > 0, "row width must be at least 1");
+        BlockPool {
+            block_size,
+            width,
+            inner: Mutex::new(PoolInner { free: Vec::new(), in_use: 0, peak: 0, max_blocks }),
+        }
+    }
+
+    /// Rows per block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Floats per row (the model's `d_model`).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Blocks currently allocated (live block tables plus any prefix-cache
+    /// references; a block shared by many sequences counts once).
+    pub fn in_use(&self) -> usize {
+        self.lock().in_use
+    }
+
+    /// High-water mark of [`BlockPool::in_use`] over the pool's lifetime.
+    pub fn peak(&self) -> usize {
+        self.lock().peak
+    }
+
+    /// The configured block bound (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.lock().max_blocks
+    }
+
+    /// Blocks still allocatable before the pool is exhausted.
+    pub fn free_blocks(&self) -> usize {
+        let inner = self.lock();
+        inner.max_blocks.saturating_sub(inner.in_use)
+    }
+
+    /// Allocates one block, recycling a free page when available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is exhausted. A scheduler driving a bounded pool
+    /// must reserve blocks (and preempt or evict) *before* stepping
+    /// sequences — see `opal-serve`'s memory-aware admission — so this
+    /// firing indicates a reservation bug, not a recoverable condition.
+    pub fn alloc(self: &Arc<Self>) -> Arc<KvBlock> {
+        let cap = self.block_size * self.width;
+        let (k, v) = {
+            let mut inner = self.lock();
+            assert!(
+                inner.in_use < inner.max_blocks,
+                "KV block pool exhausted ({} blocks): the scheduler must reserve blocks \
+                 before stepping",
+                inner.max_blocks
+            );
+            inner.in_use += 1;
+            inner.peak = inner.peak.max(inner.in_use);
+            inner.free.pop().unwrap_or_else(|| (vec![0.0; cap], vec![0.0; cap]))
+        };
+        Arc::new(KvBlock { pool: Arc::clone(self), k, v })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        // A worker panic mid-step poisons nothing we care about: the inner
+        // counters are updated atomically under the lock and the free list
+        // holds plain storage, so recover the guard instead of cascading.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// One fixed-size KV page: `block_size` rows × `width` floats for K and V.
+///
+/// Blocks are handed out as `Arc<KvBlock>` so prefix sharing is a refcount
+/// bump; the storage returns to its pool's free list when the last
+/// reference drops.
+#[derive(Debug)]
+pub struct KvBlock {
+    pool: Arc<BlockPool>,
+    pub(crate) k: Vec<f32>,
+    pub(crate) v: Vec<f32>,
+}
+
+impl KvBlock {
+    /// Whether this block came from `pool`.
+    pub fn from_pool(&self, pool: &Arc<BlockPool>) -> bool {
+        Arc::ptr_eq(&self.pool, pool)
+    }
+}
+
+impl Drop for KvBlock {
+    fn drop(&mut self) {
+        let k = std::mem::take(&mut self.k);
+        let v = std::mem::take(&mut self.v);
+        let mut inner = self.pool.lock();
+        inner.in_use -= 1;
+        inner.free.push((k, v));
+    }
+}
+
+/// A sequence's paged KV cache: one block table per layer over a shared
+/// [`BlockPool`].
+///
+/// All layers advance in lockstep (every appended position writes one row
+/// per layer), so the tables always hold `ceil(pos / block_size)` blocks
+/// each. Reads are bounded by the caller's sequence length — rows past it
+/// are recycled-page garbage by design.
+#[derive(Debug)]
+pub(crate) struct PagedKv {
+    pub(crate) pool: Arc<BlockPool>,
+    /// `layers[l]` is layer `l`'s block table.
+    pub(crate) layers: Vec<Vec<Arc<KvBlock>>>,
+}
+
+impl PagedKv {
+    pub(crate) fn new(pool: Arc<BlockPool>, n_layers: usize) -> Self {
+        PagedKv { pool, layers: (0..n_layers).map(|_| Vec::new()).collect() }
+    }
+
+    /// Writable K/V row spans for positions `pos..pos + n` of `layer`,
+    /// allocating the block on first touch and copy-on-writing it when it
+    /// is shared. The span must not cross a block boundary (callers split
+    /// chunks into per-block segments).
+    pub(crate) fn rows_mut(
+        &mut self,
+        layer: usize,
+        pos: usize,
+        n: usize,
+    ) -> (&mut [f32], &mut [f32]) {
+        let bs = self.pool.block_size();
+        let w = self.pool.width();
+        let bi = pos / bs;
+        let r = pos % bs;
+        debug_assert!(n > 0 && r + n <= bs, "row span must stay inside one block");
+        let table = &mut self.layers[layer];
+        debug_assert!(bi <= table.len(), "append must be contiguous");
+        if bi == table.len() {
+            debug_assert_eq!(r, 0, "a fresh block starts at its first row");
+            table.push(self.pool.alloc());
+        } else if Arc::get_mut(&mut table[bi]).is_none() {
+            // Copy-on-write: the tail block is mapped by someone else (a
+            // prefix-sharing peer or the prefix cache). Clone the rows
+            // filled so far into a fresh block and divert this sequence's
+            // table to it; the shared original stays untouched.
+            let mut fresh = self.pool.alloc();
+            {
+                let fb = Arc::get_mut(&mut fresh).expect("freshly allocated block is unshared");
+                fb.k[..r * w].copy_from_slice(&table[bi].k[..r * w]);
+                fb.v[..r * w].copy_from_slice(&table[bi].v[..r * w]);
+            }
+            table[bi] = fresh;
+        }
+        let block = Arc::get_mut(&mut table[bi]).expect("tail block just made exclusive");
+        (&mut block.k[r * w..(r + n) * w], &mut block.v[r * w..(r + n) * w])
+    }
+
+    /// The first `len` cached K rows of `layer`, in position order.
+    pub(crate) fn k_rows(&self, layer: usize, len: usize) -> impl Iterator<Item = &[f32]> + '_ {
+        let w = self.pool.width();
+        self.layers[layer].iter().flat_map(move |b| b.k.chunks_exact(w)).take(len)
+    }
+
+    /// The first `len` cached V rows of `layer`, in position order.
+    pub(crate) fn v_rows(&self, layer: usize, len: usize) -> impl Iterator<Item = &[f32]> + '_ {
+        let w = self.pool.width();
+        self.layers[layer].iter().flat_map(move |b| b.v.chunks_exact(w)).take(len)
+    }
+
+    /// Whether any layer's tail block is mapped by someone else (an append
+    /// at a non-boundary position would copy-on-write).
+    pub(crate) fn tail_shared(&self) -> bool {
+        self.layers.iter().any(|t| t.last().is_some_and(|b| Arc::strong_count(b) > 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(bs: usize, max: usize) -> Arc<BlockPool> {
+        Arc::new(BlockPool::new(bs, 4, max))
+    }
+
+    #[test]
+    fn alloc_free_accounting() {
+        let p = pool(2, 8);
+        assert_eq!((p.in_use(), p.peak(), p.free_blocks()), (0, 0, 8));
+        let a = p.alloc();
+        let b = p.alloc();
+        assert_eq!((p.in_use(), p.peak(), p.free_blocks()), (2, 2, 6));
+        drop(a);
+        assert_eq!((p.in_use(), p.peak()), (1, 2));
+        drop(b);
+        assert_eq!((p.in_use(), p.peak()), (0, 2));
+        // Recycled storage: a fresh alloc reuses a freed page.
+        let _c = p.alloc();
+        assert_eq!((p.in_use(), p.peak()), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn alloc_past_capacity_panics() {
+        let p = pool(2, 1);
+        let _a = p.alloc();
+        let _b = p.alloc();
+    }
+
+    #[test]
+    fn rows_mut_allocates_and_cows() {
+        let p = pool(2, usize::MAX);
+        let mut kv = PagedKv::new(Arc::clone(&p), 1);
+        // Fill positions 0 and 1 (one block).
+        kv.rows_mut(0, 0, 1).0.copy_from_slice(&[1.0; 4]);
+        kv.rows_mut(0, 1, 1).0.copy_from_slice(&[2.0; 4]);
+        assert_eq!(p.in_use(), 1);
+        // Share the block, then append position 2 (new block — no CoW).
+        let shared = kv.layers[0][0].clone();
+        kv.rows_mut(0, 2, 1).0.copy_from_slice(&[3.0; 4]);
+        assert_eq!(p.in_use(), 2);
+        assert!(Arc::ptr_eq(&shared, &kv.layers[0][0]), "full shared block must stay mapped");
+
+        // Share the partial tail; the next append must copy-on-write it.
+        let tail = kv.layers[0][1].clone();
+        assert!(kv.tail_shared());
+        kv.rows_mut(0, 3, 1).0.copy_from_slice(&[4.0; 4]);
+        assert_eq!(p.in_use(), 3, "CoW allocates a fresh block");
+        assert!(!Arc::ptr_eq(&tail, &kv.layers[0][1]), "table must divert to the copy");
+        assert_eq!(&tail.k[..4], &[3.0; 4], "donor block must be untouched");
+        assert_eq!(&kv.layers[0][1].k[..4], &[3.0; 4], "filled rows must be copied");
+        assert_eq!(&kv.layers[0][1].k[4..], &[4.0; 4]);
+        assert!(!kv.tail_shared());
+    }
+}

@@ -32,6 +32,7 @@
 mod config;
 pub mod eval;
 mod infer;
+pub mod kv;
 pub mod reference;
 pub mod sampling;
 mod scheme;
@@ -39,5 +40,6 @@ pub mod weights;
 
 pub use config::{Arch, ModelConfig};
 pub use infer::{ActivationCapture, DecodeState, Model, Recorder, SecondMomentRecorder, Site};
+pub use kv::{BlockPool, KvBlock};
 pub use reference::ReferenceDecodeState;
 pub use scheme::{ActFormat, ActScheme, QuantScheme, SoftmaxKind, WeightScheme};

@@ -1,15 +1,19 @@
-//! The batch scheduler: continuous admission over per-request KV caches.
+//! The batch scheduler: continuous admission over a paged, prefix-shared
+//! KV cache with memory-aware preemption.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use opal_hw::accelerator::Accelerator;
+use opal_model::kv::{BlockPool, KvBlock};
 use opal_model::sampling::Sampler;
 use opal_model::{DecodeState, Model};
 use opal_tensor::rng::TensorRng;
 
 use crate::pool::WorkerPool;
-use crate::report::{RequestReport, ServeReport};
+use crate::report::{FinishReason, RequestReport, ServeReport};
+use crate::trie::PrefixTrie;
 
 /// Per-request decoding policy: which [`Sampler`] picks each token, and the
 /// seed of the request-private RNG driving it.
@@ -146,6 +150,25 @@ pub struct ServeConfig {
     /// [`ServeError::QueueFull`] instead of growing `pending` without
     /// bound. Must be at least 1; default `usize::MAX` (unbounded).
     pub max_queue: usize,
+    /// Positions per KV cache page: the granularity of allocation and of
+    /// prefix sharing (only full blocks enter the prefix trie). Must be at
+    /// least 1; default 16.
+    pub block_size: usize,
+    /// Hard bound on KV blocks across the whole engine — every layer of
+    /// every resident sequence plus the prefix cache; total KV memory is
+    /// `max_blocks × block_size × d_model × 2` floats. When the pool runs
+    /// dry the scheduler evicts unused prefix-cache blocks, shrinks
+    /// prefill grants, and finally preempts the youngest sequence (its
+    /// blocks are freed and it re-queues to re-prefill later) instead of
+    /// erroring. Default `usize::MAX` (unbounded).
+    pub max_blocks: usize,
+    /// Exact-prefix KV sharing: requests whose token prefix matches blocks
+    /// already resident adopt them read-only and skip that span's prefill.
+    /// Output is bit-identical either way (shared rows are exactly the
+    /// rows the request would have computed); disable to trade the
+    /// admission speedup for zero cross-request block aliasing. Default
+    /// `true`.
+    pub prefix_sharing: bool,
 }
 
 impl Default for ServeConfig {
@@ -157,6 +180,9 @@ impl Default for ServeConfig {
             step_mode: StepMode::Auto,
             prefill_chunk: 8,
             max_queue: usize::MAX,
+            block_size: 16,
+            max_blocks: usize::MAX,
+            prefix_sharing: true,
         }
     }
 }
@@ -227,6 +253,18 @@ pub enum ServeError {
         /// The configured queue bound that was hit.
         max_queue: usize,
     },
+    /// The request could never fit the KV block pool even running alone
+    /// with the prefix cache fully evicted: its worst-case lifetime
+    /// residency (prompt plus token limit, plus one copy-on-write block
+    /// per layer of headroom) exceeds [`ServeConfig::max_blocks`].
+    /// Admitting it would deadlock the memory-aware scheduler, so it is
+    /// rejected at submission.
+    InsufficientBlocks {
+        /// Worst-case blocks the request needs to complete.
+        required: usize,
+        /// The configured pool bound.
+        max_blocks: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -242,6 +280,12 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::QueueFull { max_queue } => {
                 write!(f, "admission queue full ({max_queue} requests)")
+            }
+            ServeError::InsufficientBlocks { required, max_blocks } => {
+                write!(
+                    f,
+                    "request needs up to {required} KV blocks but the pool holds {max_blocks}"
+                )
             }
         }
     }
@@ -262,6 +306,30 @@ pub struct StepSummary {
     pub generated: usize,
     /// Requests that reached their token limit and retired.
     pub finished: usize,
+    /// Sequences preempted under KV-pool pressure during this step (their
+    /// blocks were freed and they re-queued at the front of the admission
+    /// queue).
+    pub preempted: usize,
+    /// KV blocks allocated from the engine's pool after this step (block
+    /// tables plus prefix cache; a block shared by many sequences counts
+    /// once).
+    pub blocks_in_use: usize,
+    /// High-water mark of `blocks_in_use` over the engine's lifetime.
+    pub blocks_peak: usize,
+}
+
+/// Decoding progress carried across a preemption: everything needed to
+/// resume the request bit-identically once blocks are available again.
+struct Resume {
+    /// Tokens generated before the preemption (they re-prefill as part of
+    /// the prompt — bit-identical to having decoded them, per the golden
+    /// prefill-equivalence tests — and stay in the final report).
+    tokens: Vec<u32>,
+    /// The request-private sampler RNG, mid-stream.
+    rng: TensorRng,
+    preemptions: u32,
+    /// Prefix positions adopted from the cache before the preemption.
+    shared: usize,
 }
 
 /// A request waiting for a batch slot.
@@ -271,6 +339,9 @@ struct Queued {
     limit: usize,
     sampling: SamplingParams,
     submitted_at: Instant,
+    /// Present when this entry is a preempted sequence awaiting
+    /// re-admission rather than a fresh request.
+    resume: Option<Resume>,
 }
 
 /// What [`advance_sequence`] did to one sequence during one step — written
@@ -309,11 +380,17 @@ pub(crate) struct Active {
     state: DecodeState,
     last_logits: Vec<f32>,
     tokens: Vec<u32>,
-    /// The full prompt; `prompt[..prefilled]` has been consumed.
-    prompt: Vec<u32>,
-    /// Prompt positions already in the KV cache.
+    /// The tokens to prefill: the original prompt plus — after a
+    /// preemption — the tokens generated before it (re-prefilling them is
+    /// bit-identical to having decoded them). `prefill[..prefilled]` is in
+    /// the KV cache.
+    prefill: Vec<u32>,
+    /// Original prompt length (`prefill[..prompt_len]`), for reporting.
+    prompt_len: usize,
+    /// Prefill positions already in the KV cache (starts at the
+    /// prefix-shared span, not zero, when blocks were adopted).
     prefilled: usize,
-    /// Prompt positions this step's scheduler granted (consumed and reset
+    /// Prefill positions this step's scheduler granted (consumed and reset
     /// by [`advance_sequence`]).
     grant: usize,
     /// Per-step activity record for post-join accounting.
@@ -325,12 +402,28 @@ pub(crate) struct Active {
     /// Time spent in the admission queue (submission → batch slot).
     queue_wait: std::time::Duration,
     admitted_step: u64,
+    /// Times this request has been preempted so far.
+    preemptions: u32,
+    /// Prefill positions skipped via prefix sharing (cumulative across
+    /// re-admissions).
+    shared: usize,
+    /// Full prompt blocks already published into the prefix trie (the
+    /// registration watermark — steady-state steps publish nothing and do
+    /// no trie work for this sequence).
+    registered_blocks: usize,
+    /// Trie node of the last published block (`PrefixTrie::ROOT` before
+    /// the first), so registration appends without re-walking the path.
+    /// Verified live before use: a published node is normally pinned by
+    /// this sequence's own table (shared `Arc`s) or by its children, but a
+    /// node adopted-then-diverged or inherited from a retired twin can be
+    /// evicted, and ids are never reused, so a dead anchor is detectable.
+    trie_parent: usize,
 }
 
 impl Active {
     /// Whether this sequence is still consuming its prompt.
     fn prefilling(&self) -> bool {
-        self.prefilled < self.prompt.len()
+        self.prefilled < self.prefill.len()
     }
 }
 
@@ -357,7 +450,7 @@ fn approx_macs_per_token(config: &opal_model::ModelConfig) -> u64 {
 /// plus one if it will sample (a prefill position costs about as much as a
 /// decoded token).
 fn seq_units(seq: &Active) -> u64 {
-    seq.grant as u64 + u64::from(seq.prefilled + seq.grant >= seq.prompt.len())
+    seq.grant as u64 + u64::from(seq.prefilled + seq.grant >= seq.prefill.len())
 }
 
 /// Exclusive end indices (all but the last) cutting `units` into `chunks`
@@ -430,13 +523,13 @@ pub(crate) fn advance_sequence(model: &Model, seq: &mut Active) {
         seq.work.prefill_start = start;
         seq.work.prefilled = grant;
         seq.prefilled = end;
-        if end < seq.prompt.len() {
-            model.prefill_chunk(&mut seq.state, &seq.prompt[start..end]);
+        if end < seq.prefill.len() {
+            model.prefill_chunk(&mut seq.state, &seq.prefill[start..end]);
             return;
         }
         // Final chunk: materialize the prompt logits and sample the first
         // token in this same step, exactly like blocking admission did.
-        model.prefill_chunk_into(&mut seq.state, &seq.prompt[start..end], &mut seq.last_logits);
+        model.prefill_chunk_into(&mut seq.state, &seq.prefill[start..end], &mut seq.last_logits);
     }
     let token = seq.sampler.pick(&seq.last_logits, &mut seq.rng);
     seq.tokens.push(token);
@@ -474,13 +567,20 @@ pub struct ServeEngine<'m> {
     /// (which may be finishing a chunk if the engine is dropped during an
     /// unwinding step) while the sequences they borrow are still alive.
     pool: Option<WorkerPool>,
+    /// The engine-wide KV block pool: every sequence's block tables and the
+    /// prefix cache allocate from it, bounded by [`ServeConfig::max_blocks`].
+    kv_pool: Arc<BlockPool>,
+    /// The exact-match prefix cache over full KV blocks.
+    trie: PrefixTrie,
     pending: VecDeque<Queued>,
     active: Vec<Active>,
     finished: Vec<RequestReport>,
     next_id: u64,
     steps: u64,
     prefill_tokens: u64,
+    shared_tokens: u64,
     generated_tokens: u64,
+    preemptions: u64,
     peak_batch: usize,
     energy_j: f64,
     /// Rotates which `Prefilling` sequence gets first claim on each step's
@@ -539,18 +639,26 @@ impl<'m> ServeEngine<'m> {
         assert!(config.num_threads > 0, "num_threads must be at least 1");
         assert!(config.prefill_chunk > 0, "prefill_chunk must be at least 1");
         assert!(config.max_queue > 0, "max_queue must be at least 1");
+        assert!(config.block_size > 0, "block_size must be at least 1");
+        assert!(config.max_blocks > 0, "max_blocks must be at least 1");
+        let kv_pool =
+            Arc::new(BlockPool::new(config.block_size, model.config().d_model, config.max_blocks));
         ServeEngine {
             model,
             accelerator: None,
             config,
             pool: None,
+            kv_pool,
+            trie: PrefixTrie::new(),
             pending: VecDeque::new(),
             active: Vec::new(),
             finished: Vec::new(),
             next_id: 0,
             steps: 0,
             prefill_tokens: 0,
+            shared_tokens: 0,
             generated_tokens: 0,
+            preemptions: 0,
             peak_batch: 0,
             energy_j: 0.0,
             prefill_cursor: 0,
@@ -597,6 +705,28 @@ impl<'m> ServeEngine<'m> {
     /// latency from steady-state decode.
     pub fn prefilling_len(&self) -> usize {
         self.active.iter().filter(|s| s.prefilling()).count()
+    }
+
+    /// KV blocks currently allocated from the engine's pool (block tables
+    /// of resident sequences plus the prefix cache; a block shared by many
+    /// sequences counts once).
+    pub fn kv_blocks_in_use(&self) -> usize {
+        self.kv_pool.in_use()
+    }
+
+    /// High-water mark of [`ServeEngine::kv_blocks_in_use`].
+    pub fn kv_blocks_peak(&self) -> usize {
+        self.kv_pool.peak()
+    }
+
+    /// The configured pool bound ([`ServeConfig::max_blocks`]).
+    pub fn kv_blocks_capacity(&self) -> usize {
+        self.kv_pool.capacity()
+    }
+
+    /// Full KV blocks resident in the prefix cache.
+    pub fn prefix_cache_len(&self) -> usize {
+        self.trie.len()
     }
 
     /// Enqueues a request generating the configured default
@@ -656,6 +786,25 @@ impl<'m> ServeEngine<'m> {
         if let Some(&bad) = request.prompt.iter().find(|&&t| t as usize >= vocab) {
             return Err(ServeError::TokenOutOfRange { token: bad, vocab });
         }
+        let limit = limit.min(self.config.max_tokens);
+        // Worst-case lifetime residency running alone: one block per layer
+        // per `block_size` cached positions (prompt plus all but the last
+        // generated token), plus one block per layer of copy-on-write
+        // headroom. If even that exceeds the pool, no amount of eviction or
+        // preemption could ever let this request finish — reject it now
+        // rather than deadlock the scheduler later.
+        let positions = request.prompt.len().saturating_add(limit).saturating_sub(1);
+        let required = self
+            .model
+            .config()
+            .n_layers
+            .saturating_mul(positions.div_ceil(self.config.block_size).saturating_add(1));
+        if required > self.config.max_blocks {
+            return Err(ServeError::InsufficientBlocks {
+                required,
+                max_blocks: self.config.max_blocks,
+            });
+        }
         // Capacity last: a permanently-invalid request must surface its own
         // error, not a retryable `QueueFull` the client would wait out.
         if self.pending.len() >= self.config.max_queue {
@@ -666,9 +815,10 @@ impl<'m> ServeEngine<'m> {
         self.pending.push_back(Queued {
             id,
             prompt: request.prompt,
-            limit: limit.min(self.config.max_tokens),
+            limit,
             sampling: request.sampling,
             submitted_at: Instant::now(),
+            resume: None,
         });
         Ok(id)
     }
@@ -676,33 +826,107 @@ impl<'m> ServeEngine<'m> {
     /// Admits queued requests into free batch slots. Returns the number
     /// admitted. Called automatically by [`step`](Self::step).
     ///
-    /// Admission is O(1) per request and independent of prompt length: an
-    /// admitted request merely enters its `Prefilling` phase — its prompt
-    /// is consumed incrementally by later steps under the per-step
-    /// [`PrefillBudget`], never synchronously here (the pre-rewrite
-    /// scheduler prefilled the whole prompt inside `admit`, stalling every
-    /// active decode behind the longest prompt in the queue).
+    /// Admission is memory-aware and prefix-shared:
+    ///
+    /// * The prefix cache is probed with the request's tokens; matched full
+    ///   blocks are adopted read-only (refcount bumps, no prefill) and the
+    ///   sequence starts its `Prefilling` phase at the shared span, which
+    ///   is capped at one position short of the prompt so the final
+    ///   position's logits are always computed.
+    /// * A request only enters the batch when the pool can cover its first
+    ///   prefill chunk plus one decode round of headroom; otherwise unused
+    ///   prefix-cache blocks are evicted, and if that is not enough the
+    ///   request waits — admission never triggers preemption by itself.
+    ///
+    /// Admission stays O(prompt blocks) per request and never runs a
+    /// forward pass: the prompt is consumed incrementally by later steps
+    /// under the per-step [`PrefillBudget`].
     pub fn admit(&mut self) -> usize {
+        let nl = self.model.config().n_layers;
+        let bs = self.config.block_size;
         let mut admitted = 0;
         while self.active.len() < self.config.max_batch {
-            let Some(q) = self.pending.pop_front() else { break };
-            self.active.push(Active {
-                id: q.id,
-                state: self.model.begin_decode(),
-                last_logits: vec![0.0; self.model.config().vocab],
+            let Some(q) = self.pending.front() else { break };
+            // The prefill target: the prompt, plus — when resuming a
+            // preempted request — the tokens generated before preemption.
+            // Only the (rare) resumed case materializes the concatenation;
+            // a fresh request is probed through its queued prompt directly.
+            let resumed_target: Option<Vec<u32>> = q.resume.as_ref().map(|r| {
+                let mut t = q.prompt.clone();
+                t.extend_from_slice(&r.tokens);
+                t
+            });
+            let target: &[u32] = resumed_target.as_deref().unwrap_or(&q.prompt);
+            // Probe the prefix cache; cap the shared span one short of the
+            // target so the final position always computes its logits.
+            let matched =
+                if self.config.prefix_sharing { self.trie.lookup(target, bs) } else { Vec::new() };
+            let shared_len = (matched.len() * bs).min(target.len() - 1);
+            let shared_blocks = shared_len.div_ceil(bs);
+            // Block gate: first prefill chunk (new blocks past the shared
+            // span, plus a copy-on-write of a partial shared tail) and one
+            // decode round of headroom.
+            let first_chunk = self.config.prefill_chunk.min(target.len() - shared_len);
+            let new_blocks = (shared_len + first_chunk).div_ceil(bs) - shared_blocks;
+            let cow = usize::from(!shared_len.is_multiple_of(bs));
+            let need = nl * (new_blocks + cow + 1);
+            if self.kv_pool.free_blocks() < need {
+                if self.trie.evict_lru_leaf() > 0 {
+                    continue; // re-probe: the eviction may have freed enough
+                }
+                break;
+            }
+            let q = self.pending.pop_front().expect("peeked entry is still queued");
+            let prompt_len = q.prompt.len();
+            let prefill = resumed_target.unwrap_or(q.prompt);
+            let (tokens, rng, preemptions, shared_before) = match q.resume {
+                Some(r) => (r.tokens, r.rng, r.preemptions, r.shared),
                 // Capacity is only a hint: effectively-unbounded limits
                 // (long-running residents) must not reserve absurd buffers.
-                tokens: Vec::with_capacity(q.limit.min(4096)),
-                prompt: q.prompt,
-                prefilled: 0,
+                None => {
+                    (Vec::with_capacity(q.limit.min(4096)), TensorRng::seed(q.sampling.seed), 0, 0)
+                }
+            };
+            let mut state = self.model.begin_decode_paged(&self.kv_pool);
+            if shared_len > 0 {
+                let prefix: Vec<Vec<Arc<KvBlock>>> = (0..nl)
+                    .map(|l| {
+                        matched[..shared_blocks]
+                            .iter()
+                            .map(|&node| self.trie.node_block(node, l))
+                            .collect()
+                    })
+                    .collect();
+                state.adopt_shared_prefix(prefix, shared_len);
+                self.shared_tokens += shared_len as u64;
+            }
+            // Fully-adopted blocks are already published; anchor the
+            // registration watermark at the last of them.
+            let full_adopted = shared_len / bs;
+            self.active.push(Active {
+                id: q.id,
+                state,
+                last_logits: vec![0.0; self.model.config().vocab],
+                tokens,
+                prompt_len,
+                prefill,
+                prefilled: shared_len,
                 grant: 0,
                 work: StepWork::default(),
                 limit: q.limit,
                 sampler: q.sampling.sampler,
-                rng: TensorRng::seed(q.sampling.seed),
+                rng,
                 submitted_at: q.submitted_at,
                 queue_wait: q.submitted_at.elapsed(),
                 admitted_step: self.steps,
+                preemptions,
+                shared: shared_before + shared_len,
+                registered_blocks: full_adopted,
+                trie_parent: if full_adopted > 0 {
+                    matched[full_adopted - 1]
+                } else {
+                    PrefixTrie::ROOT
+                },
             });
             admitted += 1;
         }
@@ -732,43 +956,15 @@ impl<'m> ServeEngine<'m> {
         let admitted = self.admit();
         let mut summary = StepSummary { admitted, ..StepSummary::default() };
         if self.active.is_empty() {
+            summary.blocks_in_use = self.kv_pool.in_use();
+            summary.blocks_peak = self.kv_pool.peak();
             return summary;
         }
         if self.started_at.is_none() {
             self.started_at = Some(Instant::now());
         }
 
-        // Hand out this step's prefill budget before any fan-out. The scan
-        // starts at the rotating cursor and the cursor advances to just
-        // past the last sequence that received a grant, so a prompt that
-        // drained the budget goes last next step — round-robin over the
-        // *prefilling* sequences, regardless of how many decoding
-        // neighbours sit between them in the slot order (advancing the
-        // cursor one slot per step would let a long prompt in a low slot
-        // reclaim the whole budget on almost every step).
-        let batch = self.active.len();
-        if self.active.iter().any(Active::prefilling) {
-            let mut budget = PrefillBudget::new(self.config.prefill_chunk);
-            let start = self.prefill_cursor % batch;
-            let mut last_grantee = None;
-            for i in 0..batch {
-                if budget.remaining() == 0 {
-                    break;
-                }
-                let idx = (start + i) % batch;
-                let seq = &mut self.active[idx];
-                if seq.prefilling() {
-                    seq.grant = budget.take(seq.prompt.len() - seq.prefilled);
-                    if seq.grant > 0 {
-                        last_grantee = Some(idx);
-                    }
-                }
-            }
-            self.prefill_cursor = match last_grantee {
-                Some(idx) => idx + 1,
-                None => self.prefill_cursor.wrapping_add(1),
-            };
-        }
+        self.plan_step(&mut summary);
 
         let model = self.model;
         let workers = self.plan_workers();
@@ -840,6 +1036,11 @@ impl<'m> ServeEngine<'m> {
         self.generated_tokens += summary.generated as u64;
         self.steps += 1;
 
+        // Publish freshly-completed full prompt blocks into the prefix
+        // cache before retiring anything, so even a request that finishes
+        // in its first decode step leaves its prefix behind for followers.
+        self.register_prefixes();
+
         let steps = self.steps;
         let mut retired = Vec::new();
         self.active.retain_mut(|seq| {
@@ -848,10 +1049,13 @@ impl<'m> ServeEngine<'m> {
             }
             retired.push(RequestReport {
                 id: seq.id,
-                prompt_len: seq.prompt.len(),
+                prompt_len: seq.prompt_len,
                 tokens: std::mem::take(&mut seq.tokens),
+                finish: FinishReason::Limit,
                 admitted_step: seq.admitted_step,
                 finished_step: steps,
+                preemptions: seq.preemptions,
+                shared_prefill_tokens: seq.shared,
                 queue_wait: seq.queue_wait,
                 latency: seq.submitted_at.elapsed(),
             });
@@ -859,7 +1063,289 @@ impl<'m> ServeEngine<'m> {
         });
         summary.finished = retired.len();
         self.finished.append(&mut retired);
+        summary.blocks_in_use = self.kv_pool.in_use();
+        summary.blocks_peak = self.kv_pool.peak();
         summary
+    }
+
+    /// Plans this step's memory use: fixes every sequence's prefill grant
+    /// so the forthcoming appends — decode rows, granted prefill rows, and
+    /// any copy-on-write of a shared tail block — are guaranteed to fit the
+    /// pool before any worker runs. Under pressure the scheduler reclaims
+    /// memory in escalating order:
+    ///
+    /// 1. **evict** least-recently-used prefix-cache blocks nobody maps,
+    /// 2. **shrink** prefill grants (prompt intake is elastic; decode
+    ///    progress is not), and finally
+    /// 3. **preempt** the youngest sequence — drop its blocks, push it to
+    ///    the front of the admission queue to re-prefill later — repeating
+    ///    until the step can make progress.
+    ///
+    /// Every decision is a pure function of scheduler state (block counts,
+    /// refcounts, the trie's LRU clock), so planning is deterministic and
+    /// independent of thread count or wall time.
+    fn plan_step(&mut self, summary: &mut StepSummary) {
+        loop {
+            // Inelastic first: rows decoding sequences will append this
+            // step. If they don't fit, reclaim until they do — a decoding
+            // sequence never stalls, it either advances or is preempted.
+            let decode_need = loop {
+                let need: usize = self
+                    .active
+                    .iter()
+                    .filter(|s| !s.prefilling())
+                    .map(|s| self.decode_block_need(s))
+                    .sum();
+                if need <= self.kv_pool.free_blocks() {
+                    break need;
+                }
+                if self.trie.evict_lru_leaf() > 0 {
+                    continue;
+                }
+                self.preempt_youngest(summary);
+            };
+            let mut block_budget = self.kv_pool.free_blocks() - decode_need;
+
+            // Hand out this step's prefill budget. The scan starts at the
+            // rotating cursor and the cursor advances to just past the last
+            // sequence that received a grant, so a prompt that drained the
+            // budget goes last next step — round-robin over the
+            // *prefilling* sequences, regardless of how many decoding
+            // neighbours sit between them in the slot order. Each grant is
+            // additionally capped by the blocks still affordable after the
+            // decode reservation.
+            for seq in &mut self.active {
+                seq.grant = 0;
+            }
+            let batch = self.active.len();
+            let mut new_cursor = None;
+            if self.active.iter().any(Active::prefilling) {
+                new_cursor = Some(self.prefill_cursor.wrapping_add(1));
+                let mut budget = PrefillBudget::new(self.config.prefill_chunk);
+                let start = self.prefill_cursor % batch;
+                let mut last_grantee = None;
+                for i in 0..batch {
+                    if budget.remaining() == 0 {
+                        break;
+                    }
+                    let idx = (start + i) % batch;
+                    if !self.active[idx].prefilling() {
+                        continue;
+                    }
+                    let want = self.affordable_grant(&self.active[idx], block_budget);
+                    let granted = budget.take(want);
+                    let cost = self.grant_block_cost(&self.active[idx], granted);
+                    debug_assert!(cost <= block_budget, "grant exceeded its block budget");
+                    block_budget -= cost;
+                    self.active[idx].grant = granted;
+                    if granted > 0 {
+                        last_grantee = Some(idx);
+                    }
+                }
+                if let Some(idx) = last_grantee {
+                    new_cursor = Some(idx + 1);
+                }
+            }
+
+            // Progress check: every decoding sequence advances (its blocks
+            // are reserved), so the step can only wedge when the whole
+            // batch is prefilling with zero grants. Reclaim and replan.
+            let progress = self.active.iter().any(|s| !s.prefilling() || s.grant > 0);
+            if progress {
+                if let Some(cursor) = new_cursor {
+                    self.prefill_cursor = cursor;
+                }
+                return;
+            }
+            if self.trie.evict_lru_leaf() == 0 {
+                self.preempt_youngest(summary);
+            }
+        }
+    }
+
+    /// Blocks a decoding sequence's forward pass will allocate this step:
+    /// one per layer when the appended position opens a new block or must
+    /// copy-on-write a shared tail, zero otherwise (including when the
+    /// sequence retires at its limit without another forward pass).
+    fn decode_block_need(&self, seq: &Active) -> usize {
+        if seq.tokens.len() + 1 >= seq.limit {
+            return 0;
+        }
+        let pos = seq.state.pos();
+        if pos.is_multiple_of(self.config.block_size) || seq.state.tail_block_shared() {
+            self.model.config().n_layers
+        } else {
+            0
+        }
+    }
+
+    /// Blocks a prefill grant of `granted` positions will allocate: new
+    /// blocks the span opens (including the same-step first decode forward
+    /// when the grant completes the prompt), plus a copy-on-write of a
+    /// shared partial tail — all × layers.
+    fn grant_block_cost(&self, seq: &Active, granted: usize) -> usize {
+        if granted == 0 {
+            return 0;
+        }
+        let bs = self.config.block_size;
+        let pos = seq.prefilled;
+        let completes = pos + granted == seq.prefill.len();
+        let extra = usize::from(completes && seq.tokens.len() + 1 < seq.limit);
+        let new_blocks =
+            (pos + granted + extra).div_ceil(bs).saturating_sub(seq.state.blocks_per_layer());
+        let cow = usize::from(!pos.is_multiple_of(bs) && seq.state.tail_block_shared());
+        self.model.config().n_layers * (new_blocks + cow)
+    }
+
+    /// The largest prefill grant for `seq` whose [`Self::grant_block_cost`]
+    /// fits in `block_budget`, capped at the sequence's remaining prompt.
+    fn affordable_grant(&self, seq: &Active, block_budget: usize) -> usize {
+        let remaining = seq.prefill.len() - seq.prefilled;
+        if self.grant_block_cost(seq, remaining) <= block_budget {
+            return remaining;
+        }
+        let bs = self.config.block_size;
+        let nl = self.model.config().n_layers;
+        let pos = seq.prefilled;
+        let per_layer = block_budget / nl;
+        let cow = usize::from(!pos.is_multiple_of(bs) && seq.state.tail_block_shared());
+        let Some(new_blocks) = per_layer.checked_sub(cow) else { return 0 };
+        // Fill the affordable blocks to their last row; the whole prompt
+        // did not fit, so no completion forward pass rides on this grant —
+        // unless only the completion's extra row overflowed, in which case
+        // stop one position short and complete next step.
+        let max_positions = ((seq.state.blocks_per_layer() + new_blocks) * bs).saturating_sub(pos);
+        if max_positions >= remaining {
+            remaining.saturating_sub(1)
+        } else {
+            max_positions
+        }
+    }
+
+    /// Preempts the youngest sequence (the most recently admitted — the
+    /// tail of the admission-ordered batch): its `DecodeState` is dropped,
+    /// returning every block nobody else maps to the pool, and the request
+    /// re-queues at the *front* of the admission queue carrying its
+    /// generated tokens and sampler RNG. On re-admission it re-prefills
+    /// prompt + generated tokens — bit-identical to having decoded them —
+    /// and resumes sampling exactly where it left off, so preemption never
+    /// changes output, only timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty — the submission-time
+    /// [`ServeError::InsufficientBlocks`] check guarantees a lone sequence
+    /// can always advance, so the scheduler never preempts the last one.
+    fn preempt_youngest(&mut self, summary: &mut StepSummary) {
+        assert!(
+            self.active.len() > 1,
+            "KV pool cannot make progress with a single resident sequence; \
+             ServeError::InsufficientBlocks should have rejected it at submission"
+        );
+        let seq = self.active.pop().expect("batch is non-empty");
+        self.preemptions += 1;
+        summary.preempted += 1;
+        let mut prompt = seq.prefill;
+        prompt.truncate(seq.prompt_len);
+        self.pending.push_front(Queued {
+            id: seq.id,
+            prompt,
+            limit: seq.limit,
+            sampling: SamplingParams { sampler: seq.sampler, seed: 0 },
+            submitted_at: seq.submitted_at,
+            resume: Some(Resume {
+                tokens: seq.tokens,
+                rng: seq.rng,
+                preemptions: seq.preemptions + 1,
+                shared: seq.shared,
+            }),
+        });
+        // `seq.state` drops here, releasing its blocks.
+    }
+
+    /// Publishes newly-completed full prompt blocks of every active
+    /// sequence into the prefix cache, appending under the sequence's
+    /// registration anchor ([`Active::trie_parent`]). Steady-state steps —
+    /// no sequence crossed a full-block boundary — do no trie work at all,
+    /// keeping the decode loop free of hashing and key allocation.
+    ///
+    /// The anchor is normally un-evictable while the sequence lives (its
+    /// blocks are pinned by the sequence's own table, and interior nodes
+    /// by their children), but a node inherited from a retired twin or
+    /// diverged from by copy-on-write can die; ids are never reused, so a
+    /// dead anchor is detected and the path re-published from the root
+    /// with this sequence's own blocks — the self-healing slow path.
+    fn register_prefixes(&mut self) {
+        if !self.config.prefix_sharing {
+            return;
+        }
+        let bs = self.config.block_size;
+        let nl = self.model.config().n_layers;
+        for seq in &mut self.active {
+            let full = seq.prefilled.min(seq.prefill.len()) / bs;
+            if seq.registered_blocks >= full {
+                continue;
+            }
+            if !self.trie.contains(seq.trie_parent) {
+                seq.trie_parent = PrefixTrie::ROOT;
+                seq.registered_blocks = 0;
+            }
+            while seq.registered_blocks < full {
+                let b = seq.registered_blocks;
+                let tokens = &seq.prefill[b * bs..(b + 1) * bs];
+                seq.trie_parent = self.trie.insert_or_touch(seq.trie_parent, tokens, || {
+                    (0..nl).map(|l| seq.state.block(l, b)).collect()
+                });
+                seq.registered_blocks += 1;
+            }
+        }
+    }
+
+    /// Aborts a queued or running request, releasing its KV blocks
+    /// immediately (minus any prefix-cache blocks other requests still
+    /// map). The request appears in the final report with
+    /// [`FinishReason::Cancelled`] and whatever tokens it had generated.
+    /// Returns `false` when the id is unknown or the request already
+    /// finished.
+    pub fn cancel(&mut self, id: RequestId) -> bool {
+        let now = self.steps;
+        if let Some(i) = self.pending.iter().position(|q| q.id == id) {
+            let q = self.pending.remove(i).expect("index is in range");
+            let (tokens, preemptions, shared) = match q.resume {
+                Some(r) => (r.tokens, r.preemptions, r.shared),
+                None => (Vec::new(), 0, 0),
+            };
+            self.finished.push(RequestReport {
+                id,
+                prompt_len: q.prompt.len(),
+                tokens,
+                finish: FinishReason::Cancelled,
+                admitted_step: now,
+                finished_step: now,
+                preemptions,
+                shared_prefill_tokens: shared,
+                queue_wait: q.submitted_at.elapsed(),
+                latency: q.submitted_at.elapsed(),
+            });
+            return true;
+        }
+        if let Some(i) = self.active.iter().position(|s| s.id == id) {
+            let seq = self.active.remove(i);
+            self.finished.push(RequestReport {
+                id,
+                prompt_len: seq.prompt_len,
+                tokens: seq.tokens,
+                finish: FinishReason::Cancelled,
+                admitted_step: seq.admitted_step,
+                finished_step: now,
+                preemptions: seq.preemptions,
+                shared_prefill_tokens: seq.shared,
+                queue_wait: seq.queue_wait,
+                latency: seq.submitted_at.elapsed(),
+            });
+            return true; // `seq.state` dropped: its blocks are free again
+        }
+        false
     }
 
     /// How many threads (caller included) this step should use.
@@ -949,8 +1435,11 @@ impl<'m> ServeEngine<'m> {
         ServeReport {
             steps: self.steps,
             prefill_tokens: self.prefill_tokens,
+            shared_prefill_tokens: self.shared_tokens,
             generated_tokens: self.generated_tokens,
             peak_batch: self.peak_batch,
+            blocks_peak: self.kv_pool.peak(),
+            preemptions: self.preemptions,
             elapsed,
             tokens_per_sec: if secs > 0.0 { total as f64 / secs } else { 0.0 },
             generated_per_sec: if secs > 0.0 { self.generated_tokens as f64 / secs } else { 0.0 },
@@ -1399,6 +1888,43 @@ mod tests {
         e.submit(&[1, 2, 3]).unwrap();
         let report = e.run();
         assert!(report.energy_j > 0.0);
+    }
+
+    #[test]
+    fn step_summary_reports_kv_residency() {
+        let m = model(); // tiny: 2 layers
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig { max_batch: 2, max_tokens: 3, block_size: 2, ..ServeConfig::default() },
+        );
+        e.submit(&[1, 2, 3]).unwrap();
+        // Step 1 prefills the 3-token prompt and decodes the first token:
+        // 4 positions -> 2 blocks per layer x 2 layers.
+        let s = e.step();
+        assert_eq!(s.blocks_in_use, 4);
+        assert_eq!(s.blocks_peak, 4);
+        assert_eq!(s.preempted, 0);
+        let report = e.run();
+        assert!(report.blocks_peak >= 4);
+        assert_eq!(report.preemptions, 0);
+        // The drained engine keeps only the prefix cache (one full block
+        // of the 3-token prompt per layer at block_size 2).
+        assert_eq!(e.kv_blocks_in_use(), 2);
+        assert_eq!(e.prefix_cache_len(), 1);
+    }
+
+    #[test]
+    fn cancel_unknown_or_finished_is_refused() {
+        let m = model();
+        let mut e = ServeEngine::new(
+            &m,
+            ServeConfig { max_batch: 1, max_tokens: 1, ..ServeConfig::default() },
+        );
+        assert!(!e.cancel(RequestId(99)));
+        let id = e.submit(&[1]).unwrap();
+        let report = e.run();
+        assert_eq!(report.request(id).unwrap().finish, crate::FinishReason::Limit);
+        assert!(!e.cancel(id), "finished requests cannot be cancelled");
     }
 
     #[test]

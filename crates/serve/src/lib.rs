@@ -4,10 +4,17 @@
 //! sequence at a time. A serving deployment instead keeps *N* requests in
 //! flight: each decode step advances every active sequence by one token,
 //! new requests are admitted between steps as soon as a batch slot frees up
-//! (continuous batching), and every sequence owns its own KV cache so
-//! admissions never perturb neighbours. Admission itself is *chunked and
-//! fairness-aware*: a freshly admitted request consumes its prompt in fused
-//! multi-token chunks under a per-step [`PrefillBudget`]
+//! (continuous batching), and every sequence owns a private block table
+//! over the engine's **paged KV cache** so admissions never perturb
+//! neighbours. Paging makes KV memory a managed resource: requests with a
+//! common token prefix (system prompts, few-shot headers) map the same
+//! prefix blocks read-only and skip that span's prefill entirely,
+//! [`ServeConfig::max_blocks`] bounds total KV memory, and when the pool
+//! runs dry the scheduler evicts unused cache blocks and preempts the
+//! youngest sequence — resuming it later with bit-identical output —
+//! instead of erroring. Admission itself is *chunked and fairness-aware*:
+//! a freshly admitted request consumes its prompt in fused multi-token
+//! chunks under a per-step [`PrefillBudget`]
 //! ([`ServeConfig::prefill_chunk`], granted round-robin between prompts),
 //! so a long prompt bounds — rather than monopolizes — every step it shares
 //! with decoding neighbours.
@@ -53,9 +60,10 @@ mod engine;
 #[allow(unsafe_code)]
 mod pool;
 mod report;
+mod trie;
 
 pub use engine::{
     PrefillBudget, Request, RequestId, SamplingParams, ServeConfig, ServeEngine, ServeError,
     StepMode, StepSummary,
 };
-pub use report::{RequestReport, ServeReport};
+pub use report::{FinishReason, RequestReport, ServeReport};

@@ -1,8 +1,21 @@
-//! Serving statistics: throughput, per-request latency, aggregate energy.
+//! Serving statistics: throughput, per-request latency, aggregate energy,
+//! and KV-pool residency.
 
 use std::time::Duration;
 
 use crate::engine::RequestId;
+
+/// Why a request left the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FinishReason {
+    /// The request generated its full token limit.
+    #[default]
+    Limit,
+    /// The request was aborted via `ServeEngine::cancel` (its KV blocks
+    /// were released immediately; `tokens` holds whatever was generated
+    /// before the cancellation).
+    Cancelled,
+}
 
 /// Outcome of one finished request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -13,15 +26,26 @@ pub struct RequestReport {
     pub prompt_len: usize,
     /// The generated tokens, in order.
     pub tokens: Vec<u32>,
+    /// Why the request retired.
+    pub finish: FinishReason,
     /// Scheduler step at which the request entered the batch (the start of
-    /// its `Prefilling` phase).
+    /// its `Prefilling` phase; for a preempted request, its most recent
+    /// re-admission).
     pub admitted_step: u64,
     /// Scheduler step at which the request retired.
     pub finished_step: u64,
+    /// Times this request was preempted under KV-pool pressure (each one
+    /// dropped its blocks and re-queued it; output is unaffected).
+    pub preemptions: u32,
+    /// Prompt positions whose prefill was skipped because their KV blocks
+    /// were adopted read-only from the prefix cache (cumulative across
+    /// re-admissions).
+    pub shared_prefill_tokens: usize,
     /// Wall time spent waiting in the admission queue (submission → batch
-    /// slot). Under chunked admission this is the fairness-sensitive
-    /// number: a long prompt ahead in the queue costs bounded per-step
-    /// work, not its whole prefill, before this request gets a slot.
+    /// slot; for a preempted request, submission → final re-admission).
+    /// Under chunked admission this is the fairness-sensitive number: a
+    /// long prompt ahead in the queue costs bounded per-step work, not its
+    /// whole prefill, before this request gets a slot.
     pub queue_wait: Duration,
     /// Wall time from submission to retirement.
     pub latency: Duration,
@@ -44,10 +68,19 @@ pub struct ServeReport {
     pub steps: u64,
     /// Prompt tokens processed during admission prefill.
     pub prefill_tokens: u64,
+    /// Prompt tokens whose prefill was skipped via prefix sharing (their
+    /// blocks were already resident).
+    pub shared_prefill_tokens: u64,
     /// Tokens generated across all requests.
     pub generated_tokens: u64,
     /// Largest concurrent batch observed.
     pub peak_batch: usize,
+    /// High-water mark of KV blocks allocated from the engine's pool
+    /// (block tables plus prefix cache; shared blocks count once).
+    pub blocks_peak: usize,
+    /// Sequences preempted under KV-pool pressure (dropped and re-queued;
+    /// every preempted request still completes with unchanged output).
+    pub preemptions: u64,
     /// Wall time of the run.
     pub elapsed: Duration,
     /// Total tokens (prefill + generated) per second of wall time.
@@ -113,6 +146,11 @@ impl std::fmt::Display for ServeReport {
         )?;
         writeln!(
             f,
+            "  kv: peak {} blocks, {} prefix-shared prompt tokens, {} preemptions",
+            self.blocks_peak, self.shared_prefill_tokens, self.preemptions
+        )?;
+        writeln!(
+            f,
             "  throughput: {:.1} tok/s total, {:.1} tok/s generated",
             self.tokens_per_sec, self.generated_per_sec
         )?;
@@ -133,10 +171,14 @@ impl std::fmt::Display for ServeReport {
         for r in &self.requests {
             writeln!(
                 f,
-                "  {}: prompt {}, generated {}, steps {}..{}, latency {:.3?}",
+                "  {}: prompt {}, generated {}{}, steps {}..{}, latency {:.3?}",
                 r.id,
                 r.prompt_len,
                 r.tokens.len(),
+                match r.finish {
+                    FinishReason::Limit => String::new(),
+                    FinishReason::Cancelled => " (cancelled)".to_owned(),
+                },
                 r.admitted_step,
                 r.finished_step,
                 r.latency

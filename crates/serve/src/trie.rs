@@ -1,0 +1,194 @@
+//! The prefix cache: an exact-match trie over full KV blocks.
+//!
+//! Each node below the root stands for one *full* block of
+//! `ServeConfig::block_size` token ids and holds that block's K/V pages
+//! (one [`KvBlock`] per layer, refcount-shared with whichever sequence
+//! computed them). A node's path from the root therefore spells a token
+//! prefix whose KV rows are fully determined by those tokens — the
+//! invariant that makes adopting them into a fresh sequence bit-identical
+//! to re-prefilling.
+//!
+//! Lookup walks the trie block by block over a prompt and returns the
+//! matched chain; admission maps those blocks read-only and skips prefill
+//! for the covered span. Registration inserts (or LRU-touches) the path
+//! for every fully-prefilled prompt block of an active sequence, so the
+//! cache self-heals after eviction and prefixes in active use stay hot.
+//!
+//! Eviction is explicit and deterministic: under block-pool pressure the
+//! scheduler evicts the least-recently-used *leaf* whose pages nobody else
+//! maps (`Arc::strong_count == 1`), which returns them to the pool's free
+//! list. Ties break on node id, never on hash-map iteration order, so
+//! scheduler decisions stay reproducible.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use opal_model::kv::KvBlock;
+
+/// One cached full block of token ids.
+struct Node {
+    parent: usize,
+    tokens: Box<[u32]>,
+    /// One block per layer, all covering the same token span.
+    blocks: Vec<Arc<KvBlock>>,
+    child_count: usize,
+    last_used: u64,
+}
+
+/// The block-granular prefix cache (see the module docs).
+pub(crate) struct PrefixTrie {
+    nodes: HashMap<usize, Node>,
+    children: HashMap<(usize, Box<[u32]>), usize>,
+    next_id: usize,
+    clock: u64,
+}
+
+impl PrefixTrie {
+    /// The sentinel parent of every first-block node.
+    pub(crate) const ROOT: usize = 0;
+
+    pub(crate) fn new() -> Self {
+        PrefixTrie { nodes: HashMap::new(), children: HashMap::new(), next_id: 1, clock: 0 }
+    }
+
+    /// Cached full blocks.
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `node` is still resident (node ids are never reused, so a
+    /// stale id from before an eviction can only map to nothing). The root
+    /// sentinel is always live.
+    pub(crate) fn contains(&self, node: usize) -> bool {
+        node == Self::ROOT || self.nodes.contains_key(&node)
+    }
+
+    /// Walks the longest chain of full `block_size`-token blocks of
+    /// `tokens` present in the trie, LRU-touching every node on the path,
+    /// and returns the matched node ids in path order.
+    pub(crate) fn lookup(&mut self, tokens: &[u32], block_size: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut parent = Self::ROOT;
+        self.clock += 1;
+        let clock = self.clock;
+        for block in tokens.chunks_exact(block_size) {
+            let Some(&id) = self.children.get(&(parent, Box::from(block))) else { break };
+            let node = self.nodes.get_mut(&id).expect("child index points at a live node");
+            node.last_used = clock;
+            path.push(id);
+            parent = id;
+        }
+        path
+    }
+
+    /// The cached block of `node` at `layer` (a refcount bump).
+    pub(crate) fn node_block(&self, node: usize, layer: usize) -> Arc<KvBlock> {
+        Arc::clone(&self.nodes[&node].blocks[layer])
+    }
+
+    /// Returns `parent`'s child for `tokens`, inserting it with the pages
+    /// from `blocks` if absent; either way the node is LRU-touched. This is
+    /// how sequences publish freshly-prefilled prompt blocks.
+    pub(crate) fn insert_or_touch(
+        &mut self,
+        parent: usize,
+        tokens: &[u32],
+        blocks: impl FnOnce() -> Vec<Arc<KvBlock>>,
+    ) -> usize {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(&id) = self.children.get(&(parent, Box::from(tokens))) {
+            self.nodes.get_mut(&id).expect("child index points at a live node").last_used = clock;
+            return id;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let tokens: Box<[u32]> = Box::from(tokens);
+        self.nodes.insert(
+            id,
+            Node {
+                parent,
+                tokens: tokens.clone(),
+                blocks: blocks(),
+                child_count: 0,
+                last_used: clock,
+            },
+        );
+        self.children.insert((parent, tokens), id);
+        if parent != Self::ROOT {
+            self.nodes.get_mut(&parent).expect("parent outlives its children").child_count += 1;
+        }
+        id
+    }
+
+    /// Evicts the least-recently-used leaf whose pages nobody else maps,
+    /// returning how many blocks that freed (0 when nothing is evictable —
+    /// every remaining node is an interior node or is mapped by a live
+    /// sequence, so removing it would free no memory).
+    pub(crate) fn evict_lru_leaf(&mut self) -> usize {
+        let victim = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| {
+                n.child_count == 0 && n.blocks.iter().all(|b| Arc::strong_count(b) == 1)
+            })
+            .map(|(&id, n)| (n.last_used, id))
+            .min() // total order on (last_used, id): deterministic
+            .map(|(_, id)| id);
+        let Some(id) = victim else { return 0 };
+        let node = self.nodes.remove(&id).expect("victim is live");
+        self.children.remove(&(node.parent, node.tokens));
+        if node.parent != Self::ROOT {
+            if let Some(p) = self.nodes.get_mut(&node.parent) {
+                p.child_count -= 1;
+            }
+        }
+        node.blocks.len() // dropping `node` releases the pages to the pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opal_model::kv::BlockPool;
+
+    fn pool() -> Arc<BlockPool> {
+        Arc::new(BlockPool::new(2, 4, usize::MAX))
+    }
+
+    #[test]
+    fn lookup_matches_longest_registered_chain() {
+        let p = pool();
+        let mut t = PrefixTrie::new();
+        let a = t.insert_or_touch(PrefixTrie::ROOT, &[1, 2], || vec![p.alloc()]);
+        let b = t.insert_or_touch(a, &[3, 4], || vec![p.alloc()]);
+        assert_eq!(t.lookup(&[1, 2, 3, 4, 5, 6], 2), vec![a, b]);
+        assert_eq!(t.lookup(&[1, 2, 9, 9], 2), vec![a]);
+        assert_eq!(t.lookup(&[7, 8], 2), Vec::<usize>::new());
+        // A partial trailing block never matches.
+        assert_eq!(t.lookup(&[1, 2, 3], 2), vec![a]);
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_eviction_respects_use() {
+        let p = pool();
+        let mut t = PrefixTrie::new();
+        let a = t.insert_or_touch(PrefixTrie::ROOT, &[1, 2], || vec![p.alloc()]);
+        let a2 = t.insert_or_touch(PrefixTrie::ROOT, &[1, 2], || panic!("must not re-insert"));
+        assert_eq!(a, a2);
+        let b = t.insert_or_touch(a, &[3, 4], || vec![p.alloc()]);
+        assert_eq!(p.in_use(), 2);
+
+        // `a` is interior, so only `b` is evictable; a live external
+        // reference pins it.
+        let pin = t.node_block(b, 0);
+        assert_eq!(t.evict_lru_leaf(), 0, "pinned leaf must not be evicted");
+        drop(pin);
+        assert_eq!(t.evict_lru_leaf(), 1);
+        assert_eq!(p.in_use(), 1);
+        // Now `a` is a leaf and free.
+        assert_eq!(t.evict_lru_leaf(), 1);
+        assert_eq!((t.len(), p.in_use()), (0, 0));
+        assert_eq!(t.evict_lru_leaf(), 0);
+    }
+}
