@@ -41,6 +41,7 @@ use std::time::Instant;
 
 use opal_model::{Model, ModelConfig, QuantScheme};
 use opal_quant::{EncodeScratch, MxOpalQuantizer, Quantizer};
+use opal_scenario::{CancelStorm, ChurnPhase, ScenarioReport, TraceConfig};
 use opal_serve::{ServeConfig, ServeEngine, StepMode};
 use opal_tensor::ops;
 
@@ -55,17 +56,18 @@ struct Row {
     decode_tok_s: f64,
 }
 
-fn prompts(batch: usize, vocab: usize) -> Vec<Vec<u32>> {
+fn prompts(batch: usize, vocab: usize, seed: u64) -> Vec<Vec<u32>> {
+    let s = (seed % vocab as u64) as u32;
     (0..batch as u32)
-        .map(|i| (0..(i % 5 + 2)).map(|j| (i * 13 + j * 5) % vocab as u32).collect())
+        .map(|i| (0..(i % 5 + 2)).map(|j| (i * 13 + j * 5 + s) % vocab as u32).collect())
         .collect()
 }
 
 /// The seed engine: sequential stepping through the preserved reference
 /// decode path (`Vec<Vec<f32>>` KV caches, latency-chained sums, fresh
 /// allocations per token).
-fn run_seed_engine(model: &Model, batch: usize, new_tokens: usize) -> (f64, f64) {
-    let prompts = prompts(batch, model.config().vocab);
+fn run_seed_engine(model: &Model, batch: usize, new_tokens: usize, seed: u64) -> (f64, f64) {
+    let prompts = prompts(batch, model.config().vocab, seed);
     let t0 = Instant::now();
     let mut seqs: Vec<_> = prompts
         .iter()
@@ -111,6 +113,7 @@ fn measure_runs(batch: usize) -> usize {
 /// slightly) and `decode_tok_s` excludes that first round; compare these
 /// columns with pre-chunked-scheduler JSONs accordingly. Reported figures
 /// are the best of `runs` executions.
+#[allow(clippy::too_many_arguments)]
 fn run_opt_engine(
     model: &Model,
     batch: usize,
@@ -118,14 +121,16 @@ fn run_opt_engine(
     step_mode: StepMode,
     new_tokens: usize,
     runs: usize,
+    seed: u64,
 ) -> (f64, f64) {
-    run_opt_engine_paged(model, batch, threads, step_mode, new_tokens, runs, 16)
+    run_opt_engine_paged(model, batch, threads, step_mode, new_tokens, runs, 16, seed)
 }
 
 /// [`run_opt_engine`] with an explicit KV block size, for the `kv_paging`
 /// section's paged-vs-flat comparison (a block far larger than any
 /// sequence reproduces the old contiguous-buffer layout: one page per
 /// sequence per layer, no table walking).
+#[allow(clippy::too_many_arguments)]
 fn run_opt_engine_paged(
     model: &Model,
     batch: usize,
@@ -134,6 +139,7 @@ fn run_opt_engine_paged(
     new_tokens: usize,
     runs: usize,
     block_size: usize,
+    seed: u64,
 ) -> (f64, f64) {
     let mut best = (0.0f64, 0.0f64);
     for _ in 0..runs {
@@ -147,10 +153,11 @@ fn run_opt_engine_paged(
             ..ServeConfig::default()
         };
         let mut engine = ServeEngine::new(model, config);
-        for p in prompts(batch, model.config().vocab) {
+        for p in prompts(batch, model.config().vocab, seed) {
             engine.submit(&p).expect("valid prompt");
         }
-        let prefill_tokens: usize = prompts(batch, model.config().vocab).iter().map(Vec::len).sum();
+        let prefill_tokens: usize =
+            prompts(batch, model.config().vocab, seed).iter().map(Vec::len).sum();
         let t0 = Instant::now();
         let first = engine.step();
         let prefill_s = t0.elapsed().as_secs_f64();
@@ -168,20 +175,22 @@ fn run_opt_engine_paged(
     best
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bench_case(
     model_name: &str,
     config: &ModelConfig,
     scheme_name: &'static str,
     scheme: QuantScheme,
     new_tokens: usize,
+    seed: u64,
     rows: &mut Vec<Row>,
 ) {
-    let model = Model::new(config.clone(), scheme, 21).expect("valid scheme");
+    let model = Model::new(config.clone(), scheme, seed).expect("valid scheme");
     for batch in [1usize, 4, 16] {
         // Warm one pass so first-touch effects hit nobody in particular.
-        run_opt_engine(&model, batch, 1, StepMode::Auto, 4.min(new_tokens), 1);
+        run_opt_engine(&model, batch, 1, StepMode::Auto, 4.min(new_tokens), 1, seed);
 
-        let (pf, dec) = run_seed_engine(&model, batch, new_tokens);
+        let (pf, dec) = run_seed_engine(&model, batch, new_tokens, seed);
         rows.push(Row {
             model: model_name.into(),
             scheme: scheme_name,
@@ -238,6 +247,7 @@ fn bench_case(
                         step_mode,
                         new_tokens,
                         measure_runs(batch),
+                        seed,
                     );
                     if step_mode == StepMode::Auto {
                         measured.push((plan, m));
@@ -542,8 +552,79 @@ fn bench_preemption(model: &Model) -> PreemptionStats {
     }
 }
 
+/// Trace-driven scenario suite: three traffic shapes (steady Poisson,
+/// bursty overload against a bounded queue, cancel storms + preemption
+/// churn under a tight pool) replayed through the virtual-clock harness,
+/// each derived from the run's single seed. Every trace is regenerated and
+/// replayed twice and both must be bit-identical — the SLO numbers in the
+/// JSON are reproducible facts, not samples.
+fn bench_scenarios(model: &Model, smoke: bool, seed: u64) -> Vec<ScenarioReport> {
+    use opal_scenario::replay;
+    let vocab = model.config().vocab;
+    let n_layers = model.config().n_layers;
+    let horizon: u64 = if smoke { 32 } else { 96 };
+    let base = ServeConfig { max_batch: 8, max_tokens: 48, ..ServeConfig::default() };
+
+    let poisson_cfg = TraceConfig::poisson("poisson-steady", seed, 1.2, horizon, vocab);
+    let poisson_trace = poisson_cfg.generate();
+    assert_eq!(
+        poisson_trace.fingerprint(),
+        poisson_cfg.generate().fingerprint(),
+        "trace generation must be bit-deterministic"
+    );
+    let poisson = replay(model, base, &poisson_trace);
+    assert_eq!(
+        poisson.deterministic_digest(),
+        replay(model, base, &poisson_trace).deterministic_digest(),
+        "replay must be step-deterministic"
+    );
+
+    let bursty_trace =
+        TraceConfig::bursty("bursty-overload", seed + 1, 4.0, horizon, vocab).generate();
+    let bursty = replay(model, ServeConfig { max_queue: 24, ..base }, &bursty_trace);
+
+    let churn_config = ServeConfig { max_blocks: n_layers * 24, ..base };
+    let mut storm_cfg = TraceConfig::poisson("cancel-churn", seed + 2, 1.5, horizon, vocab);
+    storm_cfg.cancel_storms = vec![
+        CancelStorm { at_step: horizon / 3, percent: 50 },
+        CancelStorm { at_step: 2 * horizon / 3, percent: 50 },
+    ];
+    storm_cfg.churn = Some(ChurnPhase::sized_for(
+        horizon / 4,
+        horizon / 2,
+        1.0,
+        churn_config.max_blocks,
+        churn_config.block_size,
+        n_layers,
+    ));
+    let storm = replay(model, churn_config, &storm_cfg.generate());
+    assert!(storm.cancelled > 0, "cancel storms must cancel in-flight requests");
+
+    vec![poisson, bursty, storm]
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    // `--seed N` is the single RNG seed for the whole run: model weights,
+    // benchmark prompts and the scenario-suite traces all derive from it,
+    // so two invocations with the same seed measure bit-identical work.
+    let mut smoke = false;
+    let mut seed: u64 = 21;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bench_decode: --seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("bench_decode: unknown argument {other} (usage: [--smoke] [--seed N])");
+                std::process::exit(2);
+            }
+        }
+    }
     let new_tokens = if smoke { 6 } else { 32 };
 
     // The tiny unit-test config plus a mid-size Llama proxy (the accuracy
@@ -552,9 +633,25 @@ fn main() {
     let tiny = ModelConfig::tiny();
     let proxy = ModelConfig::llama2_7b().proxy(128, 4, 192);
     let mut rows = Vec::new();
-    bench_case("tiny", &tiny, "bf16", QuantScheme::bf16(), new_tokens, &mut rows);
-    bench_case("tiny", &tiny, "mxopal_w4a47", QuantScheme::mxopal_w4a47(), new_tokens, &mut rows);
-    bench_case("llama7b-proxy128", &proxy, "bf16", QuantScheme::bf16(), new_tokens, &mut rows);
+    bench_case("tiny", &tiny, "bf16", QuantScheme::bf16(), new_tokens, seed, &mut rows);
+    bench_case(
+        "tiny",
+        &tiny,
+        "mxopal_w4a47",
+        QuantScheme::mxopal_w4a47(),
+        new_tokens,
+        seed,
+        &mut rows,
+    );
+    bench_case(
+        "llama7b-proxy128",
+        &proxy,
+        "bf16",
+        QuantScheme::bf16(),
+        new_tokens,
+        seed,
+        &mut rows,
+    );
     if !smoke {
         bench_case(
             "llama7b-proxy128",
@@ -562,6 +659,7 @@ fn main() {
             "mxopal_w4a47",
             QuantScheme::mxopal_w4a47(),
             new_tokens,
+            seed,
             &mut rows,
         );
     }
@@ -647,7 +745,7 @@ fn main() {
     let long_prompt = if smoke { 48 } else { 192 };
     let n_long = if smoke { 4 } else { 12 };
     let pf_runs = if smoke { 3 } else { 8 };
-    let proxy_model = Model::new(proxy.clone(), QuantScheme::bf16(), 21).expect("valid scheme");
+    let proxy_model = Model::new(proxy.clone(), QuantScheme::bf16(), seed).expect("valid scheme");
     let pt = bench_prefill_throughput(&proxy_model, long_prompt, pf_runs);
     let chunked = bench_admission(&proxy_model, long_prompt, n_long, 8);
     let blocking = bench_admission(&proxy_model, long_prompt, n_long, usize::MAX);
@@ -679,13 +777,13 @@ fn main() {
     // admission speedup, and a preemption shakedown under a tiny pool.
     let kv_runs = measure_runs(16).min(if smoke { 3 } else { 8 });
     let (_, paged_dec) =
-        run_opt_engine_paged(&proxy_model, 16, 1, StepMode::Auto, new_tokens, kv_runs, 16);
+        run_opt_engine_paged(&proxy_model, 16, 1, StepMode::Auto, new_tokens, kv_runs, 16, seed);
     let (_, flat_dec) =
-        run_opt_engine_paged(&proxy_model, 16, 1, StepMode::Auto, new_tokens, kv_runs, 4096);
+        run_opt_engine_paged(&proxy_model, 16, 1, StepMode::Auto, new_tokens, kv_runs, 4096, seed);
     let shared_prefix_len = if smoke { 48 } else { 128 };
     let shared_n = if smoke { 4 } else { 8 };
     let sp = bench_shared_prefix(&proxy_model, shared_n, shared_prefix_len);
-    let tiny_model = Model::new(tiny.clone(), QuantScheme::bf16(), 21).expect("valid scheme");
+    let tiny_model = Model::new(tiny.clone(), QuantScheme::bf16(), seed).expect("valid scheme");
     let pre = bench_preemption(&tiny_model);
     println!();
     println!(
@@ -713,9 +811,37 @@ fn main() {
     assert!(pre.matches_uncontended, "preemption must not change output");
     assert_eq!(pre.completed, 4, "preempted requests must complete");
 
+    // SLO-grade scenario suite on the tiny model: per-shape TTFT /
+    // inter-token percentiles, goodput under and after overload, Jain
+    // fairness across tenants — the serving-quality view the throughput
+    // rows above can't show.
+    let scenarios = bench_scenarios(&tiny_model, smoke, seed);
+    println!();
+    for s in &scenarios {
+        println!(
+            "scenario '{}': ttft p50/p99 {:.1}/{:.1} steps, itl p50/p99 {:.2}/{:.2} steps, \
+             goodput {:.2} tok/step (overload {:.2}, drain {:.2}), fairness {:.3}, \
+             {} completed / {} cancelled / {} rejected of {}",
+            s.trace,
+            s.ttft_steps.p50,
+            s.ttft_steps.p99,
+            s.inter_token_steps.p50,
+            s.inter_token_steps.p99,
+            s.goodput_tokens_per_step,
+            s.overload_goodput,
+            s.drain_goodput,
+            s.fairness_jain,
+            s.completed,
+            s.cancelled,
+            s.rejected_queue_full + s.rejected_insufficient_blocks,
+            s.submitted
+        );
+    }
+
     let mut json = String::from("{\n  \"benchmark\": \"decode_throughput\",\n");
     let _ = writeln!(json, "  \"new_tokens_per_request\": {new_tokens},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(
         json,
         "  \"headline_batch16_4t_vs_seed\": {{ \"model\": \"llama7b-proxy128\", \
@@ -781,6 +907,13 @@ fn main() {
         pre.preemptions,
         pre.completed,
         pre.matches_uncontended
+    );
+    let scenario_json: Vec<String> = scenarios.iter().map(ScenarioReport::to_json).collect();
+    let _ = writeln!(
+        json,
+        "  \"scenario\": {{ \"model\": \"tiny\", \"scheme\": \"bf16\", \"seed\": {seed}, \
+         \"traces\": [{}] }},",
+        scenario_json.join(", ")
     );
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -77,7 +77,18 @@ pub fn token_latency(
     platform: &Platform,
     seq_len: usize,
 ) -> TokenLatency {
-    let wl = TokenWorkload::new(model, format, seq_len);
+    workload_latency(&TokenWorkload::new(model, format, seq_len), format, platform)
+}
+
+/// Prices an arbitrary [`TokenWorkload`] on `platform` — the same model as
+/// [`token_latency`], but for workloads assembled by the caller (e.g. a
+/// realized batch schedule summed via [`TokenWorkload::from_schedule`], or a
+/// whole serving trace accumulated step by step).
+pub fn workload_latency(
+    wl: &TokenWorkload,
+    format: &DataFormat,
+    platform: &Platform,
+) -> TokenLatency {
     let memory_s = (wl.weight_bytes + wl.kv_bytes) / platform.dram_bw;
 
     let core = OpalCore::new(MuConfig::w4a47());

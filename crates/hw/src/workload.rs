@@ -236,6 +236,66 @@ impl TokenWorkload {
             act_bytes,
         }
     }
+
+    /// The empty workload (additive identity of [`accumulate`]).
+    ///
+    /// [`accumulate`]: TokenWorkload::accumulate
+    pub fn zero() -> Self {
+        TokenWorkload {
+            macs: MacCounts::default(),
+            softmax_elems: 0,
+            quantized_elems: 0,
+            routed_elems: 0,
+            weight_bytes: 0.0,
+            kv_bytes: 0.0,
+            act_bytes: 0.0,
+        }
+    }
+
+    /// Adds `other`'s counts and byte volumes into `self` element-wise.
+    pub fn accumulate(&mut self, other: &TokenWorkload) {
+        self.macs.low_low += other.macs.low_low;
+        self.macs.low_high += other.macs.low_high;
+        self.macs.high_high += other.macs.high_high;
+        self.macs.shift_acc += other.macs.shift_acc;
+        self.macs.fp += other.macs.fp;
+        self.softmax_elems += other.softmax_elems;
+        self.quantized_elems += other.quantized_elems;
+        self.routed_elems += other.routed_elems;
+        self.weight_bytes += other.weight_bytes;
+        self.kv_bytes += other.kv_bytes;
+        self.act_bytes += other.act_bytes;
+    }
+
+    /// The workload of one *batched scheduler step*: one forward pass per
+    /// entry of `contexts`, each at that context length (cached positions
+    /// the pass attends over, including its own row). This is the bridge
+    /// from a serving engine's realized schedule — which sequences ran a
+    /// layer sweep this step, and at what sequence length — to the
+    /// analytical model, used by trace-replay harnesses to cross-validate
+    /// measured step times against the roofline.
+    ///
+    /// Everything sums per pass **except the weight stream**: a batched
+    /// step reads the decoder weights once and shares them across the
+    /// batch (the whole point of batched decode), so `weight_bytes` is
+    /// charged once when the schedule is non-empty. An empty schedule is
+    /// the [`zero`](TokenWorkload::zero) workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any context length is zero.
+    pub fn from_schedule(model: &ModelConfig, format: &DataFormat, contexts: &[usize]) -> Self {
+        let mut step = TokenWorkload::zero();
+        for &ctx in contexts {
+            let mut pass = TokenWorkload::new(model, format, ctx);
+            pass.weight_bytes = 0.0;
+            step.accumulate(&pass);
+        }
+        if !contexts.is_empty() {
+            step.weight_bytes = model.decoder_params() as f64 * format.weight_bits / 8.0;
+        }
+        step
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +366,26 @@ mod tests {
         let without = TokenWorkload::new(&model, &fmt, 256);
         assert_eq!(without.macs.shift_acc, 0);
         assert!(without.macs.high_high > with.macs.high_high);
+    }
+
+    #[test]
+    fn schedule_workload_sums_passes_and_shares_weights() {
+        let model = ModelConfig::llama2_7b();
+        let fmt = DataFormat::opal_w4a47();
+        let a = TokenWorkload::new(&model, &fmt, 100);
+        let b = TokenWorkload::new(&model, &fmt, 300);
+        let step = TokenWorkload::from_schedule(&model, &fmt, &[100, 300]);
+        // MACs, softmax traffic and KV bytes sum per pass.
+        assert_eq!(step.macs.total(), a.macs.total() + b.macs.total());
+        assert_eq!(step.softmax_elems, a.softmax_elems + b.softmax_elems);
+        assert!((step.kv_bytes - (a.kv_bytes + b.kv_bytes)).abs() < 1e-6);
+        // The weight stream is shared across the batch: charged once.
+        assert!((step.weight_bytes - a.weight_bytes).abs() < 1e-6);
+        // Identity cases.
+        let zero = TokenWorkload::from_schedule(&model, &fmt, &[]);
+        assert_eq!(zero, TokenWorkload::zero());
+        let one = TokenWorkload::from_schedule(&model, &fmt, &[100]);
+        assert_eq!(one, a);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Grid autotuning: replay one trace across a lattice of scheduler
+//! configurations and pick the SLO-optimal point.
+//!
+//! The knobs swept are the ones with real SLO trade-offs in this engine:
+//! `block_size` (paging granularity vs prefix-sharing hit rate vs internal
+//! fragmentation), `prefill_chunk` (admission latency vs decode stall) and
+//! `max_batch` (throughput vs inter-token latency). Scoring is entirely
+//! step-denominated, so a sweep is deterministic for a given trace — two
+//! hosts pick the same winner.
+//!
+//! Selection rule: among configurations whose goodput is within 10% of the
+//! best observed goodput, pick the lowest p99 TTFT; ties break on p99
+//! inter-token gap, then preemption count, then the smaller
+//! `(block_size, prefill_chunk, max_batch)` triple, so the winner is
+//! unique and stable.
+
+use opal_model::Model;
+use opal_serve::ServeConfig;
+
+use crate::replay::{replay, ScenarioReport};
+use crate::trace::Trace;
+
+/// The configuration lattice to sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridSpec {
+    /// KV paging granularities to try.
+    pub block_sizes: Vec<usize>,
+    /// Per-step prefill budgets to try (`usize::MAX` = blocking admission).
+    pub prefill_chunks: Vec<usize>,
+    /// Batch limits to try.
+    pub max_batches: Vec<usize>,
+}
+
+impl GridSpec {
+    /// The default sweep around `base`: `block_size ∈ {8, 16, 32}`,
+    /// `prefill_chunk ∈ {8, 32, ∞}`, `max_batch` fixed at the base
+    /// config's.
+    pub fn default_for(base: &ServeConfig) -> Self {
+        GridSpec {
+            block_sizes: vec![8, 16, 32],
+            prefill_chunks: vec![8, 32, usize::MAX],
+            max_batches: vec![base.max_batch],
+        }
+    }
+
+    /// Number of lattice points.
+    pub fn len(&self) -> usize {
+        self.block_sizes.len() * self.prefill_chunks.len() * self.max_batches.len()
+    }
+
+    /// Whether the lattice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One evaluated lattice point.
+#[derive(Clone, Debug)]
+pub struct TunedPoint {
+    /// The configuration replayed.
+    pub config: ServeConfig,
+    /// Its full SLO report.
+    pub report: ScenarioReport,
+}
+
+impl TunedPoint {
+    /// Goodput the selection rule uses (completed tokens per engine step).
+    pub fn goodput(&self) -> f64 {
+        self.report.goodput_tokens_per_step
+    }
+
+    /// One line of the sweep table.
+    pub fn summary(&self) -> String {
+        let chunk = if self.config.prefill_chunk == usize::MAX {
+            "inf".to_owned()
+        } else {
+            self.config.prefill_chunk.to_string()
+        };
+        format!(
+            "block={:<3} chunk={:<4} batch={:<3} goodput={:.3} ttft p99={:>6.1} itl p99={:>5.1} preempt={:<3} blocks_peak={}",
+            self.config.block_size,
+            chunk,
+            self.config.max_batch,
+            self.goodput(),
+            self.report.ttft_steps.p99,
+            self.report.inter_token_steps.p99,
+            self.report.preemptions,
+            self.report.blocks_peak
+        )
+    }
+}
+
+/// Outcome of a sweep: every point, plus the index of the winner.
+#[derive(Clone, Debug)]
+pub struct AutotuneReport {
+    /// Trace name the sweep replayed.
+    pub trace: String,
+    /// Every evaluated point, in sweep order (block, chunk, batch nested).
+    pub points: Vec<TunedPoint>,
+    /// Index of the SLO-optimal point in `points`.
+    pub best: usize,
+}
+
+impl AutotuneReport {
+    /// The winning point.
+    pub fn best_point(&self) -> &TunedPoint {
+        &self.points[self.best]
+    }
+
+    /// The winning configuration.
+    pub fn best_config(&self) -> ServeConfig {
+        self.best_point().config
+    }
+}
+
+/// Replays `trace` at every point of `grid` (all other knobs taken from
+/// `base`) and selects the SLO-optimal configuration.
+///
+/// # Panics
+///
+/// Panics if the grid is empty.
+pub fn autotune(
+    model: &Model,
+    base: ServeConfig,
+    trace: &Trace,
+    grid: &GridSpec,
+) -> AutotuneReport {
+    assert!(!grid.is_empty(), "autotune grid must contain at least one point");
+    let mut points = Vec::with_capacity(grid.len());
+    for &block_size in &grid.block_sizes {
+        for &prefill_chunk in &grid.prefill_chunks {
+            for &max_batch in &grid.max_batches {
+                let config = ServeConfig { block_size, prefill_chunk, max_batch, ..base };
+                let report = replay(model, config, trace);
+                points.push(TunedPoint { config, report });
+            }
+        }
+    }
+    let best_goodput = points.iter().map(TunedPoint::goodput).fold(f64::NEG_INFINITY, f64::max);
+    let feasible = |p: &TunedPoint| p.goodput() >= 0.9 * best_goodput;
+    let mut best = 0;
+    for (i, p) in points.iter().enumerate() {
+        if !feasible(p) {
+            continue;
+        }
+        if !feasible(&points[best]) || better(p, &points[best]) {
+            best = i;
+        }
+    }
+    AutotuneReport { trace: trace.name.clone(), points, best }
+}
+
+/// Strict "a beats b" under the documented lexicographic rule.
+fn better(a: &TunedPoint, b: &TunedPoint) -> bool {
+    let key = |p: &TunedPoint| {
+        (p.report.ttft_steps.p99, p.report.inter_token_steps.p99, p.report.preemptions as f64)
+    };
+    let (ka, kb) = (key(a), key(b));
+    if ka != kb {
+        return ka < kb;
+    }
+    let tie = |p: &TunedPoint| (p.config.block_size, p.config.prefill_chunk, p.config.max_batch);
+    tie(a) < tie(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceConfig;
+    use opal_model::{Model, ModelConfig, QuantScheme};
+
+    #[test]
+    fn sweep_is_deterministic_and_complete() {
+        let m = Model::new(ModelConfig::tiny(), QuantScheme::bf16(), 11).unwrap();
+        let trace = TraceConfig::bursty("tune", 9, 3.0, 32, m.config().vocab).generate();
+        let base = ServeConfig { max_batch: 4, max_tokens: 16, ..ServeConfig::default() };
+        let grid = GridSpec {
+            block_sizes: vec![8, 16],
+            prefill_chunks: vec![8, usize::MAX],
+            max_batches: vec![4],
+        };
+        let a = autotune(&m, base, &trace, &grid);
+        let b = autotune(&m, base, &trace, &grid);
+        assert_eq!(a.points.len(), 4);
+        assert_eq!(a.best, b.best, "winner must be reproducible");
+        assert_eq!(
+            a.best_point().report.deterministic_digest(),
+            b.best_point().report.deterministic_digest()
+        );
+        let winner = a.best_point();
+        assert!(
+            winner.goodput() >= 0.9 * a.points.iter().map(TunedPoint::goodput).fold(0.0, f64::max)
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Scenario harness CLI: replay the standard traffic-shape suite against
+//! the serving engine, cross-check the roofline band, and autotune the
+//! scheduler grid.
+//!
+//! ```text
+//! scenario [--smoke] [--seed N]
+//! ```
+//!
+//! `--smoke` runs the CI-sized suite (tiny model, short horizons);
+//! without it the horizons stretch and a second, MAC-heavier proxy model
+//! joins the roofline cross-check. `--seed` (default 42) is the single
+//! RNG seed every trace and model in the run derives from.
+//!
+//! The binary exits non-zero if trace regeneration is not bit-identical,
+//! if the Poisson roofline cross-check leaves its ±2× band, or if the
+//! emitted JSON report is malformed.
+
+use opal_model::{Model, ModelConfig, QuantScheme};
+use opal_scenario::{
+    autotune, calibrate, replay_calibrated, CancelStorm, ChurnPhase, GridSpec, ScenarioReport,
+    ServeConfig, TraceConfig, DEFAULT_BAND,
+};
+
+fn main() {
+    let mut smoke = false;
+    let mut seed: u64 = 42;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--help" | "-h" => {
+                println!("usage: scenario [--smoke] [--seed N]");
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    let horizon: u64 = if smoke { 48 } else { 160 };
+    let model = Model::new(ModelConfig::tiny(), QuantScheme::bf16(), seed).expect("tiny model");
+    let vocab = model.config().vocab;
+    let base = ServeConfig { max_batch: 8, max_tokens: 48, ..ServeConfig::default() };
+
+    println!(
+        "scenario suite: seed {seed}, horizon {horizon}, model {} ({} layers, d={})",
+        model.config().name,
+        model.config().n_layers,
+        model.config().d_model
+    );
+    let calibration = calibrate(&model, &base);
+    println!(
+        "host calibration: {:.2} us fixed + {:.3e} MACs/s\n",
+        calibration.fixed_s * 1e6,
+        calibration.macs_per_s()
+    );
+
+    // --- Traffic shape 1: steady Poisson, unconstrained pool. -------------
+    let poisson_cfg = TraceConfig::poisson("poisson-steady", seed, 1.2, horizon, vocab);
+    let poisson_trace = poisson_cfg.generate();
+    assert_eq!(
+        poisson_trace.fingerprint(),
+        poisson_cfg.generate().fingerprint(),
+        "trace generation must be bit-deterministic"
+    );
+    let poisson = replay_calibrated(&model, base, &poisson_trace, calibration, DEFAULT_BAND);
+    print!("{poisson}");
+    let again = replay_calibrated(&model, base, &poisson_trace, calibration, DEFAULT_BAND);
+    assert_eq!(
+        poisson.deterministic_digest(),
+        again.deterministic_digest(),
+        "replay must be step-deterministic"
+    );
+    println!("  determinism: regenerated trace and second replay identical ✓\n");
+
+    // --- Traffic shape 2: bursty overload with a bounded queue. -----------
+    let bursty_trace =
+        TraceConfig::bursty("bursty-overload", seed + 1, 4.0, horizon, vocab).generate();
+    let bursty_cfg = ServeConfig { max_queue: 24, ..base };
+    let bursty = replay_calibrated(&model, bursty_cfg, &bursty_trace, calibration, DEFAULT_BAND);
+    println!("{bursty}");
+
+    // --- Traffic shape 3: cancel storms + preemption churn, tight pool. ---
+    let n_layers = model.config().n_layers;
+    let churn_cfg = ServeConfig { max_blocks: n_layers * 24, ..base };
+    let mut storm_cfg = TraceConfig::poisson("cancel-churn", seed + 2, 1.5, horizon, vocab);
+    storm_cfg.cancel_storms = vec![
+        CancelStorm { at_step: horizon / 3, percent: 50 },
+        CancelStorm { at_step: 2 * horizon / 3, percent: 50 },
+    ];
+    storm_cfg.churn = Some(ChurnPhase::sized_for(
+        horizon / 4,
+        horizon / 2,
+        1.0,
+        churn_cfg.max_blocks,
+        churn_cfg.block_size,
+        n_layers,
+    ));
+    let storm_trace = storm_cfg.generate();
+    let storm = replay_calibrated(&model, churn_cfg, &storm_trace, calibration, DEFAULT_BAND);
+    print!("{storm}");
+    assert!(storm.cancelled > 0, "cancel storms must cancel in-flight requests");
+    assert!(
+        storm.preemptions > 0,
+        "the churn phase is sized to oversubscribe {} blocks; preemption must fire",
+        churn_cfg.max_blocks
+    );
+    println!("  churn: storms and pool pressure exercised the preempt path ✓\n");
+
+    // --- Roofline band (asserted on the Poisson shape). -------------------
+    let rl = poisson.roofline.expect("calibrated replay carries a roofline check");
+    assert!(
+        rl.within_band(),
+        "roofline cross-check out of band: median step ratio {:.3} (band ±{:.0}x)",
+        rl.median_step_ratio,
+        rl.band
+    );
+    println!(
+        "roofline: median step ratio {:.3} within ±{:.0}x band ✓",
+        rl.median_step_ratio, rl.band
+    );
+
+    if !smoke {
+        // A MAC-heavier model where arithmetic dominates scheduler
+        // overhead — the stricter version of the same cross-check.
+        let proxy = ModelConfig::llama2_7b().proxy(128, 4, 192);
+        let proxy_model = Model::new(proxy, QuantScheme::bf16(), seed).expect("proxy model");
+        let proxy_cal = calibrate(&proxy_model, &base);
+        let proxy_trace =
+            TraceConfig::poisson("poisson-proxy", seed + 3, 0.8, 64, proxy_model.config().vocab)
+                .generate();
+        let proxy_report =
+            replay_calibrated(&proxy_model, base, &proxy_trace, proxy_cal, DEFAULT_BAND);
+        let prl = proxy_report.roofline.expect("roofline check");
+        println!(
+            "roofline (proxy model): median step ratio {:.3} within ±{:.0}x band {}",
+            prl.median_step_ratio,
+            prl.band,
+            if prl.within_band() { "✓" } else { "✗" }
+        );
+        assert!(prl.within_band(), "proxy roofline out of band: {prl:?}");
+    }
+
+    // --- Autotune the scheduler grid on the bursty shape. -----------------
+    println!(
+        "\nautotune over block_size x prefill_chunk ({} points):",
+        GridSpec::default_for(&base).len()
+    );
+    let tune = autotune(&model, base, &bursty_trace, &GridSpec::default_for(&base));
+    for (i, p) in tune.points.iter().enumerate() {
+        let mark = if i == tune.best { " <= best" } else { "" };
+        println!("  {}{mark}", p.summary());
+    }
+    let best = tune.best_config();
+    let best_chunk = if best.prefill_chunk == usize::MAX {
+        "inf".to_owned()
+    } else {
+        best.prefill_chunk.to_string()
+    };
+    println!(
+        "SLO-optimal config for '{}': block_size={}, prefill_chunk={}, max_batch={}",
+        tune.trace, best.block_size, best_chunk, best.max_batch
+    );
+
+    // --- Emit and validate the JSON report. -------------------------------
+    let json = suite_json(seed, &[&poisson, &bursty, &storm], &tune.best_point().report);
+    assert_json_wellformed(&json);
+    println!("\n{json}");
+    println!("\nscenario suite passed");
+}
+
+fn suite_json(seed: u64, reports: &[&ScenarioReport], best: &ScenarioReport) -> String {
+    let traces: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+    format!(
+        "{{\n  \"scenario\": {{\n    \"seed\": {},\n    \"traces\": [{}],\n    \"autotune_best\": {}\n  }}\n}}",
+        seed,
+        traces.join(", "),
+        best.to_json()
+    )
+}
+
+/// A minimal structural JSON validator: balanced braces/brackets outside
+/// strings, proper string termination. Catches the formatting mistakes a
+/// hand-assembled report can make without needing a JSON parser.
+fn assert_json_wellformed(s: &str) {
+    let mut stack = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => stack.push(c),
+            '}' => assert_eq!(stack.pop(), Some('{'), "unbalanced '}}' in JSON report"),
+            ']' => assert_eq!(stack.pop(), Some('['), "unbalanced ']' in JSON report"),
+            _ => {}
+        }
+    }
+    assert!(!in_string, "unterminated string in JSON report");
+    assert!(stack.is_empty(), "unclosed scopes in JSON report: {stack:?}");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("scenario: {msg}");
+    std::process::exit(2);
+}

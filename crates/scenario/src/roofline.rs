@@ -1,0 +1,264 @@
+//! Roofline cross-validation: does the engine's measured per-step time
+//! track the analytical workload model?
+//!
+//! The `opal-hw` crate predicts accelerator-side latency from first
+//! principles ([`TokenWorkload`] operation counts priced by
+//! `opal_hw::performance::workload_latency`). The serving engine, however,
+//! runs on the *host* CPU — so a direct comparison of wall times against
+//! the accelerator model would only measure how fast the host is. What
+//! *can* be cross-validated is the shape: per-step host time must scale
+//! with the step's MAC count the way the workload model says it does.
+//!
+//! [`calibrate`] therefore fits a two-point affine host model
+//! `step_seconds ≈ fixed + macs × per_mac` from two controlled decode runs
+//! (batch 1 and a full batch — same code path the replay exercises), and
+//! [`RooflineCheck`] then asserts that every step of a *replayed trace* —
+//! with its mixed prefill chunks, ragged contexts and preemption churn —
+//! lands within a pinned multiplicative band of the prediction obtained by
+//! feeding the realized schedule ([`ServeEngine::last_step_work`]) through
+//! [`TokenWorkload::from_schedule`]. A scheduler that bills work it does
+//! not perform (or performs work it does not bill) breaks the band.
+
+use opal_hw::performance::{workload_latency, Platform};
+use opal_hw::roofline::{GemmKernel, GpuModel};
+use opal_hw::workload::{DataFormat, TokenWorkload};
+use opal_model::{Model, ModelConfig};
+use opal_serve::{ServeConfig, ServeEngine};
+use std::time::Instant;
+
+/// Default multiplicative tolerance of the cross-check: measured per-step
+/// time must sit within `[predicted / 2, predicted × 2]`.
+pub const DEFAULT_BAND: f64 = 2.0;
+
+/// An affine host-time model fitted by [`calibrate`]:
+/// `seconds(step) = fixed_s + macs × per_mac_s`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HostCalibration {
+    /// Per-step fixed cost (scheduler, sampling, dispatch), seconds.
+    pub fixed_s: f64,
+    /// Marginal seconds per MAC of batch arithmetic.
+    pub per_mac_s: f64,
+}
+
+impl HostCalibration {
+    /// Predicted wall seconds for a step performing `macs` MACs.
+    pub fn predict_step_s(&self, macs: f64) -> f64 {
+        self.fixed_s + macs * self.per_mac_s
+    }
+
+    /// The host's sustained MAC throughput implied by the fit.
+    pub fn macs_per_s(&self) -> f64 {
+        1.0 / self.per_mac_s
+    }
+}
+
+/// MAC count of one step's realized schedule under the host datapath
+/// (f32 compute, so the BF16 format's uniform MAC accounting applies).
+pub(crate) fn schedule_macs(model: &ModelConfig, contexts: &[usize]) -> f64 {
+    if contexts.is_empty() {
+        return 0.0;
+    }
+    TokenWorkload::from_schedule(model, &DataFormat::bf16(), contexts).macs.total() as f64
+}
+
+/// Expands one step's realized schedule into per-forward-pass context
+/// lengths: each granted prefill position plus the decode pass, per
+/// sequence.
+pub(crate) fn step_contexts(work: &[opal_serve::SeqStepWork]) -> Vec<usize> {
+    let mut contexts = Vec::new();
+    for w in work {
+        for i in 0..w.prefilled {
+            contexts.push(w.prefill_start + i + 1);
+        }
+        if let Some(ctx) = w.decode_context {
+            contexts.push(ctx);
+        }
+    }
+    contexts
+}
+
+/// Fits a [`HostCalibration`] for `model` by timing two controlled decode
+/// runs (single sequence, then a full batch of `config.max_batch`) under
+/// the caller's threading configuration, and regressing median step time
+/// on per-step MACs. Deterministic in schedule; wall times are whatever
+/// the host delivers.
+pub fn calibrate(model: &Model, config: &ServeConfig) -> HostCalibration {
+    let batch = config.max_batch.clamp(2, 8);
+    let (m1, t1) = measure_decode(model, config, 1);
+    let (mb, tb) = measure_decode(model, config, batch);
+    let slope = if mb > m1 { (tb - t1) / (mb - m1) } else { 0.0 };
+    if slope > 0.0 && t1 - slope * m1 >= 0.0 {
+        HostCalibration { fixed_s: t1 - slope * m1, per_mac_s: slope }
+    } else {
+        // Timer noise swamped the two-point fit (e.g. the batch run was
+        // not measurably slower): fall back to a pure-throughput model
+        // anchored on the batch run, which still prices big steps sanely.
+        HostCalibration { fixed_s: 0.0, per_mac_s: tb / mb.max(1.0) }
+    }
+}
+
+/// Times pure-decode steps at a fixed batch size; returns
+/// `(mean step MACs, median step seconds)`.
+fn measure_decode(model: &Model, config: &ServeConfig, batch: usize) -> (f64, f64) {
+    let cfg = ServeConfig {
+        max_batch: batch,
+        max_tokens: 40,
+        prefill_chunk: usize::MAX,
+        max_queue: usize::MAX,
+        max_blocks: usize::MAX,
+        prefix_sharing: false,
+        ..*config
+    };
+    let mut engine = ServeEngine::new(model, cfg);
+    let vocab = model.config().vocab as u32;
+    for i in 0..batch {
+        let prompt: Vec<u32> = (0..8).map(|p| ((i * 131 + p * 17) as u32) % vocab).collect();
+        engine.submit_with_limit(&prompt, 40).expect("calibration submit");
+    }
+    let mut macs = Vec::new();
+    let mut secs = Vec::new();
+    while !engine.is_idle() {
+        let t0 = Instant::now();
+        engine.step();
+        let dt = t0.elapsed().as_secs_f64();
+        let work = engine.last_step_work();
+        // Keep only full-batch pure-decode steps: every sequence sampled,
+        // none prefilled — the steady state the affine model describes.
+        if work.len() == batch && work.iter().all(|w| w.prefilled == 0 && w.sampled) {
+            macs.push(schedule_macs(model.config(), &step_contexts(work)));
+            secs.push(dt);
+        }
+    }
+    assert!(!secs.is_empty(), "calibration run produced no pure-decode steps");
+    let mean_macs = macs.iter().sum::<f64>() / macs.len() as f64;
+    secs.sort_by(f64::total_cmp);
+    (mean_macs, secs[secs.len() / 2])
+}
+
+/// Outcome of the roofline cross-check over one replayed trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RooflineCheck {
+    /// Engine steps compared.
+    pub steps: usize,
+    /// Total measured wall seconds across those steps.
+    pub measured_s: f64,
+    /// Total predicted seconds (calibrated host model over the realized
+    /// schedule's MACs).
+    pub predicted_s: f64,
+    /// `measured_s / predicted_s`.
+    pub aggregate_ratio: f64,
+    /// Median over steps of the per-step measured/predicted ratio — the
+    /// asserted statistic (robust to scheduler-noise spikes on single
+    /// steps).
+    pub median_step_ratio: f64,
+    /// The pinned multiplicative band.
+    pub band: f64,
+    /// The same realized schedule priced on the OPAL reference platform
+    /// (`opal_hw::performance::workload_latency`, W4A4.7 format) — the
+    /// accelerator-side projection the host numbers cross-validate.
+    pub opal_reference_s: f64,
+    /// Informational GPU-side anchor: the trace's mean-batch decode step
+    /// priced as its four projection GEMMs on an A100-class roofline.
+    pub gpu_step_s: f64,
+    /// The calibration used.
+    pub calibration: HostCalibration,
+}
+
+impl RooflineCheck {
+    /// Builds the check from per-step measurements of a replay.
+    pub(crate) fn from_steps(
+        calibration: HostCalibration,
+        step_secs: &[f64],
+        step_macs: &[f64],
+        opal_reference_s: f64,
+        gpu_step_s: f64,
+        band: f64,
+    ) -> Self {
+        assert_eq!(step_secs.len(), step_macs.len());
+        let measured_s: f64 = step_secs.iter().sum();
+        let predicted: Vec<f64> =
+            step_macs.iter().map(|&m| calibration.predict_step_s(m)).collect();
+        let predicted_s: f64 = predicted.iter().sum();
+        let mut ratios: Vec<f64> = step_secs
+            .iter()
+            .zip(&predicted)
+            .filter(|&(_, &p)| p > 0.0)
+            .map(|(&s, &p)| s / p)
+            .collect();
+        ratios.sort_by(f64::total_cmp);
+        let median = if ratios.is_empty() { 1.0 } else { ratios[ratios.len() / 2] };
+        RooflineCheck {
+            steps: step_secs.len(),
+            measured_s,
+            predicted_s,
+            aggregate_ratio: if predicted_s > 0.0 { measured_s / predicted_s } else { 1.0 },
+            median_step_ratio: median,
+            band,
+            opal_reference_s,
+            gpu_step_s,
+            calibration,
+        }
+    }
+
+    /// Whether the median per-step ratio sits within the pinned band.
+    pub fn within_band(&self) -> bool {
+        self.median_step_ratio >= 1.0 / self.band && self.median_step_ratio <= self.band
+    }
+}
+
+/// Prices one decode step of `batch` sequences as its four projection
+/// GEMMs (QKV, attention out, FFN up, FFN down) per layer on an A100-class
+/// GPU with FP16 weights — the Fig. 1-style anchor reports carry for
+/// context next to host and OPAL-platform numbers.
+pub fn gpu_decode_step_s(model: &ModelConfig, batch: usize) -> f64 {
+    if batch == 0 {
+        return 0.0;
+    }
+    let gpu = GpuModel::a100();
+    let d = model.d_model;
+    let ff = model.d_ff;
+    let per_layer = gpu.gemm_latency(batch, d, 3 * d, GemmKernel::Hgemm16)
+        + gpu.gemm_latency(batch, d, d, GemmKernel::Hgemm16)
+        + gpu.gemm_latency(batch, d, ff, GemmKernel::Hgemm16)
+        + gpu.gemm_latency(batch, ff, d, GemmKernel::Hgemm16);
+    per_layer * model.n_layers as f64
+}
+
+/// Prices an accumulated realized workload on the OPAL reference platform
+/// in the paper's W4A4.7 deployment format.
+pub fn opal_reference_s(workload: &TokenWorkload) -> f64 {
+    workload_latency(workload, &DataFormat::opal_w4a47(), &Platform::reference()).total_s()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opal_model::{ModelConfig, QuantScheme};
+
+    #[test]
+    fn step_contexts_expand_prefill_and_decode() {
+        use opal_serve::SeqStepWork;
+        let work = [
+            SeqStepWork { prefill_start: 4, prefilled: 3, sampled: false, decode_context: None },
+            SeqStepWork { prefill_start: 0, prefilled: 0, sampled: true, decode_context: Some(9) },
+        ];
+        assert_eq!(step_contexts(&work), vec![5, 6, 7, 9]);
+    }
+
+    #[test]
+    fn calibration_predicts_more_time_for_more_macs() {
+        let model = Model::new(ModelConfig::tiny(), QuantScheme::bf16(), 3).unwrap();
+        let cal = calibrate(&model, &ServeConfig::default());
+        assert!(cal.per_mac_s > 0.0, "slope must be positive: {cal:?}");
+        assert!(cal.fixed_s >= 0.0);
+        assert!(cal.predict_step_s(2e6) > cal.predict_step_s(1e6));
+    }
+
+    #[test]
+    fn gpu_anchor_scales_with_model() {
+        let tiny = gpu_decode_step_s(&ModelConfig::tiny(), 1);
+        let big = gpu_decode_step_s(&ModelConfig::llama2_7b(), 1);
+        assert!(big > tiny);
+        assert_eq!(gpu_decode_step_s(&ModelConfig::tiny(), 0), 0.0);
+    }
+}

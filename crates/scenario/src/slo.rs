@@ -1,0 +1,101 @@
+//! SLO summary statistics: percentile digests and the Jain fairness index.
+
+/// A percentile digest of a latency-like sample set (nearest-rank
+/// percentiles over the sorted samples; an empty set reports all zeros
+/// with `n == 0`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Sample count.
+    pub n: usize,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Digests `values` (order irrelevant; NaNs must not be present).
+    pub fn compute(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Percentiles::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let at = |p: f64| {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Percentiles {
+            n: sorted.len(),
+            p50: at(50.0),
+            p95: at(95.0),
+            p99: at(99.0),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max: *sorted.last().unwrap(),
+        }
+    }
+
+    /// Renders the digest as a JSON object fragment.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"n\": {}, \"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \"mean\": {:.6}, \"max\": {:.6}}}",
+            self.n, self.p50, self.p95, self.p99, self.mean, self.max
+        )
+    }
+}
+
+/// Jain's fairness index over per-party shares: `(Σx)² / (n·Σx²)`.
+///
+/// 1.0 means perfectly even shares; `1/n` means one party got everything.
+/// Degenerate inputs (empty, or all-zero shares) report 1.0 — nothing was
+/// served, so nobody was treated unfairly.
+pub fn jain_index(shares: &[f64]) -> f64 {
+    if shares.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (shares.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_set() {
+        let vals: Vec<f64> = (1..=100).map(f64::from).collect();
+        let p = Percentiles::compute(&vals);
+        assert_eq!(p.n, 100);
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p.max, 100.0);
+        assert!((p.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_empty_and_singleton() {
+        assert_eq!(Percentiles::compute(&[]).n, 0);
+        let one = Percentiles::compute(&[7.0]);
+        assert_eq!((one.p50, one.p99, one.max), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0, 5.0]), 1.0);
+        let skew = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skew - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+}

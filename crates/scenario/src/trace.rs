@@ -1,0 +1,560 @@
+//! Deterministic, seedable workload traces.
+//!
+//! A [`Trace`] is a fully materialized event list — every arrival with its
+//! prompt tokens, token limit and tenant tag, plus injected cancellation
+//! storms — scheduled on a discrete **virtual clock** (one tick per
+//! scheduler step). Generation is a pure function of a [`TraceConfig`]: the
+//! same config (including its `seed`) produces the identical event list on
+//! every run and every host, which is what lets two replays of a scenario
+//! be compared event-for-event ([`Trace::fingerprint`]).
+//!
+//! Arrival shapes mirror the load patterns serving papers evaluate against:
+//! memoryless [`ArrivalProcess::Poisson`] traffic, bursty on/off traffic
+//! (a two-state Markov-modulated Poisson process), Zipf-distributed prefix
+//! reuse over a shared prompt corpus (system prompts / few-shot headers),
+//! and log-normal long-tail prompt and output lengths.
+
+use opal_tensor::rng::TensorRng;
+
+/// A clamped log-normal length distribution (`exp(N(mu, sigma²))`,
+/// rounded and clamped to `[min, max]`) — the long-tail shape of real
+/// prompt and output lengths.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LengthModel {
+    /// Mean of the underlying normal (so `exp(mu)` is the median length).
+    pub mu: f32,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f32,
+    /// Minimum length after clamping (at least 1).
+    pub min: usize,
+    /// Maximum length after clamping.
+    pub max: usize,
+}
+
+impl LengthModel {
+    /// A length model with median `median` and log-space spread `sigma`,
+    /// clamped to `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero, `min > max`, or `median` is zero.
+    pub fn around(median: usize, sigma: f32, min: usize, max: usize) -> Self {
+        assert!(min >= 1, "minimum length must be at least 1");
+        assert!(min <= max, "min {min} must not exceed max {max}");
+        assert!(median >= 1, "median length must be at least 1");
+        LengthModel { mu: (median as f32).ln(), sigma, min, max }
+    }
+
+    /// A degenerate model that always yields `len`.
+    pub fn fixed(len: usize) -> Self {
+        LengthModel::around(len.max(1), 0.0, len.max(1), len.max(1))
+    }
+
+    /// Draws one length.
+    pub fn sample(&self, rng: &mut TensorRng) -> usize {
+        let raw = rng.log_normal(self.mu, self.sigma).round();
+        if !raw.is_finite() || raw < self.min as f32 {
+            self.min
+        } else if raw > self.max as f32 {
+            self.max
+        } else {
+            raw as usize
+        }
+    }
+}
+
+/// How request arrivals are distributed over virtual steps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: the number of submissions at each virtual step
+    /// is Poisson with mean `rate` (requests per step).
+    Poisson {
+        /// Mean arrivals per virtual step.
+        rate: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: traffic alternates
+    /// between a *burst* state (Poisson at `burst_rate`) and an *idle*
+    /// state (Poisson at `idle_rate`), with geometric state dwell times of
+    /// mean `mean_burst` / `mean_idle` steps. This is the overload shape
+    /// that exercises queueing, preemption and drain behaviour.
+    Bursty {
+        /// Mean arrivals per step while bursting.
+        burst_rate: f64,
+        /// Mean arrivals per step while idle (often 0).
+        idle_rate: f64,
+        /// Mean burst dwell in steps (geometric).
+        mean_burst: f64,
+        /// Mean idle dwell in steps (geometric).
+        mean_idle: f64,
+    },
+}
+
+/// A shared prompt corpus with Zipf-distributed reuse.
+///
+/// `entries` prompt prefixes are generated once per trace; every arrival
+/// picks one by Zipf rank (`weight(k) ∝ k^-s`) and starts its prompt with
+/// it, so a handful of hot prefixes dominate — the access pattern that
+/// makes prefix-sharing KV caches earn their keep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of distinct prefixes in the corpus.
+    pub entries: usize,
+    /// Zipf skew `s` (0 = uniform; 1–1.2 is a typical hot-prefix skew).
+    pub zipf_s: f64,
+    /// Length distribution of the corpus prefixes.
+    pub prefix_len: LengthModel,
+}
+
+/// A scheduled cancellation storm: at virtual step `at_step`, cancel
+/// `percent`% of the requests then in flight (active batch plus admission
+/// queue, selected deterministically by evenly spaced rank over ascending
+/// request id).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CancelStorm {
+    /// Virtual step at which the storm fires (before that step's batch
+    /// work runs).
+    pub at_step: u64,
+    /// Percentage of in-flight requests to cancel, `1..=100`.
+    pub percent: u8,
+}
+
+/// A preemption-churn phase: an *extra* arrival stream of deliberately
+/// block-heavy requests over a window of virtual steps, sized so a few
+/// concurrent ones oversubscribe the engine's KV pool and force the
+/// evict → shrink → preempt ladder to cycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnPhase {
+    /// First virtual step of the phase (inclusive).
+    pub from: u64,
+    /// Last virtual step of the phase (exclusive).
+    pub to: u64,
+    /// Mean churn arrivals per step within the window (Poisson).
+    pub rate: f64,
+    /// Prompt lengths of churn requests.
+    pub prompt_len: LengthModel,
+    /// Token limits of churn requests.
+    pub output_len: LengthModel,
+}
+
+impl ChurnPhase {
+    /// Sizes a churn phase against an engine's KV pool: requests are shaped
+    /// so that roughly two concurrent churn requests claim the whole pool
+    /// (`max_blocks` blocks of `block_size` positions across `n_layers`
+    /// layers), guaranteeing preemption pressure without tripping the
+    /// admission-time [`InsufficientBlocks`] rejection for a request
+    /// running alone.
+    ///
+    /// [`InsufficientBlocks`]: opal_serve::ServeError::InsufficientBlocks
+    pub fn sized_for(
+        from: u64,
+        to: u64,
+        rate: f64,
+        max_blocks: usize,
+        block_size: usize,
+        n_layers: usize,
+    ) -> Self {
+        // Lifetime positions (prompt + generated) a single request may
+        // occupy before it must fit the pool alone; stay well under it.
+        let pool_positions = max_blocks / n_layers.max(1) * block_size;
+        let per_request = (pool_positions / 2).max(4);
+        let prompt = (per_request * 2 / 3).max(2);
+        let output = (per_request - prompt).max(2);
+        ChurnPhase {
+            from,
+            to,
+            rate,
+            prompt_len: LengthModel::around(prompt, 0.25, 2, per_request.max(2)),
+            output_len: LengthModel::around(output, 0.25, 2, per_request.max(2)),
+        }
+    }
+}
+
+/// Everything needed to generate a [`Trace`]; see the module docs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceConfig {
+    /// Trace name, carried into reports.
+    pub name: String,
+    /// Master seed: the *only* source of randomness. Every internal stream
+    /// (arrivals, lengths, tokens, tenants) is a labelled child of it.
+    pub seed: u64,
+    /// Arrival window in virtual steps; no submissions occur at or after
+    /// this step (storms and churn may still be scheduled inside it only).
+    pub horizon: u64,
+    /// Arrival process over the window.
+    pub arrivals: ArrivalProcess,
+    /// Vocabulary size prompts are drawn from (use the target model's).
+    pub vocab: usize,
+    /// Optional shared-prefix corpus (None ⇒ every prompt is unique).
+    pub corpus: Option<CorpusConfig>,
+    /// Total prompt length distribution (prefix + unique tail).
+    pub prompt_len: LengthModel,
+    /// Token-limit distribution.
+    pub output_len: LengthModel,
+    /// Number of tenants; each arrival is tagged uniformly at random with
+    /// one of `0..tenants`. Must be at least 1.
+    pub tenants: u32,
+    /// Cancellation storms to inject.
+    pub cancel_storms: Vec<CancelStorm>,
+    /// Optional preemption-churn phase.
+    pub churn: Option<ChurnPhase>,
+}
+
+impl TraceConfig {
+    /// A steady Poisson trace with moderate lengths and prefix reuse.
+    pub fn poisson(name: &str, seed: u64, rate: f64, horizon: u64, vocab: usize) -> Self {
+        TraceConfig {
+            name: name.to_owned(),
+            seed,
+            horizon,
+            arrivals: ArrivalProcess::Poisson { rate },
+            vocab,
+            corpus: Some(CorpusConfig {
+                entries: 8,
+                zipf_s: 1.1,
+                prefix_len: LengthModel::around(12, 0.3, 4, 48),
+            }),
+            prompt_len: LengthModel::around(20, 0.4, 4, 96),
+            output_len: LengthModel::around(10, 0.4, 2, 48),
+            tenants: 4,
+            cancel_storms: Vec::new(),
+            churn: None,
+        }
+    }
+
+    /// A bursty on/off trace (overload during bursts, drain between them).
+    pub fn bursty(name: &str, seed: u64, burst_rate: f64, horizon: u64, vocab: usize) -> Self {
+        TraceConfig {
+            arrivals: ArrivalProcess::Bursty {
+                burst_rate,
+                idle_rate: 0.05,
+                mean_burst: (horizon as f64 / 6.0).max(2.0),
+                mean_idle: (horizon as f64 / 6.0).max(2.0),
+            },
+            ..TraceConfig::poisson(name, seed, burst_rate, horizon, vocab)
+        }
+    }
+
+    /// Generates the trace. Pure: identical configs yield identical traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants == 0`, `vocab == 0`, or a storm percentage is
+    /// outside `1..=100`.
+    pub fn generate(&self) -> Trace {
+        assert!(self.tenants >= 1, "need at least one tenant");
+        assert!(self.vocab >= 1, "vocabulary must be non-empty");
+        for s in &self.cancel_storms {
+            assert!((1..=100).contains(&s.percent), "storm percent {} outside 1..=100", s.percent);
+        }
+        let mut master = TensorRng::seed(self.seed);
+        let mut arrival_rng = master.child(1);
+        let mut len_rng = master.child(2);
+        let mut token_rng = master.child(3);
+        let mut tenant_rng = master.child(4);
+        let mut churn_rng = master.child(5);
+
+        let corpus: Vec<Vec<u32>> = match &self.corpus {
+            Some(c) if c.entries > 0 => (0..c.entries)
+                .map(|_| {
+                    let len = c.prefix_len.sample(&mut len_rng);
+                    (0..len).map(|_| token_rng.index(self.vocab) as u32).collect()
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        let zipf_weights: Vec<f32> = match &self.corpus {
+            Some(c) => (1..=corpus.len()).map(|k| (k as f64).powf(-c.zipf_s) as f32).collect(),
+            None => Vec::new(),
+        };
+
+        let mut events = Vec::new();
+        let mut bursting = false; // MMPP starts idle
+        for step in 0..self.horizon {
+            let lambda = match self.arrivals {
+                ArrivalProcess::Poisson { rate } => rate,
+                ArrivalProcess::Bursty { burst_rate, idle_rate, .. } => {
+                    if bursting {
+                        burst_rate
+                    } else {
+                        idle_rate
+                    }
+                }
+            };
+            for _ in 0..poisson_count(&mut arrival_rng, lambda) {
+                let total = self.prompt_len.sample(&mut len_rng);
+                let mut prompt: Vec<u32> = if corpus.is_empty() {
+                    Vec::with_capacity(total)
+                } else {
+                    let idx = len_rng.weighted_index(&zipf_weights);
+                    let take = corpus[idx].len().min(total);
+                    corpus[idx][..take].to_vec()
+                };
+                while prompt.len() < total {
+                    prompt.push(token_rng.index(self.vocab) as u32);
+                }
+                let limit = self.output_len.sample(&mut len_rng);
+                let tenant = tenant_rng.index(self.tenants as usize) as u32;
+                events.push(TraceEvent { step, kind: EventKind::Submit { prompt, limit, tenant } });
+            }
+            if let Some(ch) = &self.churn {
+                if (ch.from..ch.to).contains(&step) {
+                    for _ in 0..poisson_count(&mut churn_rng, ch.rate) {
+                        let plen = ch.prompt_len.sample(&mut churn_rng);
+                        let prompt =
+                            (0..plen).map(|_| token_rng.index(self.vocab) as u32).collect();
+                        let limit = ch.output_len.sample(&mut churn_rng);
+                        let tenant = tenant_rng.index(self.tenants as usize) as u32;
+                        events.push(TraceEvent {
+                            step,
+                            kind: EventKind::Submit { prompt, limit, tenant },
+                        });
+                    }
+                }
+            }
+            // Storms fire after the step's submissions so they always see
+            // the freshest in-flight set.
+            for storm in &self.cancel_storms {
+                if storm.at_step == step {
+                    events.push(TraceEvent {
+                        step,
+                        kind: EventKind::CancelStorm { percent: storm.percent },
+                    });
+                }
+            }
+            if let ArrivalProcess::Bursty { mean_burst, mean_idle, .. } = self.arrivals {
+                let dwell = if bursting { mean_burst } else { mean_idle };
+                let leave = 1.0 / dwell.max(1.0);
+                if f64::from(arrival_rng.uniform(0.0, 1.0)) < leave {
+                    bursting = !bursting;
+                }
+            }
+        }
+        Trace {
+            name: self.name.clone(),
+            seed: self.seed,
+            horizon: self.horizon,
+            tenants: self.tenants,
+            events,
+        }
+    }
+}
+
+/// A materialized event list on the virtual clock; see the module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Name from the generating [`TraceConfig`].
+    pub name: String,
+    /// The master seed the trace was generated from.
+    pub seed: u64,
+    /// Arrival window in virtual steps.
+    pub horizon: u64,
+    /// Tenant universe size (tags are `0..tenants`).
+    pub tenants: u32,
+    /// Events in virtual-step order (stable within a step: submissions
+    /// first, then storms).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of submission events.
+    pub fn submissions(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, EventKind::Submit { .. })).count()
+    }
+
+    /// Total prompt tokens across all submissions.
+    pub fn prompt_tokens(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::Submit { prompt, .. } => prompt.len() as u64,
+                EventKind::CancelStorm { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// An order-sensitive FNV-1a digest of every event — two traces with
+    /// equal fingerprints are (with overwhelming probability) identical,
+    /// so replay harnesses assert run-to-run determinism cheaply.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.seed);
+        eat(self.horizon);
+        eat(u64::from(self.tenants));
+        for e in &self.events {
+            eat(e.step);
+            match &e.kind {
+                EventKind::Submit { prompt, limit, tenant } => {
+                    eat(1);
+                    eat(prompt.len() as u64);
+                    for &t in prompt {
+                        eat(u64::from(t));
+                    }
+                    eat(*limit as u64);
+                    eat(u64::from(*tenant));
+                }
+                EventKind::CancelStorm { percent } => {
+                    eat(2);
+                    eat(u64::from(*percent));
+                }
+            }
+        }
+        h
+    }
+}
+
+/// One scheduled event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual step at which the event applies (before the step's batch
+    /// work runs).
+    pub step: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// The payload of a [`TraceEvent`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Submit a request.
+    Submit {
+        /// Prompt tokens.
+        prompt: Vec<u32>,
+        /// Requested token limit (clamped by the engine's `max_tokens`).
+        limit: usize,
+        /// Tenant tag (`0..tenants`).
+        tenant: u32,
+    },
+    /// Cancel `percent`% of the in-flight requests.
+    CancelStorm {
+        /// Percentage of in-flight requests to cancel, `1..=100`.
+        percent: u8,
+    },
+}
+
+/// Draws a Poisson-distributed count with mean `lambda` (Knuth's
+/// multiplication method; fine for the per-step rates traces use).
+fn poisson_count(rng: &mut TensorRng, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= f64::from(rng.uniform(0.0, 1.0).max(f32::MIN_POSITIVE));
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k >= 256 {
+            return k; // backstop for absurd rates
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TraceConfig::poisson("det", 42, 1.5, 64, 192);
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.submissions() > 0, "a 64-step trace at rate 1.5 must arrive something");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceConfig::poisson("a", 1, 1.5, 64, 192).generate();
+        let b = TraceConfig::poisson("a", 2, 1.5, 64, 192).generate();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let cfg = TraceConfig::poisson("rate", 7, 2.0, 512, 192);
+        let n = cfg.generate().submissions() as f64;
+        let mean = n / 512.0;
+        assert!((1.6..2.4).contains(&mean), "empirical rate {mean} vs 2.0");
+    }
+
+    #[test]
+    fn bursty_clusters_arrivals() {
+        // Bursty traffic with the same average rate must be lumpier than
+        // Poisson: higher variance of per-step arrival counts.
+        let horizon = 1024;
+        let p = TraceConfig::poisson("p", 3, 1.0, horizon, 192).generate();
+        let b = TraceConfig::bursty("b", 3, 2.0, horizon, 192).generate();
+        let var = |t: &Trace| {
+            let mut counts = vec![0f64; horizon as usize];
+            for e in &t.events {
+                if matches!(e.kind, EventKind::Submit { .. }) {
+                    counts[e.step as usize] += 1.0;
+                }
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64
+        };
+        assert!(var(&b) > var(&p), "bursty var {} <= poisson var {}", var(&b), var(&p));
+    }
+
+    #[test]
+    fn zipf_corpus_is_reused() {
+        let cfg = TraceConfig::poisson("zipf", 11, 2.0, 256, 192);
+        let trace = cfg.generate();
+        // Count how often each distinct 4-token prompt head appears; Zipf
+        // reuse means the hottest head shows up far more than 1/entries of
+        // the time.
+        let mut heads: std::collections::HashMap<Vec<u32>, usize> = Default::default();
+        let mut total = 0usize;
+        for e in &trace.events {
+            if let EventKind::Submit { prompt, .. } = &e.kind {
+                *heads.entry(prompt[..prompt.len().min(4)].to_vec()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        let hottest = heads.values().copied().max().unwrap();
+        assert!(
+            hottest * 3 > total,
+            "hottest prefix head {hottest}/{total} — Zipf skew should dominate"
+        );
+    }
+
+    #[test]
+    fn storms_and_churn_are_scheduled() {
+        let mut cfg = TraceConfig::poisson("storm", 5, 1.0, 64, 192);
+        cfg.cancel_storms = vec![CancelStorm { at_step: 10, percent: 50 }];
+        cfg.churn = Some(ChurnPhase::sized_for(20, 30, 1.0, 256, 16, 4));
+        let trace = cfg.generate();
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CancelStorm { percent: 50 }) && e.step == 10));
+        // Churn requests are long: inside the window there must be prompts
+        // bigger than the steady-state maximum of 96.
+        assert!(trace.events.iter().any(|e| {
+            matches!(&e.kind, EventKind::Submit { prompt, .. } if prompt.len() > 96)
+                && (20..30).contains(&e.step)
+        }));
+    }
+
+    #[test]
+    fn length_model_clamps() {
+        let m = LengthModel::around(16, 3.0, 4, 32);
+        let mut rng = TensorRng::seed(9);
+        for _ in 0..200 {
+            let l = m.sample(&mut rng);
+            assert!((4..=32).contains(&l));
+        }
+        assert_eq!(LengthModel::fixed(7).sample(&mut rng), 7);
+    }
+}

@@ -1,0 +1,112 @@
+//! Overload-admission regression: arrivals above the service rate must
+//! surface as typed rejections — never panics — and once the overload
+//! clears, goodput must return to the nominal (uncontended) rate.
+
+use opal_model::{Model, ModelConfig, QuantScheme};
+use opal_scenario::{replay, ServeConfig, TraceConfig};
+use opal_serve::{Request, ServeEngine, ServeError};
+
+fn model() -> Model {
+    Model::new(ModelConfig::tiny(), QuantScheme::bf16(), 11).expect("tiny model")
+}
+
+#[test]
+fn overload_rejects_typed_and_goodput_recovers_after_drain() {
+    let m = model();
+    let vocab = m.config().vocab;
+    // Sustained arrivals at 5 requests/step against a service rate of at
+    // most max_batch tokens/step: deeply oversubscribed.
+    let trace = TraceConfig::poisson("overload", 17, 5.0, 64, vocab).generate();
+    let bounded =
+        ServeConfig { max_batch: 4, max_tokens: 32, max_queue: 12, ..ServeConfig::default() };
+
+    let overloaded = replay(&m, bounded, &trace);
+    assert!(
+        overloaded.rejected_queue_full > 0,
+        "a 12-deep queue under 5 arrivals/step must reject: {overloaded}"
+    );
+    assert_eq!(overloaded.rejected_other, 0, "only typed backpressure errors are acceptable");
+    assert_eq!(
+        overloaded.completed
+            + overloaded.cancelled
+            + overloaded.rejected_queue_full
+            + overloaded.rejected_insufficient_blocks,
+        overloaded.submitted,
+        "every submission must be accounted for"
+    );
+
+    // Nominal rate: the same trace with an unbounded queue — its drain
+    // phase runs the engine at the same full batch with no rejections.
+    let nominal = replay(&m, ServeConfig { max_queue: usize::MAX, ..bounded }, &trace);
+    assert_eq!(nominal.rejected_queue_full, 0);
+    let lo = 0.9 * nominal.drain_goodput;
+    let hi = 1.1 * nominal.drain_goodput;
+    assert!(
+        overloaded.drain_goodput >= lo && overloaded.drain_goodput <= hi,
+        "post-overload goodput {:.3} outside 10% of nominal {:.3}",
+        overloaded.drain_goodput,
+        nominal.drain_goodput
+    );
+}
+
+#[test]
+fn oversized_requests_reject_with_insufficient_blocks() {
+    let m = model();
+    let n_layers = m.config().n_layers;
+    let config = ServeConfig {
+        max_batch: 2,
+        max_tokens: 8,
+        block_size: 4,
+        max_blocks: n_layers * 8,
+        ..ServeConfig::default()
+    };
+    let mut engine = ServeEngine::new(&m, config);
+    // 128 prompt positions need far more than 8 blocks per layer.
+    let huge: Vec<u32> = (0..128u32).map(|i| i % m.config().vocab as u32).collect();
+    match engine.submit_request(Request::new(&huge)) {
+        Err(ServeError::InsufficientBlocks { required, max_blocks }) => {
+            assert!(required > max_blocks);
+            assert_eq!(max_blocks, config.max_blocks);
+        }
+        other => panic!("expected InsufficientBlocks, got {other:?}"),
+    }
+    // The engine stays fully serviceable afterwards.
+    let id = engine.submit(&[1, 2, 3]).expect("small request fits");
+    let report = engine.run();
+    assert_eq!(report.request(id).expect("finished").tokens.len(), 8);
+}
+
+#[test]
+fn trace_with_oversized_churn_counts_typed_rejections() {
+    let m = model();
+    let vocab = m.config().vocab;
+    let n_layers = m.config().n_layers;
+    let config = ServeConfig {
+        max_batch: 4,
+        max_tokens: 48,
+        block_size: 8,
+        max_blocks: n_layers * 12,
+        ..ServeConfig::default()
+    };
+    // Churn requests sized for a pool four times this large: their
+    // worst-case residency cannot fit, so they must come back as typed
+    // InsufficientBlocks rejections while normal traffic keeps flowing.
+    let mut cfg = TraceConfig::poisson("hog", 23, 0.8, 48, vocab);
+    cfg.prompt_len = opal_scenario::LengthModel::around(10, 0.3, 4, 24);
+    cfg.output_len = opal_scenario::LengthModel::around(6, 0.3, 2, 12);
+    cfg.churn = Some(opal_scenario::ChurnPhase::sized_for(
+        8,
+        24,
+        0.8,
+        n_layers * 48,
+        config.block_size,
+        n_layers,
+    ));
+    let report = replay(&m, config, &cfg.generate());
+    assert!(
+        report.rejected_insufficient_blocks > 0,
+        "oversized churn must reject with InsufficientBlocks: {report}"
+    );
+    assert_eq!(report.rejected_other, 0);
+    assert!(report.completed > 0, "normal traffic must still complete");
+}

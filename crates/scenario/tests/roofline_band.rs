@@ -1,0 +1,44 @@
+//! Roofline cross-validation: on a Poisson trace, measured per-step wall
+//! time must stay within a pinned ±2× band of the prediction derived from
+//! the realized schedule via `opal_hw::workload::TokenWorkload`.
+//!
+//! Uses the llama7b-proxy128 model so MAC arithmetic dominates per-step
+//! scheduler overhead — the regime where the workload model's scaling is
+//! actually observable (on `tiny`, fixed overhead would swamp it; the
+//! affine calibration absorbs overhead either way, but the proxy keeps the
+//! check sharp).
+
+use opal_model::{Model, ModelConfig, QuantScheme};
+use opal_scenario::{calibrate, replay_calibrated, ServeConfig, TraceConfig, DEFAULT_BAND};
+
+#[test]
+fn poisson_trace_step_times_stay_within_band() {
+    let proxy = ModelConfig::llama2_7b().proxy(128, 4, 192);
+    let model = Model::new(proxy, QuantScheme::bf16(), 42).expect("proxy model");
+    let config = ServeConfig { max_batch: 6, max_tokens: 16, ..ServeConfig::default() };
+    let calibration = calibrate(&model, &config);
+    assert!(calibration.per_mac_s > 0.0);
+
+    let mut cfg = TraceConfig::poisson("roofline-poisson", 42, 0.8, 32, model.config().vocab);
+    // Keep the test minutes-proof: short outputs, modest prompts.
+    cfg.prompt_len = opal_scenario::LengthModel::around(14, 0.3, 6, 32);
+    cfg.output_len = opal_scenario::LengthModel::around(6, 0.3, 3, 12);
+    let trace = cfg.generate();
+
+    let report = replay_calibrated(&model, config, &trace, calibration, DEFAULT_BAND);
+    let rl = report.roofline.expect("calibrated replay carries the check");
+    assert!(rl.steps > 10, "trace too short to be meaningful: {} steps", rl.steps);
+    assert!(
+        rl.within_band(),
+        "median step ratio {:.3} outside ±{:.0}x band (measured {:.4}s vs predicted {:.4}s over {} steps)",
+        rl.median_step_ratio,
+        rl.band,
+        rl.measured_s,
+        rl.predicted_s,
+        rl.steps
+    );
+    // The analytical accelerator-side projection for the same schedule is
+    // present and sane (positive, and far faster than the host).
+    assert!(rl.opal_reference_s > 0.0);
+    assert!(rl.gpu_step_s > 0.0);
+}

@@ -53,6 +53,7 @@ pub struct Request {
     prompt: Vec<u32>,
     max_new_tokens: Option<usize>,
     sampling: SamplingParams,
+    tenant: Option<String>,
 }
 
 impl Request {
@@ -62,6 +63,7 @@ impl Request {
             prompt: prompt.to_vec(),
             max_new_tokens: None,
             sampling: SamplingParams::default(),
+            tenant: None,
         }
     }
 
@@ -80,9 +82,24 @@ impl Request {
         self
     }
 
+    /// Tags the request with a tenant label. The tag is carried verbatim
+    /// into the final [`RequestReport`](crate::RequestReport), where
+    /// multi-tenant harnesses aggregate per-tenant token shares (fairness
+    /// metrics); the scheduler itself treats every tenant identically.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
     /// The prompt tokens.
     pub fn prompt(&self) -> &[u32] {
         &self.prompt
+    }
+
+    /// The tenant tag, if one was set.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 }
 
@@ -330,6 +347,11 @@ struct Resume {
     preemptions: u32,
     /// Prefix positions adopted from the cache before the preemption.
     shared: usize,
+    /// Per-token sample steps recorded before the preemption (the timing
+    /// history survives; re-prefilled tokens keep their original steps).
+    token_steps: Vec<u64>,
+    /// Time to first token, if the first token predates the preemption.
+    ttft: Option<std::time::Duration>,
 }
 
 /// A request waiting for a batch slot.
@@ -338,6 +360,7 @@ struct Queued {
     prompt: Vec<u32>,
     limit: usize,
     sampling: SamplingParams,
+    tenant: Option<String>,
     submitted_at: Instant,
     /// Present when this entry is a preempted sequence awaiting
     /// re-admission rather than a fresh request.
@@ -359,6 +382,27 @@ pub(crate) struct StepWork {
     sampled: bool,
     /// Whether a decode forward pass ran this step.
     forwarded: bool,
+}
+
+/// What one sequence did during the most recent [`ServeEngine::step`] —
+/// the realized schedule, exported via [`ServeEngine::last_step_work`] so
+/// load harnesses can reconstruct the step's arithmetic (e.g. as an
+/// `opal_hw::workload::TokenWorkload` schedule) without re-deriving
+/// scheduler decisions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SeqStepWork {
+    /// Cache position before this step's prefill slice.
+    pub prefill_start: usize,
+    /// Prompt positions consumed this step (each one fused layer sweep at
+    /// contexts `prefill_start + 1 ..= prefill_start + prefilled`).
+    pub prefilled: usize,
+    /// Whether a token was sampled this step.
+    pub sampled: bool,
+    /// Context length (cached positions) of this step's decode forward
+    /// pass, or `None` when no decode pass ran (still prefilling, or the
+    /// sequence retired at its limit and its next logits were never
+    /// needed).
+    pub decode_context: Option<usize>,
 }
 
 /// A sequence currently in the batch. Each owns a private [`DecodeState`] —
@@ -398,9 +442,15 @@ pub(crate) struct Active {
     limit: usize,
     sampler: Sampler,
     rng: TensorRng,
+    tenant: Option<String>,
     submitted_at: Instant,
     /// Time spent in the admission queue (submission → batch slot).
     queue_wait: std::time::Duration,
+    /// Scheduler step at which each generated token was sampled (parallel
+    /// to `tokens`; survives preemption via [`Resume`]).
+    token_steps: Vec<u64>,
+    /// Wall time from submission to the first sampled token.
+    ttft: Option<std::time::Duration>,
     admitted_step: u64,
     /// Times this request has been preempted so far.
     preemptions: u32,
@@ -575,6 +625,9 @@ pub struct ServeEngine<'m> {
     pending: VecDeque<Queued>,
     active: Vec<Active>,
     finished: Vec<RequestReport>,
+    /// Realized per-sequence schedule of the most recent step (batch
+    /// order, including sequences that retired at the end of that step).
+    last_work: Vec<SeqStepWork>,
     next_id: u64,
     steps: u64,
     prefill_tokens: u64,
@@ -653,6 +706,7 @@ impl<'m> ServeEngine<'m> {
             pending: VecDeque::new(),
             active: Vec::new(),
             finished: Vec::new(),
+            last_work: Vec::new(),
             next_id: 0,
             steps: 0,
             prefill_tokens: 0,
@@ -727,6 +781,31 @@ impl<'m> ServeEngine<'m> {
     /// Full KV blocks resident in the prefix cache.
     pub fn prefix_cache_len(&self) -> usize {
         self.trie.len()
+    }
+
+    /// Scheduler steps executed so far (the clock that stamps
+    /// [`RequestReport::admitted_step`](crate::RequestReport) and
+    /// [`RequestReport::token_steps`](crate::RequestReport); idle calls to
+    /// [`step`](Self::step) do not advance it).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The realized per-sequence schedule of the most recent non-idle
+    /// [`step`](Self::step), in batch order — including sequences that
+    /// retired at the end of that step. Load harnesses use this to convert
+    /// each step into analytical workload terms (see
+    /// `opal_hw::workload::TokenWorkload::from_schedule`) without
+    /// re-deriving scheduler decisions.
+    pub fn last_step_work(&self) -> &[SeqStepWork] {
+        &self.last_work
+    }
+
+    /// Ids of every request still in flight: active sequences in batch
+    /// order, then queued requests in queue order. Useful for harnesses
+    /// injecting cancellation storms against live traffic.
+    pub fn in_flight(&self) -> Vec<RequestId> {
+        self.active.iter().map(|s| s.id).chain(self.pending.iter().map(|q| q.id)).collect()
     }
 
     /// Enqueues a request generating the configured default
@@ -817,6 +896,7 @@ impl<'m> ServeEngine<'m> {
             prompt: request.prompt,
             limit,
             sampling: request.sampling,
+            tenant: request.tenant,
             submitted_at: Instant::now(),
             resume: None,
         });
@@ -879,13 +959,18 @@ impl<'m> ServeEngine<'m> {
             let q = self.pending.pop_front().expect("peeked entry is still queued");
             let prompt_len = q.prompt.len();
             let prefill = resumed_target.unwrap_or(q.prompt);
-            let (tokens, rng, preemptions, shared_before) = match q.resume {
-                Some(r) => (r.tokens, r.rng, r.preemptions, r.shared),
+            let (tokens, rng, preemptions, shared_before, token_steps, ttft) = match q.resume {
+                Some(r) => (r.tokens, r.rng, r.preemptions, r.shared, r.token_steps, r.ttft),
                 // Capacity is only a hint: effectively-unbounded limits
                 // (long-running residents) must not reserve absurd buffers.
-                None => {
-                    (Vec::with_capacity(q.limit.min(4096)), TensorRng::seed(q.sampling.seed), 0, 0)
-                }
+                None => (
+                    Vec::with_capacity(q.limit.min(4096)),
+                    TensorRng::seed(q.sampling.seed),
+                    0,
+                    0,
+                    Vec::new(),
+                    None,
+                ),
             };
             let mut state = self.model.begin_decode_paged(&self.kv_pool);
             if shared_len > 0 {
@@ -916,8 +1001,11 @@ impl<'m> ServeEngine<'m> {
                 limit: q.limit,
                 sampler: q.sampling.sampler,
                 rng,
+                tenant: q.tenant,
                 submitted_at: q.submitted_at,
                 queue_wait: q.submitted_at.elapsed(),
+                token_steps,
+                ttft,
                 admitted_step: self.steps,
                 preemptions,
                 shared: shared_before + shared_len,
@@ -1036,6 +1124,26 @@ impl<'m> ServeEngine<'m> {
         self.generated_tokens += summary.generated as u64;
         self.steps += 1;
 
+        // Stamp per-token timing and capture the realized schedule before
+        // retirement removes finished sequences from the batch.
+        let now_step = self.steps;
+        self.last_work.clear();
+        for seq in &mut self.active {
+            let w = seq.work;
+            if w.sampled {
+                seq.token_steps.push(now_step);
+                if seq.ttft.is_none() {
+                    seq.ttft = Some(seq.submitted_at.elapsed());
+                }
+            }
+            self.last_work.push(SeqStepWork {
+                prefill_start: w.prefill_start,
+                prefilled: w.prefilled,
+                sampled: w.sampled,
+                decode_context: if w.forwarded { Some(seq.state.pos()) } else { None },
+            });
+        }
+
         // Publish freshly-completed full prompt blocks into the prefix
         // cache before retiring anything, so even a request that finishes
         // in its first decode step leaves its prefix behind for followers.
@@ -1052,11 +1160,14 @@ impl<'m> ServeEngine<'m> {
                 prompt_len: seq.prompt_len,
                 tokens: std::mem::take(&mut seq.tokens),
                 finish: FinishReason::Limit,
+                tenant: seq.tenant.take(),
                 admitted_step: seq.admitted_step,
                 finished_step: steps,
                 preemptions: seq.preemptions,
                 shared_prefill_tokens: seq.shared,
                 queue_wait: seq.queue_wait,
+                ttft: seq.ttft,
+                token_steps: std::mem::take(&mut seq.token_steps),
                 latency: seq.submitted_at.elapsed(),
             });
             false
@@ -1252,12 +1363,15 @@ impl<'m> ServeEngine<'m> {
             prompt,
             limit: seq.limit,
             sampling: SamplingParams { sampler: seq.sampler, seed: 0 },
+            tenant: seq.tenant,
             submitted_at: seq.submitted_at,
             resume: Some(Resume {
                 tokens: seq.tokens,
                 rng: seq.rng,
                 preemptions: seq.preemptions + 1,
                 shared: seq.shared,
+                token_steps: seq.token_steps,
+                ttft: seq.ttft,
             }),
         });
         // `seq.state` drops here, releasing its blocks.
@@ -1311,20 +1425,23 @@ impl<'m> ServeEngine<'m> {
         let now = self.steps;
         if let Some(i) = self.pending.iter().position(|q| q.id == id) {
             let q = self.pending.remove(i).expect("index is in range");
-            let (tokens, preemptions, shared) = match q.resume {
-                Some(r) => (r.tokens, r.preemptions, r.shared),
-                None => (Vec::new(), 0, 0),
+            let (tokens, preemptions, shared, token_steps, ttft) = match q.resume {
+                Some(r) => (r.tokens, r.preemptions, r.shared, r.token_steps, r.ttft),
+                None => (Vec::new(), 0, 0, Vec::new(), None),
             };
             self.finished.push(RequestReport {
                 id,
                 prompt_len: q.prompt.len(),
                 tokens,
                 finish: FinishReason::Cancelled,
+                tenant: q.tenant,
                 admitted_step: now,
                 finished_step: now,
                 preemptions,
                 shared_prefill_tokens: shared,
                 queue_wait: q.submitted_at.elapsed(),
+                ttft,
+                token_steps,
                 latency: q.submitted_at.elapsed(),
             });
             return true;
@@ -1336,11 +1453,14 @@ impl<'m> ServeEngine<'m> {
                 prompt_len: seq.prompt_len,
                 tokens: seq.tokens,
                 finish: FinishReason::Cancelled,
+                tenant: seq.tenant,
                 admitted_step: seq.admitted_step,
                 finished_step: now,
                 preemptions: seq.preemptions,
                 shared_prefill_tokens: seq.shared,
                 queue_wait: seq.queue_wait,
+                ttft: seq.ttft,
+                token_steps: seq.token_steps,
                 latency: seq.submitted_at.elapsed(),
             });
             return true; // `seq.state` dropped: its blocks are free again

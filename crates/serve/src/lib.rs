@@ -63,7 +63,7 @@ mod report;
 mod trie;
 
 pub use engine::{
-    PrefillBudget, Request, RequestId, SamplingParams, ServeConfig, ServeEngine, ServeError,
-    StepMode, StepSummary,
+    PrefillBudget, Request, RequestId, SamplingParams, SeqStepWork, ServeConfig, ServeEngine,
+    ServeError, StepMode, StepSummary,
 };
 pub use report::{FinishReason, RequestReport, ServeReport};

@@ -28,6 +28,10 @@ pub struct RequestReport {
     pub tokens: Vec<u32>,
     /// Why the request retired.
     pub finish: FinishReason,
+    /// The tenant tag the request was submitted with
+    /// (`Request::with_tenant`), if any. Multi-tenant harnesses aggregate
+    /// per-tenant token shares from this field.
+    pub tenant: Option<String>,
     /// Scheduler step at which the request entered the batch (the start of
     /// its `Prefilling` phase; for a preempted request, its most recent
     /// re-admission).
@@ -47,6 +51,16 @@ pub struct RequestReport {
     /// long prompt ahead in the queue costs bounded per-step work, not its
     /// whole prefill, before this request gets a slot.
     pub queue_wait: Duration,
+    /// Wall time from submission to the first sampled token (the TTFT the
+    /// client observed: queue wait plus the chunked prefill of the whole
+    /// prompt). `None` when the request was cancelled before its first
+    /// token.
+    pub ttft: Option<Duration>,
+    /// Scheduler step at which each generated token was sampled, parallel
+    /// to `tokens`. Consecutive differences are the inter-token step gaps
+    /// (1 in steady decode; larger when the request was preempted and had
+    /// to re-prefill). Steps recorded before a preemption are preserved.
+    pub token_steps: Vec<u64>,
     /// Wall time from submission to retirement.
     pub latency: Duration,
 }
@@ -58,6 +72,21 @@ impl RequestReport {
     /// token count).
     pub fn decode_steps(&self) -> u64 {
         self.finished_step - self.admitted_step
+    }
+
+    /// Scheduler steps from submission (the step count when the request
+    /// entered the queue is not recorded, so this anchors at the step of
+    /// first admission) to the first token: `token_steps[0] −
+    /// admitted_step`, or `None` before the first token. In a step-clocked
+    /// harness the caller anchors at its own submit step instead.
+    pub fn steps_to_first_token(&self) -> Option<u64> {
+        self.token_steps.first().map(|&s| s.saturating_sub(self.admitted_step))
+    }
+
+    /// Inter-token gaps in scheduler steps (`token_steps` consecutive
+    /// differences): empty for zero or one generated token.
+    pub fn inter_token_step_gaps(&self) -> Vec<u64> {
+        self.token_steps.windows(2).map(|w| w[1] - w[0]).collect()
     }
 }
 

@@ -191,4 +191,124 @@ mod tests {
         assert_eq!((t.len(), p.in_use()), (0, 0));
         assert_eq!(t.evict_lru_leaf(), 0);
     }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        const LAYERS: usize = 2;
+        const BLOCK: usize = 4;
+
+        /// Replays one op-coded step against a trie: `op` selects register /
+        /// lookup / evict, `(a, b)` parameterize the prefix chain touched.
+        /// Register allocates `LAYERS` pool blocks per fresh node, exactly
+        /// like the engine does for a fully-prefilled prompt block.
+        fn apply(
+            trie: &mut PrefixTrie,
+            pool: &Arc<BlockPool>,
+            op: u8,
+            a: usize,
+            b: usize,
+        ) -> usize {
+            // A small prefix universe so chains collide often: chain `a`
+            // truncated to `b` blocks, block i spelling [a, i, i, i].
+            let chain: Vec<Vec<u32>> =
+                (0..b).map(|i| vec![a as u32, i as u32, i as u32, i as u32]).collect();
+            match op {
+                0 => {
+                    let mut parent = PrefixTrie::ROOT;
+                    for tokens in &chain {
+                        parent = trie.insert_or_touch(parent, tokens, || {
+                            (0..LAYERS).map(|_| pool.alloc()).collect()
+                        });
+                    }
+                    0
+                }
+                1 => {
+                    let flat: Vec<u32> = chain.concat();
+                    trie.lookup(&flat, BLOCK).len()
+                }
+                _ => trie.evict_lru_leaf(),
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Under arbitrary register/lookup/evict churn the pool's
+            /// in-use count always equals `LAYERS` blocks per resident
+            /// node (no leak, no double-free), every resident node's
+            /// pages stay alive (`strong_count >= 1` is what lets
+            /// `node_block` hand out references at any time), and full
+            /// eviction drains the trie back to an empty pool.
+            #[test]
+            fn churn_preserves_pool_accounting(
+                ops in proptest::collection::vec((0u8..3, 0usize..6, 1usize..5), 1..80)
+            ) {
+                let pool = Arc::new(BlockPool::new(BLOCK, 2, usize::MAX));
+                let mut trie = PrefixTrie::new();
+                for &(op, a, b) in &ops {
+                    apply(&mut trie, &pool, op, a, b);
+                    prop_assert_eq!(pool.in_use(), trie.len() * LAYERS);
+                }
+                // Interior nodes become evictable leaves as their children
+                // go; repeated eviction must fully drain the trie.
+                let mut guard = 0;
+                while trie.evict_lru_leaf() > 0 {
+                    guard += 1;
+                    prop_assert!(guard <= 10_000, "eviction failed to make progress");
+                }
+                prop_assert_eq!(trie.len(), 0);
+                prop_assert_eq!(pool.in_use(), 0);
+            }
+
+            /// The same op sequence replayed against two tries yields the
+            /// same eviction decisions and the same survivors at every
+            /// step — LRU victims are picked by (last_used, id), never by
+            /// hash-map iteration order.
+            #[test]
+            fn eviction_is_deterministic(
+                ops in proptest::collection::vec((0u8..3, 0usize..6, 1usize..5), 1..80)
+            ) {
+                let pool_x = Arc::new(BlockPool::new(BLOCK, 2, usize::MAX));
+                let pool_y = Arc::new(BlockPool::new(BLOCK, 2, usize::MAX));
+                let mut x = PrefixTrie::new();
+                let mut y = PrefixTrie::new();
+                for &(op, a, b) in &ops {
+                    let rx = apply(&mut x, &pool_x, op, a, b);
+                    let ry = apply(&mut y, &pool_y, op, a, b);
+                    prop_assert_eq!(rx, ry, "op ({}, {}, {}) diverged", op, a, b);
+                    prop_assert_eq!(x.len(), y.len());
+                    prop_assert_eq!(pool_x.in_use(), pool_y.in_use());
+                }
+            }
+
+            /// A pinned leaf (a sequence still mapping its pages) is never
+            /// evicted, and unpinning makes it reclaimable again.
+            #[test]
+            fn pinned_leaves_survive_eviction(
+                ops in proptest::collection::vec((0u8..2, 0usize..6, 1usize..5), 1..40),
+                pin_chain in 0usize..6,
+            ) {
+                let pool = Arc::new(BlockPool::new(BLOCK, 2, usize::MAX));
+                let mut trie = PrefixTrie::new();
+                // Register the pinned chain first, then pin its head.
+                let head = trie.insert_or_touch(
+                    PrefixTrie::ROOT,
+                    &[pin_chain as u32, 0, 0, 0],
+                    || (0..LAYERS).map(|_| pool.alloc()).collect(),
+                );
+                let pins: Vec<_> = (0..LAYERS).map(|l| trie.node_block(head, l)).collect();
+                for &(op, a, b) in &ops {
+                    apply(&mut trie, &pool, op, a, b);
+                }
+                while trie.evict_lru_leaf() > 0 {}
+                prop_assert!(trie.contains(head), "pinned node evicted");
+                prop_assert_eq!(trie.len() * LAYERS, pool.in_use());
+                drop(pins);
+                while trie.evict_lru_leaf() > 0 {}
+                prop_assert_eq!((trie.len(), pool.in_use()), (0, 0));
+            }
+        }
+    }
 }
