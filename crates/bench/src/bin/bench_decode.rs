@@ -41,7 +41,10 @@ use std::time::Instant;
 
 use opal_model::{Model, ModelConfig, QuantScheme};
 use opal_quant::{EncodeScratch, MxOpalQuantizer, Quantizer};
-use opal_scenario::{CancelStorm, ChurnPhase, ScenarioReport, TraceConfig};
+use opal_scenario::{
+    replay_with, CancelStorm, ChurnPhase, DegradedConfig, FinishReason, ReplayOptions, RetryPolicy,
+    ScenarioReport, TraceConfig,
+};
 use opal_serve::{ServeConfig, ServeEngine, StepMode};
 use opal_tensor::ops;
 
@@ -603,6 +606,92 @@ fn bench_scenarios(model: &Model, smoke: bool, seed: u64) -> Vec<ScenarioReport>
     vec![poisson, bursty, storm]
 }
 
+/// Robustness numbers from a chaos-soak replay against its fault-free
+/// nominal twin.
+struct RobustnessStats {
+    faults: usize,
+    failed: usize,
+    deadline_exceeded: usize,
+    shed: usize,
+    retried: usize,
+    leaked_blocks: usize,
+    survivors: usize,
+    chaos_goodput: f64,
+    nominal_goodput: f64,
+    /// Virtual steps after the fault burst ended until rolling goodput
+    /// first reached 90% of the nominal run's; `None` if it never did.
+    recovery_steps_to_90pct: Option<u64>,
+}
+
+/// Chaos-soak robustness bench: a seeded fault burst (worker panics,
+/// simulated allocation shortfalls, latency spikes) over deadline-tagged
+/// traffic, replayed with client retries and degraded-mode scheduling
+/// enabled. Asserts survivors are bit-identical to the fault-free twin and
+/// measures how fast goodput climbs back after the burst.
+fn bench_robustness(model: &Model, smoke: bool, seed: u64) -> RobustnessStats {
+    let vocab = model.config().vocab;
+    let n_layers = model.config().n_layers;
+    let horizon: u64 = if smoke { 48 } else { 96 };
+    let config = ServeConfig {
+        max_batch: 8,
+        max_tokens: 48,
+        max_blocks: n_layers * 48,
+        degraded: Some(DegradedConfig::default()),
+        ..ServeConfig::default()
+    };
+    let trace =
+        TraceConfig::chaos("chaos-soak", seed + 4, 1.2, horizon, vocab, n_layers * 16).generate();
+    let opts = ReplayOptions { retry: Some(RetryPolicy::default()), audit_every: 8 };
+    let chaos = replay_with(model, config, &trace, opts);
+    let nominal = replay_with(model, config, &trace.fault_free(), opts);
+    assert_eq!(chaos.leaked_blocks, 0, "chaos soak leaked KV blocks");
+    assert_eq!(chaos.rejected_other, 0, "chaos soak saw an untyped rejection");
+
+    let nominal_fp: std::collections::HashMap<usize, u64> =
+        nominal.outcomes.iter().map(|o| (o.event, o.tokens_fp)).collect();
+    let mut survivors = 0usize;
+    for o in chaos.outcomes.iter().filter(|o| o.finish == FinishReason::Limit) {
+        assert_eq!(
+            Some(&o.tokens_fp),
+            nominal_fp.get(&o.event),
+            "survivor {} diverged from its nominal token stream",
+            o.event
+        );
+        survivors += 1;
+    }
+
+    // Rolling goodput after the burst window (the back half of
+    // `FaultConfig::burst` ends at horizon * 3/4): first virtual step at
+    // which a trailing window of completions reaches 90% of the nominal
+    // run's overall goodput.
+    let burst_end = horizon * 3 / 4;
+    let window: u64 = 8;
+    let target = 0.9 * nominal.goodput_tokens_per_step;
+    let recovery = (burst_end..chaos.virtual_steps).find(|&start| {
+        let toks: u64 = chaos
+            .outcomes
+            .iter()
+            .filter(|o| o.finish == FinishReason::Limit)
+            .filter(|o| (start..start + window).contains(&o.finished_vstep))
+            .map(|o| o.tokens as u64)
+            .sum();
+        toks as f64 / window as f64 >= target
+    });
+
+    RobustnessStats {
+        faults: trace.faults(),
+        failed: chaos.failed,
+        deadline_exceeded: chaos.deadline_exceeded,
+        shed: chaos.shed,
+        retried: chaos.retried,
+        leaked_blocks: chaos.leaked_blocks,
+        survivors,
+        chaos_goodput: chaos.goodput_tokens_per_step,
+        nominal_goodput: nominal.goodput_tokens_per_step,
+        recovery_steps_to_90pct: recovery.map(|s| s - burst_end),
+    }
+}
+
 fn main() {
     // `--seed N` is the single RNG seed for the whole run: model weights,
     // benchmark prompts and the scenario-suite traces all derive from it,
@@ -838,6 +927,23 @@ fn main() {
         );
     }
 
+    // Chaos-soak robustness: survivors bit-identical under a fault burst,
+    // plus the recovery time the throughput rows can't show.
+    let rb = bench_robustness(&tiny_model, smoke, seed);
+    println!(
+        "\nrobustness 'chaos-soak': {} faults -> {} failed / {} expired / {} shed, {} retried; \
+         {} survivors bit-identical; goodput {:.2} vs {:.2} nominal; recovery to 90% in {} steps",
+        rb.faults,
+        rb.failed,
+        rb.deadline_exceeded,
+        rb.shed,
+        rb.retried,
+        rb.survivors,
+        rb.chaos_goodput,
+        rb.nominal_goodput,
+        rb.recovery_steps_to_90pct.map_or("n/a".into(), |s| s.to_string())
+    );
+
     let mut json = String::from("{\n  \"benchmark\": \"decode_throughput\",\n");
     let _ = writeln!(json, "  \"new_tokens_per_request\": {new_tokens},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
@@ -914,6 +1020,24 @@ fn main() {
         "  \"scenario\": {{ \"model\": \"tiny\", \"scheme\": \"bf16\", \"seed\": {seed}, \
          \"traces\": [{}] }},",
         scenario_json.join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"robustness\": {{ \"model\": \"tiny\", \"scheme\": \"bf16\", \"trace\": \"chaos-soak\",\n    \
+         \"faults\": {}, \"failed\": {}, \"deadline_exceeded\": {}, \"shed\": {}, \"retried\": {},\n    \
+         \"leaked_blocks\": {}, \"survivors_bit_identical\": {},\n    \
+         \"chaos_goodput_tok_step\": {:.4}, \"nominal_goodput_tok_step\": {:.4}, \
+         \"recovery_steps_to_90pct_goodput\": {} }},",
+        rb.faults,
+        rb.failed,
+        rb.deadline_exceeded,
+        rb.shed,
+        rb.retried,
+        rb.leaked_blocks,
+        rb.survivors,
+        rb.chaos_goodput,
+        rb.nominal_goodput,
+        rb.recovery_steps_to_90pct.map_or("null".into(), |s| s.to_string())
     );
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

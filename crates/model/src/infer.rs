@@ -339,6 +339,21 @@ impl DecodeState {
         self.kv.tail_shared()
     }
 
+    /// Visits every `(layer, block)` entry of this sequence's block tables
+    /// by reference, in layer-then-table order.
+    ///
+    /// Unlike [`DecodeState::block`] this never clones an `Arc`, so
+    /// auditors can read true `Arc::strong_count` values — cross-checking
+    /// pool accounting against table and prefix-cache references — without
+    /// the audit itself perturbing the refcounts it is checking.
+    pub fn with_blocks(&self, mut f: impl FnMut(usize, &Arc<KvBlock>)) {
+        for (layer, table) in self.kv.layers.iter().enumerate() {
+            for block in table {
+                f(layer, block);
+            }
+        }
+    }
+
     /// Maps an already-computed token prefix into this fresh state: the
     /// first `len` positions of every layer are backed by `prefix[layer]`
     /// read-only (refcount bumps, no copies, no prefill), and decoding

@@ -17,8 +17,9 @@
 
 use opal_model::{Model, ModelConfig, QuantScheme};
 use opal_scenario::{
-    autotune, calibrate, replay_calibrated, CancelStorm, ChurnPhase, GridSpec, ScenarioReport,
-    ServeConfig, TraceConfig, DEFAULT_BAND,
+    autotune, calibrate, replay_calibrated, replay_with, CancelStorm, ChurnPhase, DegradedConfig,
+    FinishReason, GridSpec, ReplayOptions, RetryPolicy, ScenarioReport, ServeConfig, TraceConfig,
+    DEFAULT_BAND,
 };
 
 fn main() {
@@ -112,6 +113,51 @@ fn main() {
     );
     println!("  churn: storms and pool pressure exercised the preempt path ✓\n");
 
+    // --- Traffic shape 4: chaos soak — fault burst, deadlines, retries. ---
+    let chaos_serve = ServeConfig {
+        max_blocks: n_layers * 48,
+        degraded: Some(DegradedConfig::default()),
+        ..base
+    };
+    let chaos_trace =
+        TraceConfig::chaos("chaos-soak", seed + 4, 1.2, horizon, vocab, n_layers * 16).generate();
+    let chaos_opts = ReplayOptions { retry: Some(RetryPolicy::default()), audit_every: 8 };
+    let chaos = replay_with(&model, chaos_serve, &chaos_trace, chaos_opts);
+    print!("{chaos}");
+    let nominal = replay_with(&model, chaos_serve, &chaos_trace.fault_free(), chaos_opts);
+    assert!(chaos_trace.faults() > 0, "the chaos trace must schedule faults");
+    assert!(chaos.failed > 0, "injected panics must quarantine at least one request");
+    assert_eq!(chaos.leaked_blocks, 0, "chaos soak leaked {} KV blocks", chaos.leaked_blocks);
+    assert_eq!(chaos.rejected_other, 0, "chaos soak saw an untyped rejection");
+    assert!(chaos.audit_checks > 0, "the invariant auditor must have run");
+    // Every request that ran to completion under chaos produced the exact
+    // token stream of the undisturbed twin replay.
+    let nominal_fp: std::collections::HashMap<usize, u64> =
+        nominal.outcomes.iter().map(|o| (o.event, o.tokens_fp)).collect();
+    let mut survivors = 0usize;
+    for o in chaos.outcomes.iter().filter(|o| o.finish == FinishReason::Limit) {
+        assert_eq!(
+            Some(&o.tokens_fp),
+            nominal_fp.get(&o.event),
+            "survivor {} diverged from its nominal token stream",
+            o.event
+        );
+        survivors += 1;
+    }
+    assert!(survivors > 0, "some requests must survive the fault burst");
+    // The drain window must recover: once the burst is over, goodput per
+    // step climbs back to at least 90% of the fault-free replay's.
+    assert!(
+        chaos.drain_goodput >= 0.9 * nominal.drain_goodput,
+        "post-burst goodput {:.3} tok/step did not recover to 90% of nominal {:.3}",
+        chaos.drain_goodput,
+        nominal.drain_goodput
+    );
+    println!(
+        "  chaos: {} survivors bit-identical to nominal; drain goodput {:.3} vs {:.3} nominal ✓\n",
+        survivors, chaos.drain_goodput, nominal.drain_goodput
+    );
+
     // --- Roofline band (asserted on the Poisson shape). -------------------
     let rl = poisson.roofline.expect("calibrated replay carries a roofline check");
     assert!(
@@ -168,7 +214,7 @@ fn main() {
     );
 
     // --- Emit and validate the JSON report. -------------------------------
-    let json = suite_json(seed, &[&poisson, &bursty, &storm], &tune.best_point().report);
+    let json = suite_json(seed, &[&poisson, &bursty, &storm, &chaos], &tune.best_point().report);
     assert_json_wellformed(&json);
     println!("\n{json}");
     println!("\nscenario suite passed");

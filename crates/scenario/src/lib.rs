@@ -53,13 +53,17 @@ pub mod slo;
 pub mod trace;
 
 pub use autotune::{autotune, AutotuneReport, GridSpec, TunedPoint};
-pub use replay::{replay, replay_calibrated, ScenarioReport, TenantShare};
+pub use replay::{
+    replay, replay_calibrated, replay_with, ReplayOptions, RequestOutcome, ScenarioReport,
+    TenantShare,
+};
 pub use roofline::{calibrate, HostCalibration, RooflineCheck, DEFAULT_BAND};
 pub use slo::{jain_index, Percentiles};
 pub use trace::{
-    ArrivalProcess, CancelStorm, ChurnPhase, CorpusConfig, EventKind, LengthModel, Trace,
-    TraceConfig, TraceEvent,
+    ArrivalProcess, CancelStorm, ChurnPhase, CorpusConfig, DeadlineSpec, EventKind, LengthModel,
+    Trace, TraceConfig, TraceEvent,
 };
 
 // Re-exported so scenario callers need only this crate for the common path.
-pub use opal_serve::ServeConfig;
+pub use opal_serve::faults::{FaultConfig, FaultKind, FaultPlan, RetryPolicy};
+pub use opal_serve::{DegradedConfig, FinishReason, ServeConfig};

@@ -19,12 +19,13 @@
 //! cross-checked against the analytical workload model
 //! ([`RooflineCheck`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 use opal_hw::workload::{DataFormat, TokenWorkload};
 use opal_model::Model;
-use opal_serve::{Request, RequestId, ServeConfig, ServeEngine, ServeError};
+use opal_serve::faults::{FaultKind, RetryPolicy};
+use opal_serve::{FinishReason, Request, RequestId, ServeConfig, ServeEngine, ServeError};
 
 use crate::roofline::{
     gpu_decode_step_s, opal_reference_s, schedule_macs, step_contexts, HostCalibration,
@@ -32,6 +33,44 @@ use crate::roofline::{
 };
 use crate::slo::{jain_index, Percentiles};
 use crate::trace::{EventKind, Trace};
+
+/// Robustness knobs for [`replay_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayOptions {
+    /// Client retry policy for retryable rejections
+    /// ([`ServeError::QueueFull`] / [`ServeError::InsufficientBlocks`]).
+    /// `None` ⇒ every rejection is final on first refusal.
+    pub retry: Option<RetryPolicy>,
+    /// Run the engine invariant auditor every this many engine steps
+    /// (asserting it clean). `0` disables periodic audits; the post-drain
+    /// audit always runs.
+    pub audit_every: u64,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions { retry: None, audit_every: 16 }
+    }
+}
+
+/// The client-visible outcome of one accepted trace submission, keyed by
+/// the ordinal of its `Submit` event in the trace, so a chaotic replay and
+/// its [`Trace::fault_free`] nominal twin can be joined request-by-request
+/// (trace ordinals are shared; engine request ids are not).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Ordinal of this submission among the trace's `Submit` events.
+    pub event: usize,
+    /// How the request retired.
+    pub finish: FinishReason,
+    /// Generated token count.
+    pub tokens: usize,
+    /// FNV-1a digest of the generated token stream.
+    pub tokens_fp: u64,
+    /// Virtual step at which the request retired (client clock) — the
+    /// raw material for goodput-recovery curves.
+    pub finished_vstep: u64,
+}
 
 /// Per-tenant outcome of a replay.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,12 +101,38 @@ pub struct ScenarioReport {
     pub completed: usize,
     /// Requests cancelled by storms.
     pub cancelled: usize,
-    /// Submissions rejected with [`ServeError::QueueFull`].
+    /// Submissions rejected with [`ServeError::QueueFull`] (final — after
+    /// any retry policy gave up).
     pub rejected_queue_full: usize,
-    /// Submissions rejected with [`ServeError::InsufficientBlocks`].
+    /// Submissions rejected with [`ServeError::InsufficientBlocks`]
+    /// (final — after any retry policy gave up).
     pub rejected_insufficient_blocks: usize,
     /// Submissions rejected for any other reason.
     pub rejected_other: usize,
+    /// Resubmissions the retry policy scheduled.
+    pub retried: usize,
+    /// Submissions whose retry budget ran out.
+    pub retry_gave_up: usize,
+    /// Requests that expired their `deadline_steps` TTL.
+    pub deadline_exceeded: usize,
+    /// Requests retired by the panic quarantine.
+    pub failed: usize,
+    /// Requests shed by degraded-mode load shedding.
+    pub shed: usize,
+    /// Engine steps spent in degraded mode.
+    pub degraded_steps: u64,
+    /// Degraded-mode enter/exit transitions.
+    pub mode_transitions: u64,
+    /// Virtual steps the client-visible clock lost to injected latency
+    /// spikes.
+    pub latency_spike_steps: u64,
+    /// KV blocks still allocated after the engine was dropped (must be 0
+    /// — the pool handle outlives the engine precisely to observe this).
+    pub leaked_blocks: usize,
+    /// Invariant audits run during the replay (each asserted clean).
+    pub audit_checks: u64,
+    /// Per-submission outcomes, ordered by `Submit` event ordinal.
+    pub outcomes: Vec<RequestOutcome>,
     /// Engine steps actually executed.
     pub engine_steps: u64,
     /// Virtual steps the replay spanned (arrival window plus drain).
@@ -119,7 +184,18 @@ pub struct ScenarioReport {
 
 /// Replays `trace` into a fresh [`ServeEngine`] over `model`.
 pub fn replay(model: &Model, config: ServeConfig, trace: &Trace) -> ScenarioReport {
-    replay_inner(model, config, trace, None)
+    replay_inner(model, config, trace, None, ReplayOptions::default())
+}
+
+/// [`replay`] with explicit robustness knobs: a client [`RetryPolicy`]
+/// for typed retryable rejections and the invariant-audit cadence.
+pub fn replay_with(
+    model: &Model,
+    config: ServeConfig,
+    trace: &Trace,
+    options: ReplayOptions,
+) -> ScenarioReport {
+    replay_inner(model, config, trace, None, options)
 }
 
 /// [`replay`], additionally cross-checking each step's wall time against
@@ -132,7 +208,95 @@ pub fn replay_calibrated(
     calibration: HostCalibration,
     band: f64,
 ) -> ScenarioReport {
-    replay_inner(model, config, trace, Some((calibration, band)))
+    replay_inner(model, config, trace, Some((calibration, band)), ReplayOptions::default())
+}
+
+/// Everything needed to (re)build one trace submission — kept so the
+/// retry queue can resubmit a rejected request bit-identically.
+struct SubmitSpec {
+    event: usize,
+    prompt: Vec<u32>,
+    limit: usize,
+    tenant: u32,
+    deadline: Option<u64>,
+}
+
+impl SubmitSpec {
+    fn build(&self) -> Request {
+        let mut req = Request::new(&self.prompt)
+            .with_limit(self.limit)
+            .with_tenant(format!("t{}", self.tenant));
+        if let Some(d) = self.deadline {
+            req = req.with_deadline(d);
+        }
+        req
+    }
+}
+
+#[derive(Default)]
+struct RejectTally {
+    queue_full: usize,
+    insufficient_blocks: usize,
+    other: usize,
+    retried: usize,
+    gave_up: usize,
+}
+
+/// Submits `spec` (as resubmission number `attempt`), scheduling a retry
+/// on a typed retryable rejection while the policy allows it. Returns the
+/// id on acceptance; rejections that become final land in `tally`.
+fn submit_with_retry(
+    engine: &mut ServeEngine<'_>,
+    spec: SubmitSpec,
+    attempt: u32,
+    vstep: u64,
+    retry: Option<&RetryPolicy>,
+    retry_q: &mut BTreeMap<u64, Vec<(SubmitSpec, u32)>>,
+    tally: &mut RejectTally,
+) -> Option<RequestId> {
+    let err = match engine.submit_request(spec.build()) {
+        Ok(id) => return Some(id),
+        Err(e) => e,
+    };
+    if matches!(err, ServeError::QueueFull { .. } | ServeError::InsufficientBlocks { .. }) {
+        if let Some(policy) = retry {
+            if attempt < policy.max_attempts {
+                tally.retried += 1;
+                let due = vstep + policy.backoff(attempt).max(1);
+                retry_q.entry(due).or_default().push((spec, attempt + 1));
+                return None;
+            }
+            tally.gave_up += 1;
+        }
+    }
+    match err {
+        ServeError::QueueFull { .. } => tally.queue_full += 1,
+        ServeError::InsufficientBlocks { .. } => tally.insufficient_blocks += 1,
+        _ => tally.other += 1,
+    }
+    None
+}
+
+/// FNV-1a over a token stream.
+fn fnv_tokens(tokens: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &t in tokens {
+        for b in t.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn finish_tag(f: FinishReason) -> u64 {
+    match f {
+        FinishReason::Limit => 1,
+        FinishReason::Cancelled => 2,
+        FinishReason::DeadlineExceeded => 3,
+        FinishReason::Failed => 4,
+        FinishReason::Shed => 5,
+    }
 }
 
 fn replay_inner(
@@ -140,15 +304,18 @@ fn replay_inner(
     config: ServeConfig,
     trace: &Trace,
     roofline: Option<(HostCalibration, f64)>,
+    options: ReplayOptions,
 ) -> ScenarioReport {
     let mut engine = ServeEngine::new(model, config);
     let n_tenants = trace.tenants as usize;
     let mut tenant_submitted = vec![0u64; n_tenants];
     let mut submit_vstep: HashMap<RequestId, u64> = HashMap::new();
+    let mut id_to_event: HashMap<RequestId, usize> = HashMap::new();
     let mut submitted = 0usize;
-    let mut rejected_queue_full = 0usize;
-    let mut rejected_insufficient = 0usize;
-    let mut rejected_other = 0usize;
+    let mut tally = RejectTally::default();
+    let mut retry_q: BTreeMap<u64, Vec<(SubmitSpec, u32)>> = BTreeMap::new();
+    let mut latency_spikes = 0u64;
+    let mut audit_checks = 0u64;
 
     // Per-engine-step series, index = engine step - 1.
     let mut step_virtual: Vec<u64> = Vec::new();
@@ -163,20 +330,53 @@ fn replay_inner(
     let mut stalls = 0u32;
     let t_start = Instant::now();
     loop {
-        while ev_idx < trace.events.len() && trace.events[ev_idx].step == vstep {
+        // Due client retries go first (`<=` also catches backoffs a
+        // latency spike skipped the clock past).
+        while retry_q.first_key_value().is_some_and(|(&due, _)| due <= vstep) {
+            let (_, entries) = retry_q.pop_first().expect("checked non-empty");
+            for (spec, attempt) in entries {
+                let event = spec.event;
+                if let Some(id) = submit_with_retry(
+                    &mut engine,
+                    spec,
+                    attempt,
+                    vstep,
+                    options.retry.as_ref(),
+                    &mut retry_q,
+                    &mut tally,
+                ) {
+                    submit_vstep.insert(id, vstep);
+                    id_to_event.insert(id, event);
+                }
+            }
+        }
+        // `<=` rather than `==`: a latency spike advances the virtual
+        // clock mid-tick, and arrivals inside the skipped window land
+        // (late, as a client would experience) rather than being lost.
+        while ev_idx < trace.events.len() && trace.events[ev_idx].step <= vstep {
             match &trace.events[ev_idx].kind {
-                EventKind::Submit { prompt, limit, tenant } => {
+                EventKind::Submit { prompt, limit, tenant, deadline } => {
+                    let event = submitted;
                     submitted += 1;
                     tenant_submitted[*tenant as usize] += 1;
-                    let req =
-                        Request::new(prompt).with_limit(*limit).with_tenant(format!("t{tenant}"));
-                    match engine.submit_request(req) {
-                        Ok(id) => {
-                            submit_vstep.insert(id, vstep);
-                        }
-                        Err(ServeError::QueueFull { .. }) => rejected_queue_full += 1,
-                        Err(ServeError::InsufficientBlocks { .. }) => rejected_insufficient += 1,
-                        Err(_) => rejected_other += 1,
+                    let spec = SubmitSpec {
+                        event,
+                        prompt: prompt.clone(),
+                        limit: *limit,
+                        tenant: *tenant,
+                        deadline: *deadline,
+                    };
+                    if let Some(id) = submit_with_retry(
+                        &mut engine,
+                        spec,
+                        0,
+                        vstep,
+                        options.retry.as_ref(),
+                        &mut retry_q,
+                        &mut tally,
+                    ) {
+                        submit_vstep.insert(id, vstep);
+                        id_to_event.insert(id, event);
                     }
                 }
                 EventKind::CancelStorm { percent } => {
@@ -191,11 +391,20 @@ fn replay_inner(
                         }
                     }
                 }
+                EventKind::Fault(kind) => match *kind {
+                    FaultKind::LatencySpike { extra_steps } => {
+                        // Clock-side: a slow step changes what clients
+                        // observe, not what the scheduler computes.
+                        latency_spikes += extra_steps;
+                        vstep += extra_steps;
+                    }
+                    fault => engine.inject_fault(fault),
+                },
             }
             ev_idx += 1;
         }
         if engine.is_idle() {
-            if ev_idx >= trace.events.len() {
+            if ev_idx >= trace.events.len() && retry_q.is_empty() {
                 break;
             }
             vstep += 1; // idle tick: virtual time passes, no engine work
@@ -217,6 +426,16 @@ fn replay_inner(
                 &contexts,
             ));
             batch_sum += engine.last_step_work().len();
+            if options.audit_every > 0 && engine.steps() % options.audit_every == 0 {
+                let audit = engine.audit();
+                assert!(
+                    audit.is_clean(),
+                    "invariant audit failed at engine step {}: {:#?}",
+                    engine.steps(),
+                    audit.violations
+                );
+                audit_checks += 1;
+            }
         } else {
             stalls += 1;
             assert!(
@@ -227,7 +446,19 @@ fn replay_inner(
         vstep += 1;
     }
     let wall = t_start.elapsed();
+    let final_audit = engine.audit();
+    assert!(
+        final_audit.is_clean(),
+        "invariant audit failed after drain: {:#?}",
+        final_audit.violations
+    );
+    audit_checks += 1;
     let served = engine.report(wall);
+    // A dropped engine must return every KV block — the pool handle
+    // outlives the engine precisely to observe this.
+    let pool = engine.kv_pool().clone();
+    drop(engine);
+    let leaked_blocks = pool.in_use();
 
     // Engine step s (1-based) happened at virtual step v_of(s).
     let v_of = |s: u64| step_virtual[(s - 1) as usize];
@@ -246,14 +477,16 @@ fn replay_inner(
     for r in &served.requests {
         let v_submit = submit_vstep[&r.id];
         match r.finish {
-            opal_serve::FinishReason::Limit => {
+            FinishReason::Limit => {
                 completed += 1;
                 completed_tokens_total += r.tokens.len() as u64;
                 if v_of(r.finished_step) < trace.horizon {
                     completed_tokens_window += r.tokens.len() as u64;
                 }
             }
-            opal_serve::FinishReason::Cancelled => cancelled += 1,
+            FinishReason::Cancelled => cancelled += 1,
+            // Counted from the engine report's own tallies below.
+            FinishReason::DeadlineExceeded | FinishReason::Failed | FinishReason::Shed => {}
         }
         if r.preemptions > 0 {
             preempted_requests += 1;
@@ -288,6 +521,24 @@ fn replay_inner(
         }
     }
 
+    let mut outcomes: Vec<RequestOutcome> = served
+        .requests
+        .iter()
+        .map(|r| RequestOutcome {
+            event: id_to_event[&r.id],
+            finish: r.finish,
+            tokens: r.tokens.len(),
+            tokens_fp: fnv_tokens(&r.tokens),
+            // Queue-side retirements (shed, expired before admission) can
+            // carry a step the engine never executed; clamp to run end.
+            finished_vstep: step_virtual
+                .get((r.finished_step as usize).saturating_sub(1))
+                .copied()
+                .unwrap_or(vstep),
+        })
+        .collect();
+    outcomes.sort_unstable_by_key(|o| o.event);
+
     let engine_steps = step_secs.len() as u64;
     let window_steps = step_virtual.iter().filter(|&&v| v < trace.horizon).count() as u64;
     let drain_steps = engine_steps - window_steps;
@@ -318,9 +569,20 @@ fn replay_inner(
         submitted,
         completed,
         cancelled,
-        rejected_queue_full,
-        rejected_insufficient_blocks: rejected_insufficient,
-        rejected_other,
+        rejected_queue_full: tally.queue_full,
+        rejected_insufficient_blocks: tally.insufficient_blocks,
+        rejected_other: tally.other,
+        retried: tally.retried,
+        retry_gave_up: tally.gave_up,
+        deadline_exceeded: served.deadline_exceeded as usize,
+        failed: served.failed as usize,
+        shed: served.shed as usize,
+        degraded_steps: served.degraded_steps,
+        mode_transitions: served.mode_transitions,
+        latency_spike_steps: latency_spikes,
+        leaked_blocks,
+        audit_checks,
+        outcomes,
         engine_steps,
         virtual_steps: vstep,
         preemptions: served.preemptions,
@@ -353,12 +615,33 @@ fn replay_inner(
 }
 
 impl ScenarioReport {
+    /// An order-sensitive FNV-1a digest of every per-submission outcome
+    /// (ordinal, finish reason, token count, token stream) — the
+    /// bit-level identity of what every client received.
+    pub fn outcomes_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for o in &self.outcomes {
+            eat(o.event as u64);
+            eat(finish_tag(o.finish));
+            eat(o.tokens as u64);
+            eat(o.tokens_fp);
+        }
+        h
+    }
+
     /// The step-deterministic core of the report, for run-to-run equality
     /// assertions (everything wall-clock-dependent excluded).
     pub fn deterministic_digest(&self) -> String {
         format!(
             "{}/{:016x} sub={} done={} cancel={} rej={}:{}:{} steps={} v={} preempt={} \
-             ttft(p50={},p99={}) itl(p50={},p99={}) wait(p99={}) good={:.4}/{:.4}/{:.4} jain={:.6}",
+             ttft(p50={},p99={}) itl(p50={},p99={}) wait(p99={}) good={:.4}/{:.4}/{:.4} jain={:.6} \
+             dl={} fail={} shed={} degr={}:{} retry={}:{} spike={} leak={} out={:016x}",
             self.trace,
             self.fingerprint,
             self.submitted,
@@ -379,6 +662,16 @@ impl ScenarioReport {
             self.overload_goodput,
             self.drain_goodput,
             self.fairness_jain,
+            self.deadline_exceeded,
+            self.failed,
+            self.shed,
+            self.degraded_steps,
+            self.mode_transitions,
+            self.retried,
+            self.retry_gave_up,
+            self.latency_spike_steps,
+            self.leaked_blocks,
+            self.outcomes_fingerprint(),
         )
     }
 
@@ -396,6 +689,12 @@ impl ScenarioReport {
         s.push_str(&format!(
             "      \"rejected\": {{\"queue_full\": {}, \"insufficient_blocks\": {}, \"other\": {}}},\n",
             self.rejected_queue_full, self.rejected_insufficient_blocks, self.rejected_other
+        ));
+        s.push_str(&format!(
+            "      \"robustness\": {{\"deadline_exceeded\": {}, \"failed\": {}, \"shed\": {}, \"degraded_steps\": {}, \"mode_transitions\": {}, \"retried\": {}, \"retry_gave_up\": {}, \"latency_spike_steps\": {}, \"leaked_blocks\": {}, \"audit_checks\": {}, \"outcomes_fp\": \"{:016x}\"}},\n",
+            self.deadline_exceeded, self.failed, self.shed, self.degraded_steps,
+            self.mode_transitions, self.retried, self.retry_gave_up, self.latency_spike_steps,
+            self.leaked_blocks, self.audit_checks, self.outcomes_fingerprint()
         ));
         s.push_str(&format!(
             "      \"engine_steps\": {}, \"virtual_steps\": {}, \"preemptions\": {}, \"preempted_requests\": {},\n",
@@ -495,6 +794,20 @@ impl std::fmt::Display for ScenarioReport {
             f,
             "  goodput: {:.3} tok/step overall, {:.3} under load, {:.3} drain; fairness (Jain) {:.4}",
             self.goodput_tokens_per_step, self.overload_goodput, self.drain_goodput, self.fairness_jain
+        )?;
+        writeln!(
+            f,
+            "  robustness: {} expired, {} failed, {} shed; degraded {} steps / {} transitions; {} retries ({} gave up); {} spike steps; {} leaked blocks, {} audits clean",
+            self.deadline_exceeded,
+            self.failed,
+            self.shed,
+            self.degraded_steps,
+            self.mode_transitions,
+            self.retried,
+            self.retry_gave_up,
+            self.latency_spike_steps,
+            self.leaked_blocks,
+            self.audit_checks
         )?;
         if let Some(rl) = &self.roofline {
             writeln!(

@@ -14,6 +14,7 @@
 //! reuse over a shared prompt corpus (system prompts / few-shot headers),
 //! and log-normal long-tail prompt and output lengths.
 
+use opal_serve::faults::{FaultConfig, FaultKind, FaultPlan};
 use opal_tensor::rng::TensorRng;
 
 /// A clamped log-normal length distribution (`exp(N(mu, sigma²))`,
@@ -169,6 +170,18 @@ impl ChurnPhase {
     }
 }
 
+/// Per-request deadline assignment: each primary arrival independently
+/// carries a `deadline_steps` TTL with probability `rate`, drawn from
+/// `steps` — so a chaos trace mixes latency-sensitive requests (which the
+/// engine may expire) with patient ones.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeadlineSpec {
+    /// Probability that an arrival carries a deadline.
+    pub rate: f64,
+    /// TTL distribution in virtual steps.
+    pub steps: LengthModel,
+}
+
 /// Everything needed to generate a [`Trace`]; see the module docs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceConfig {
@@ -197,6 +210,13 @@ pub struct TraceConfig {
     pub cancel_storms: Vec<CancelStorm>,
     /// Optional preemption-churn phase.
     pub churn: Option<ChurnPhase>,
+    /// Optional per-request deadlines (None ⇒ no request expires).
+    pub deadlines: Option<DeadlineSpec>,
+    /// Optional seeded fault plan — worker panics, simulated allocation
+    /// shortfalls and latency spikes scheduled over a window (None ⇒ no
+    /// faults). The plan is drawn from its own labelled child stream, so
+    /// enabling faults never perturbs arrivals, lengths or tokens.
+    pub faults: Option<FaultConfig>,
 }
 
 impl TraceConfig {
@@ -218,6 +238,8 @@ impl TraceConfig {
             tenants: 4,
             cancel_storms: Vec::new(),
             churn: None,
+            deadlines: None,
+            faults: None,
         }
     }
 
@@ -231,6 +253,30 @@ impl TraceConfig {
                 mean_idle: (horizon as f64 / 6.0).max(2.0),
             },
             ..TraceConfig::poisson(name, seed, burst_rate, horizon, vocab)
+        }
+    }
+
+    /// A chaos-soak trace: steady Poisson arrivals where a third of the
+    /// requests carry deadlines, with a [`FaultConfig::burst`] of worker
+    /// panics, simulated allocation shortfalls (`pressure_blocks` hidden
+    /// per fault) and latency spikes over the middle half of the window —
+    /// the "everything goes wrong at once" shape a robust scheduler must
+    /// survive without untyped errors or leaks.
+    pub fn chaos(
+        name: &str,
+        seed: u64,
+        rate: f64,
+        horizon: u64,
+        vocab: usize,
+        pressure_blocks: usize,
+    ) -> Self {
+        TraceConfig {
+            deadlines: Some(DeadlineSpec {
+                rate: 0.35,
+                steps: LengthModel::around(24, 0.5, 6, 96),
+            }),
+            faults: Some(FaultConfig::burst(horizon / 4, horizon * 3 / 4, pressure_blocks)),
+            ..TraceConfig::poisson(name, seed, rate, horizon, vocab)
         }
     }
 
@@ -252,6 +298,16 @@ impl TraceConfig {
         let mut token_rng = master.child(3);
         let mut tenant_rng = master.child(4);
         let mut churn_rng = master.child(5);
+        // Streams 6 and 7 are private to the robustness features: enabling
+        // deadlines or faults must not perturb arrivals, lengths or tokens.
+        let mut deadline_rng = master.child(6);
+        let mut fault_rng = master.child(7);
+
+        let fault_plan = match &self.faults {
+            Some(fc) => FaultPlan::seeded(fc, &mut fault_rng),
+            None => FaultPlan::empty(),
+        };
+        let mut fault_idx = 0usize;
 
         let corpus: Vec<Vec<u32>> = match &self.corpus {
             Some(c) if c.entries > 0 => (0..c.entries)
@@ -294,7 +350,14 @@ impl TraceConfig {
                 }
                 let limit = self.output_len.sample(&mut len_rng);
                 let tenant = tenant_rng.index(self.tenants as usize) as u32;
-                events.push(TraceEvent { step, kind: EventKind::Submit { prompt, limit, tenant } });
+                let deadline = self.deadlines.as_ref().and_then(|d| {
+                    (f64::from(deadline_rng.uniform(0.0, 1.0)) < d.rate)
+                        .then(|| d.steps.sample(&mut deadline_rng) as u64)
+                });
+                events.push(TraceEvent {
+                    step,
+                    kind: EventKind::Submit { prompt, limit, tenant, deadline },
+                });
             }
             if let Some(ch) = &self.churn {
                 if (ch.from..ch.to).contains(&step) {
@@ -306,7 +369,9 @@ impl TraceConfig {
                         let tenant = tenant_rng.index(self.tenants as usize) as u32;
                         events.push(TraceEvent {
                             step,
-                            kind: EventKind::Submit { prompt, limit, tenant },
+                            // Churn filler is load, not traffic under test:
+                            // it never carries a deadline.
+                            kind: EventKind::Submit { prompt, limit, tenant, deadline: None },
                         });
                     }
                 }
@@ -320,6 +385,15 @@ impl TraceConfig {
                         kind: EventKind::CancelStorm { percent: storm.percent },
                     });
                 }
+            }
+            // Faults fire after the step's submissions and storms: a panic
+            // scheduled at `step` sees the batch that step admits.
+            while fault_plan.events.get(fault_idx).is_some_and(|e| e.at_step == step) {
+                events.push(TraceEvent {
+                    step,
+                    kind: EventKind::Fault(fault_plan.events[fault_idx].kind),
+                });
+                fault_idx += 1;
             }
             if let ArrivalProcess::Bursty { mean_burst, mean_idle, .. } = self.arrivals {
                 let dwell = if bursting { mean_burst } else { mean_idle };
@@ -367,9 +441,44 @@ impl Trace {
             .iter()
             .map(|e| match &e.kind {
                 EventKind::Submit { prompt, .. } => prompt.len() as u64,
-                EventKind::CancelStorm { .. } => 0,
+                EventKind::CancelStorm { .. } | EventKind::Fault(_) => 0,
             })
             .sum()
+    }
+
+    /// Number of scheduled fault events.
+    pub fn faults(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, EventKind::Fault(_))).count()
+    }
+
+    /// The nominal twin of this trace: identical arrivals, lengths, tokens
+    /// and storms, but with every fault event stripped and every deadline
+    /// cleared. Chaos harnesses replay both and compare — survivors of the
+    /// chaotic run must be bit-identical to the same requests here.
+    pub fn fault_free(&self) -> Trace {
+        Trace {
+            name: format!("{}-nominal", self.name),
+            seed: self.seed,
+            horizon: self.horizon,
+            tenants: self.tenants,
+            events: self
+                .events
+                .iter()
+                .filter(|e| !matches!(e.kind, EventKind::Fault(_)))
+                .map(|e| match &e.kind {
+                    EventKind::Submit { prompt, limit, tenant, .. } => TraceEvent {
+                        step: e.step,
+                        kind: EventKind::Submit {
+                            prompt: prompt.clone(),
+                            limit: *limit,
+                            tenant: *tenant,
+                            deadline: None,
+                        },
+                    },
+                    _ => e.clone(),
+                })
+                .collect(),
+        }
     }
 
     /// An order-sensitive FNV-1a digest of every event — two traces with
@@ -389,7 +498,7 @@ impl Trace {
         for e in &self.events {
             eat(e.step);
             match &e.kind {
-                EventKind::Submit { prompt, limit, tenant } => {
+                EventKind::Submit { prompt, limit, tenant, deadline } => {
                     eat(1);
                     eat(prompt.len() as u64);
                     for &t in prompt {
@@ -397,10 +506,28 @@ impl Trace {
                     }
                     eat(*limit as u64);
                     eat(u64::from(*tenant));
+                    eat(deadline.map_or(0, |d| d + 1));
                 }
                 EventKind::CancelStorm { percent } => {
                     eat(2);
                     eat(u64::from(*percent));
+                }
+                EventKind::Fault(kind) => {
+                    eat(3);
+                    match kind {
+                        FaultKind::WorkerPanic { victim_rank } => {
+                            eat(1);
+                            eat(*victim_rank as u64);
+                        }
+                        FaultKind::BlockPressure { blocks } => {
+                            eat(2);
+                            eat(*blocks as u64);
+                        }
+                        FaultKind::LatencySpike { extra_steps } => {
+                            eat(3);
+                            eat(*extra_steps);
+                        }
+                    }
                 }
             }
         }
@@ -429,12 +556,17 @@ pub enum EventKind {
         limit: usize,
         /// Tenant tag (`0..tenants`).
         tenant: u32,
+        /// Optional `deadline_steps` TTL the request is submitted with.
+        deadline: Option<u64>,
     },
     /// Cancel `percent`% of the in-flight requests.
     CancelStorm {
         /// Percentage of in-flight requests to cancel, `1..=100`.
         percent: u8,
     },
+    /// Inject a fault into the engine (or, for latency spikes, stall the
+    /// client-visible clock) before the step's batch work runs.
+    Fault(FaultKind),
 }
 
 /// Draws a Poisson-distributed count with mean `lambda` (Knuth's
@@ -545,6 +677,39 @@ mod tests {
             matches!(&e.kind, EventKind::Submit { prompt, .. } if prompt.len() > 96)
                 && (20..30).contains(&e.step)
         }));
+    }
+
+    #[test]
+    fn chaos_trace_is_deterministic_and_strippable() {
+        let cfg = TraceConfig::chaos("chaos", 21, 1.5, 96, 192, 32);
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "chaos traces must replay bit-identically");
+        assert!(a.faults() > 0, "the burst window must schedule faults");
+        assert!(
+            a.events.iter().any(|e| matches!(e.kind, EventKind::Submit { deadline: Some(_), .. })),
+            "a 0.35 deadline rate must tag some arrivals"
+        );
+        let nominal = a.fault_free();
+        assert_eq!(nominal.faults(), 0);
+        assert_eq!(nominal.submissions(), a.submissions());
+        assert!(
+            nominal
+                .events
+                .iter()
+                .all(|e| !matches!(e.kind, EventKind::Submit { deadline: Some(_), .. })),
+            "the nominal twin must clear every deadline"
+        );
+        assert_ne!(nominal.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn robustness_streams_do_not_perturb_arrivals() {
+        // Turning chaos on must not move a single arrival, prompt token or
+        // storm: deadlines and faults draw from private RNG streams.
+        let base = TraceConfig::poisson("iso", 17, 1.5, 96, 192).generate();
+        let chaos = TraceConfig::chaos("iso", 17, 1.5, 96, 192, 32).generate().fault_free();
+        assert_eq!(base.fingerprint(), chaos.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Chaos-soak integration: a fault-burst trace replayed with client
+//! retries and periodic invariant audits must be bit-deterministic,
+//! leak-free, and leave every surviving request's token stream identical
+//! to the fault-free nominal replay of the same arrivals.
+
+use std::collections::HashMap;
+
+use opal_model::{Model, ModelConfig, QuantScheme};
+use opal_scenario::{
+    replay_with, DegradedConfig, FinishReason, ReplayOptions, RetryPolicy, ServeConfig, TraceConfig,
+};
+
+fn model() -> Model {
+    Model::new(ModelConfig::tiny(), QuantScheme::bf16(), 11).expect("tiny model")
+}
+
+fn chaos_config(m: &Model) -> ServeConfig {
+    ServeConfig {
+        max_batch: 4,
+        max_tokens: 24,
+        block_size: 4,
+        // Bounded pool so injected pressure has something to squeeze.
+        max_blocks: m.config().n_layers * 48,
+        degraded: Some(DegradedConfig::default()),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn chaos_replay_is_deterministic() {
+    let m = model();
+    let trace = TraceConfig::chaos("chaos-det", 29, 1.2, 64, m.config().vocab, 16).generate();
+    let opts = ReplayOptions { retry: Some(RetryPolicy::default()), audit_every: 8 };
+    let a = replay_with(&m, chaos_config(&m), &trace, opts);
+    let b = replay_with(&m, chaos_config(&m), &trace, opts);
+    assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+    assert_eq!(a.outcomes_fingerprint(), b.outcomes_fingerprint());
+    assert!(a.audit_checks > 0, "periodic audits must have run");
+    assert_eq!(a.leaked_blocks, 0, "chaos run leaked {} blocks", a.leaked_blocks);
+    assert_eq!(a.rejected_other, 0, "every rejection must be a typed, expected error");
+}
+
+#[test]
+fn chaos_survivors_match_nominal_bit_for_bit() {
+    let m = model();
+    let trace = TraceConfig::chaos("chaos-twin", 31, 1.2, 64, m.config().vocab, 16).generate();
+    let opts = ReplayOptions { retry: Some(RetryPolicy::default()), audit_every: 8 };
+    let chaos = replay_with(&m, chaos_config(&m), &trace, opts);
+    let nominal = replay_with(&m, chaos_config(&m), &trace.fault_free(), opts);
+
+    assert!(trace.faults() > 0, "the chaos trace must actually schedule faults");
+    assert_eq!(nominal.failed, 0, "no faults ⇒ no quarantined requests");
+    assert_eq!(nominal.deadline_exceeded, 0, "the nominal twin strips deadlines");
+    assert_eq!(nominal.leaked_blocks, 0);
+    assert_eq!(chaos.leaked_blocks, 0);
+
+    // Requests that ran to completion under chaos must have produced the
+    // very same token streams as in the undisturbed world: quarantine,
+    // pressure faults and degraded mode may delay or kill work, never
+    // corrupt it.
+    let nominal_by_event: HashMap<usize, u64> =
+        nominal.outcomes.iter().map(|o| (o.event, o.tokens_fp)).collect();
+    let mut survivors = 0usize;
+    for o in chaos.outcomes.iter().filter(|o| o.finish == FinishReason::Limit) {
+        let expected = nominal_by_event
+            .get(&o.event)
+            .unwrap_or_else(|| panic!("submission {} missing from nominal replay", o.event));
+        assert_eq!(
+            o.tokens_fp, *expected,
+            "survivor {} diverged from its nominal token stream",
+            o.event
+        );
+        survivors += 1;
+    }
+    assert!(survivors > 0, "some requests must survive the burst");
+}
+
+#[test]
+fn retry_policy_recovers_rejections() {
+    let m = model();
+    // A tight queue under steady load: first-refusal rejections are
+    // common, and a retrying client should land most of them eventually.
+    let trace = TraceConfig::poisson("retry", 19, 2.0, 48, m.config().vocab).generate();
+    let config =
+        ServeConfig { max_batch: 2, max_queue: 4, max_tokens: 16, ..ServeConfig::default() };
+    let cold = replay_with(&m, config, &trace, ReplayOptions::default());
+    let warm = replay_with(
+        &m,
+        config,
+        &trace,
+        ReplayOptions { retry: Some(RetryPolicy::default()), ..ReplayOptions::default() },
+    );
+    assert!(cold.rejected_queue_full > 0, "the tight queue must refuse someone");
+    assert!(warm.retried > 0, "the retry policy must engage");
+    assert!(
+        warm.completed > cold.completed,
+        "retries must convert refusals into completions ({} vs {})",
+        warm.completed,
+        cold.completed
+    );
+    let final_rejects =
+        |r: &opal_scenario::ScenarioReport| r.rejected_queue_full + r.rejected_insufficient_blocks;
+    assert!(
+        final_rejects(&warm) < final_rejects(&cold),
+        "retrying must shrink final rejections ({} vs {})",
+        final_rejects(&warm),
+        final_rejects(&cold)
+    );
+}

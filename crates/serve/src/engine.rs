@@ -2,6 +2,7 @@
 //! KV cache with memory-aware preemption.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -11,8 +12,9 @@ use opal_model::sampling::Sampler;
 use opal_model::{DecodeState, Model};
 use opal_tensor::rng::TensorRng;
 
+use crate::faults::FaultKind;
 use crate::pool::WorkerPool;
-use crate::report::{FinishReason, RequestReport, ServeReport};
+use crate::report::{FinishReason, RejectionCounts, RequestReport, ServeReport};
 use crate::trie::PrefixTrie;
 
 /// Per-request decoding policy: which [`Sampler`] picks each token, and the
@@ -54,6 +56,7 @@ pub struct Request {
     max_new_tokens: Option<usize>,
     sampling: SamplingParams,
     tenant: Option<String>,
+    deadline_steps: Option<u64>,
 }
 
 impl Request {
@@ -64,6 +67,7 @@ impl Request {
             max_new_tokens: None,
             sampling: SamplingParams::default(),
             tenant: None,
+            deadline_steps: None,
         }
     }
 
@@ -92,6 +96,25 @@ impl Request {
         self
     }
 
+    /// Gives the request a time-to-live of `deadline_steps` scheduler
+    /// steps, measured from submission. A request that has not retired
+    /// within its TTL — whether still queued, prefilling, or mid-decode —
+    /// is expired at the start of the next step with
+    /// [`FinishReason::DeadlineExceeded`](crate::FinishReason::DeadlineExceeded)
+    /// and its KV blocks are freed immediately. The TTL survives
+    /// preemption: re-queued time still counts against it. Measured in
+    /// steps, not wall time, so expiry is deterministic under replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline_steps` is zero (such a request could never run).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline_steps: u64) -> Self {
+        assert!(deadline_steps > 0, "deadline must allow at least one step");
+        self.deadline_steps = Some(deadline_steps);
+        self
+    }
+
     /// The prompt tokens.
     pub fn prompt(&self) -> &[u32] {
         &self.prompt
@@ -100,6 +123,11 @@ impl Request {
     /// The tenant tag, if one was set.
     pub fn tenant(&self) -> Option<&str> {
         self.tenant.as_deref()
+    }
+
+    /// The TTL in scheduler steps, if one was set.
+    pub fn deadline_steps(&self) -> Option<u64> {
+        self.deadline_steps
     }
 }
 
@@ -186,6 +214,13 @@ pub struct ServeConfig {
     /// admission speedup for zero cross-request block aliasing. Default
     /// `true`.
     pub prefix_sharing: bool,
+    /// Degraded-mode policy: when set, the engine watches pool pressure
+    /// and the recent preemption rate, and under stress shrinks its
+    /// admission and prefill budgets (and optionally sheds queued load)
+    /// until the pressure clears — protecting in-flight work instead of
+    /// thrashing. `None` (the default) disables the mode entirely; the
+    /// scheduler behaves exactly as before.
+    pub degraded: Option<DegradedConfig>,
 }
 
 impl Default for ServeConfig {
@@ -200,6 +235,70 @@ impl Default for ServeConfig {
             block_size: 16,
             max_blocks: usize::MAX,
             prefix_sharing: true,
+            degraded: None,
+        }
+    }
+}
+
+/// Thresholds and hysteresis of the engine's degraded mode
+/// ([`ServeConfig::degraded`]).
+///
+/// The engine **enters** degraded mode when KV-pool pressure (allocated
+/// blocks — plus any injected pressure fault — as a percentage of
+/// [`ServeConfig::max_blocks`]) reaches [`enter_pressure_pct`], or when at
+/// least [`preempt_threshold`] preemptions happened within the last
+/// [`preempt_window`] steps. While degraded it admits into a batch of
+/// `max_batch × batch_pct / 100` slots, mints a per-step prefill budget of
+/// `prefill_chunk × prefill_pct / 100` positions, and sheds the
+/// youngest-queued requests down to [`shed_queue`] entries
+/// ([`FinishReason::Shed`](crate::FinishReason::Shed)). It **exits** only
+/// after [`cooldown_steps`] consecutive healthy steps (pressure at or
+/// below [`exit_pressure_pct`] and zero preemptions in the window) — the
+/// hysteresis that stops the mode from flapping at the threshold.
+///
+/// All fields are integers and every decision is a pure function of
+/// scheduler state, so degraded-mode transitions replay deterministically.
+///
+/// [`enter_pressure_pct`]: DegradedConfig::enter_pressure_pct
+/// [`exit_pressure_pct`]: DegradedConfig::exit_pressure_pct
+/// [`preempt_threshold`]: DegradedConfig::preempt_threshold
+/// [`preempt_window`]: DegradedConfig::preempt_window
+/// [`cooldown_steps`]: DegradedConfig::cooldown_steps
+/// [`shed_queue`]: DegradedConfig::shed_queue
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradedConfig {
+    /// Pool-pressure percentage at which the engine enters degraded mode.
+    pub enter_pressure_pct: u32,
+    /// Pool-pressure percentage at or below which a step counts as healthy.
+    pub exit_pressure_pct: u32,
+    /// Width, in steps, of the sliding window over recent preemptions.
+    pub preempt_window: u64,
+    /// Preemptions within the window that trigger degraded mode.
+    pub preempt_threshold: usize,
+    /// Consecutive healthy steps required to exit (the hysteresis).
+    pub cooldown_steps: u64,
+    /// Percentage of `max_batch` admitted while degraded (min 1 slot).
+    pub batch_pct: u32,
+    /// Percentage of `prefill_chunk` minted per step while degraded
+    /// (min 1 position).
+    pub prefill_pct: u32,
+    /// Queue length the shedder trims the admission queue down to while
+    /// degraded, youngest first. `usize::MAX` (the default) disables
+    /// shedding.
+    pub shed_queue: usize,
+}
+
+impl Default for DegradedConfig {
+    fn default() -> Self {
+        DegradedConfig {
+            enter_pressure_pct: 85,
+            exit_pressure_pct: 60,
+            preempt_window: 16,
+            preempt_threshold: 4,
+            cooldown_steps: 8,
+            batch_pct: 50,
+            prefill_pct: 50,
+            shed_queue: usize::MAX,
         }
     }
 }
@@ -333,6 +432,23 @@ pub struct StepSummary {
     pub blocks_in_use: usize,
     /// High-water mark of `blocks_in_use` over the engine's lifetime.
     pub blocks_peak: usize,
+    /// Requests whose `deadline_steps` TTL expired before this step
+    /// (queued or in-batch; their blocks were freed immediately).
+    pub expired: usize,
+    /// Sequences that panicked during this step and were quarantined
+    /// (retired with `FinishReason::Failed`, blocks returned; every other
+    /// sequence continued bit-identically).
+    pub failed: usize,
+    /// Queued requests shed by degraded-mode load shedding before this
+    /// step.
+    pub shed: usize,
+    /// Whether the engine ran this step in degraded mode (shrunken batch
+    /// and prefill budgets).
+    pub degraded: bool,
+    /// Virtual steps of injected latency-spike faults consumed by this
+    /// step (telemetry for step-clocked harnesses; the schedule itself is
+    /// unaffected).
+    pub latency_spike_steps: u64,
 }
 
 /// Decoding progress carried across a preemption: everything needed to
@@ -362,6 +478,12 @@ struct Queued {
     sampling: SamplingParams,
     tenant: Option<String>,
     submitted_at: Instant,
+    /// Scheduler step at submission — the anchor of the deadline TTL
+    /// (preserved across preemptions, so re-queued time keeps counting).
+    submitted_step: u64,
+    /// TTL in scheduler steps from `submitted_step`, if the request set
+    /// one.
+    deadline: Option<u64>,
     /// Present when this entry is a preempted sequence awaiting
     /// re-admission rather than a fresh request.
     resume: Option<Resume>,
@@ -468,6 +590,21 @@ pub(crate) struct Active {
     /// node adopted-then-diverged or inherited from a retired twin can be
     /// evicted, and ids are never reused, so a dead anchor is detectable.
     trie_parent: usize,
+    /// Scheduler step at submission (the deadline TTL anchor).
+    submitted_step: u64,
+    /// TTL in scheduler steps from `submitted_step`, if set.
+    deadline: Option<u64>,
+    /// Set by [`advance_sequence_guarded`] when this sequence's step
+    /// panicked: the caught panic message. The scheduler quarantines the
+    /// sequence — retires it with `FinishReason::Failed` and returns its
+    /// blocks — before publishing anything or stepping it again (its KV
+    /// writes may be half-finished, so its blocks must never enter the
+    /// prefix trie).
+    failed: Option<String>,
+    /// Armed by an injected [`FaultKind::WorkerPanic`]: the next
+    /// [`advance_sequence`] call on this sequence panics, on whichever
+    /// thread runs it.
+    panic_next: bool,
 }
 
 impl Active {
@@ -563,6 +700,13 @@ fn split_by_work(seqs: &mut [Active], workers: usize) -> Vec<&mut [Active]> {
 /// `last_logits` buffer.
 pub(crate) fn advance_sequence(model: &Model, seq: &mut Active) {
     seq.work = StepWork::default();
+    if seq.panic_next {
+        // Deterministic chaos: fire the injected fault inside the
+        // sequence's step, on whatever thread is running it. The flag is
+        // cleared first so the quarantined sequence is never re-armed.
+        seq.panic_next = false;
+        panic!("injected chaos fault: worker panic stepping {}", seq.id);
+    }
     if seq.prefilling() {
         let grant = std::mem::take(&mut seq.grant);
         if grant == 0 {
@@ -589,6 +733,34 @@ pub(crate) fn advance_sequence(model: &Model, seq: &mut Active) {
     if seq.tokens.len() < seq.limit {
         model.decode_step_into(&mut seq.state, token, &mut seq.last_logits);
         seq.work.forwarded = true;
+    }
+}
+
+/// [`advance_sequence`] behind a per-sequence `catch_unwind`: the panic
+/// quarantine. A panic while stepping one sequence — a model invariant
+/// tripping on corrupt state, or an injected chaos fault — is caught here,
+/// on the thread that ran the sequence, and recorded in [`Active::failed`];
+/// the scheduler retires the sequence with `FinishReason::Failed` after the
+/// join. Every dispatch path (serial, scoped, pool) steps through this
+/// wrapper, so one poisoned sequence never takes down its chunk-mates, the
+/// worker pool, or the engine.
+///
+/// The `AssertUnwindSafe` is sound for the same reason preemption is: a
+/// quarantined sequence is *dropped*, never observed again — its possibly
+/// half-written `DecodeState` is released to the pool without its contents
+/// ever being read (the quarantine runs before `register_prefixes`, so
+/// poisoned blocks cannot leak into the prefix cache either).
+pub(crate) fn advance_sequence_guarded(model: &Model, seq: &mut Active) {
+    if seq.failed.is_some() {
+        return; // already quarantined; never step a poisoned sequence
+    }
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| advance_sequence(model, seq))) {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "sequence step panicked with a non-string payload".to_owned());
+        seq.failed = Some(message);
     }
 }
 
@@ -642,6 +814,30 @@ pub struct ServeEngine<'m> {
     /// Prefix sums of per-position prefill energy (see [`PrefillEnergy`]).
     prefill_energy: PrefillEnergy,
     started_at: Option<Instant>,
+    /// Injected worker-panic faults waiting for the next non-idle step
+    /// (victim ranks, reduced modulo the batch at firing time).
+    armed_panics: Vec<usize>,
+    /// Injected allocation-pressure blocks waiting for the next non-idle
+    /// step.
+    armed_pressure: usize,
+    /// Injected latency-spike steps waiting for the next non-idle step.
+    armed_spikes: u64,
+    /// Free blocks hidden from this step's planner (consumed from
+    /// `armed_pressure`; cleared when the step completes, or early when it
+    /// would wedge a lone sequence).
+    fault_pressure: usize,
+    /// Whether the engine is currently in degraded mode.
+    degraded_now: bool,
+    /// Consecutive healthy steps while degraded (the exit hysteresis).
+    healthy_streak: u64,
+    /// Steps of recent preemptions, pruned to the degraded-mode window.
+    recent_preempts: VecDeque<u64>,
+    deadline_exceeded_total: u64,
+    failed_total: u64,
+    shed_total: u64,
+    degraded_steps_total: u64,
+    mode_transitions: u64,
+    rejections: RejectionCounts,
 }
 
 /// Lazily-extended prefix sums of per-position prefill energy:
@@ -718,6 +914,19 @@ impl<'m> ServeEngine<'m> {
             prefill_cursor: 0,
             prefill_energy: PrefillEnergy::new(),
             started_at: None,
+            armed_panics: Vec::new(),
+            armed_pressure: 0,
+            armed_spikes: 0,
+            fault_pressure: 0,
+            degraded_now: false,
+            healthy_streak: 0,
+            recent_preempts: VecDeque::new(),
+            deadline_exceeded_total: 0,
+            failed_total: 0,
+            shed_total: 0,
+            degraded_steps_total: 0,
+            mode_transitions: 0,
+            rejections: RejectionCounts::default(),
         }
     }
 
@@ -776,6 +985,37 @@ impl<'m> ServeEngine<'m> {
     /// The configured pool bound ([`ServeConfig::max_blocks`]).
     pub fn kv_blocks_capacity(&self) -> usize {
         self.kv_pool.capacity()
+    }
+
+    /// The engine's KV block pool. Harnesses clone the `Arc` to check for
+    /// leaked blocks after the engine itself has been dropped (a drained
+    /// and dropped engine must leave `in_use() == 0`).
+    pub fn kv_pool(&self) -> &Arc<BlockPool> {
+        &self.kv_pool
+    }
+
+    /// Whether the engine is currently running in degraded mode (see
+    /// [`ServeConfig::degraded`]).
+    pub fn degraded(&self) -> bool {
+        self.degraded_now
+    }
+
+    /// Arms a fault to fire at the next non-idle [`step`](Self::step):
+    /// worker panics mark their victim after admission, pressure faults
+    /// hide free blocks from that step's planner, latency spikes surface in
+    /// [`StepSummary::latency_spike_steps`]. Multiple faults stack. Faults
+    /// injected while the engine is idle stay armed until work arrives —
+    /// injection is deterministic in engine steps, never in wall time.
+    pub fn inject_fault(&mut self, fault: FaultKind) {
+        match fault {
+            FaultKind::WorkerPanic { victim_rank } => self.armed_panics.push(victim_rank),
+            FaultKind::BlockPressure { blocks } => {
+                self.armed_pressure = self.armed_pressure.saturating_add(blocks);
+            }
+            FaultKind::LatencySpike { extra_steps } => {
+                self.armed_spikes = self.armed_spikes.saturating_add(extra_steps);
+            }
+        }
     }
 
     /// Full KV blocks resident in the prefix cache.
@@ -851,6 +1091,18 @@ impl<'m> ServeEngine<'m> {
     /// must not exist), and invalid sampling parameters (which would panic
     /// mid-step on a worker thread instead of failing at the API boundary).
     pub fn submit_request(&mut self, request: Request) -> Result<RequestId, ServeError> {
+        let result = self.submit_request_inner(request);
+        if let Err(e) = &result {
+            match e {
+                ServeError::QueueFull { .. } => self.rejections.queue_full += 1,
+                ServeError::InsufficientBlocks { .. } => self.rejections.insufficient_blocks += 1,
+                _ => self.rejections.invalid += 1,
+            }
+        }
+        result
+    }
+
+    fn submit_request_inner(&mut self, request: Request) -> Result<RequestId, ServeError> {
         if request.prompt.is_empty() {
             return Err(ServeError::EmptyPrompt);
         }
@@ -898,6 +1150,8 @@ impl<'m> ServeEngine<'m> {
             sampling: request.sampling,
             tenant: request.tenant,
             submitted_at: Instant::now(),
+            submitted_step: self.steps,
+            deadline: request.deadline_steps,
             resume: None,
         });
         Ok(id)
@@ -925,7 +1179,7 @@ impl<'m> ServeEngine<'m> {
         let nl = self.model.config().n_layers;
         let bs = self.config.block_size;
         let mut admitted = 0;
-        while self.active.len() < self.config.max_batch {
+        while self.active.len() < self.effective_max_batch() {
             let Some(q) = self.pending.front() else { break };
             // The prefill target: the prompt, plus — when resuming a
             // preempted request — the tokens generated before preemption.
@@ -950,7 +1204,7 @@ impl<'m> ServeEngine<'m> {
             let new_blocks = (shared_len + first_chunk).div_ceil(bs) - shared_blocks;
             let cow = usize::from(!shared_len.is_multiple_of(bs));
             let need = nl * (new_blocks + cow + 1);
-            if self.kv_pool.free_blocks() < need {
+            if self.planning_free() < need {
                 if self.trie.evict_lru_leaf() > 0 {
                     continue; // re-probe: the eviction may have freed enough
                 }
@@ -1015,6 +1269,10 @@ impl<'m> ServeEngine<'m> {
                 } else {
                     PrefixTrie::ROOT
                 },
+                submitted_step: q.submitted_step,
+                deadline: q.deadline,
+                failed: None,
+                panic_next: false,
             });
             admitted += 1;
         }
@@ -1041,12 +1299,42 @@ impl<'m> ServeEngine<'m> {
     /// in batch order — so results are deterministic and identical to
     /// `num_threads == 1` under every [`StepMode`].
     pub fn step(&mut self) -> StepSummary {
-        let admitted = self.admit();
-        let mut summary = StepSummary { admitted, ..StepSummary::default() };
+        let mut summary = StepSummary::default();
+        // Consume armed faults first: pressure shapes this step's planning
+        // and admission, panics mark their victims after admission.
+        let pending_panics = std::mem::take(&mut self.armed_panics);
+        self.fault_pressure = std::mem::take(&mut self.armed_pressure);
+        let spike = std::mem::take(&mut self.armed_spikes);
+
+        // Deadlines before admission: an expired queued request must not
+        // consume the batch slot a live one is waiting for.
+        self.expire_deadlines(&mut summary);
+        self.update_degraded(&mut summary);
+        summary.admitted = self.admit();
+        if self.active.is_empty() && !self.pending.is_empty() && self.fault_pressure > 0 {
+            // An injected pressure fault must never wedge an empty engine
+            // with a runnable queue (the idle path would re-arm it and
+            // block admission forever): the simulated shortfall yields —
+            // exactly where a real allocator would have recovered — and
+            // admission retries without it.
+            self.fault_pressure = 0;
+            summary.admitted += self.admit();
+        }
         if self.active.is_empty() {
+            // Nothing ran: re-arm the consumed faults for the next
+            // non-idle step (fault firing is defined in engine steps).
+            self.armed_panics = pending_panics;
+            self.armed_pressure = self.fault_pressure;
+            self.armed_spikes = spike;
+            self.fault_pressure = 0;
             summary.blocks_in_use = self.kv_pool.in_use();
             summary.blocks_peak = self.kv_pool.peak();
             return summary;
+        }
+        summary.latency_spike_steps = spike;
+        for rank in pending_panics {
+            let victim = rank % self.active.len();
+            self.active[victim].panic_next = true;
         }
         if self.started_at.is_none() {
             self.started_at = Some(Instant::now());
@@ -1058,7 +1346,7 @@ impl<'m> ServeEngine<'m> {
         let workers = self.plan_workers();
         if workers <= 1 {
             for seq in &mut self.active {
-                advance_sequence(model, seq);
+                advance_sequence_guarded(model, seq);
             }
         } else if self.config.step_mode == StepMode::ForceScoped {
             let mut chunks = split_by_work(&mut self.active, workers).into_iter();
@@ -1067,14 +1355,14 @@ impl<'m> ServeEngine<'m> {
                 for chunk in chunks.by_ref() {
                     scope.spawn(move || {
                         for seq in chunk {
-                            advance_sequence(model, seq);
+                            advance_sequence_guarded(model, seq);
                         }
                     });
                 }
                 // The caller's thread works the first chunk instead of
                 // idling at the join — one fewer spawn per step.
                 for seq in first.into_iter().flatten() {
-                    advance_sequence(model, seq);
+                    advance_sequence_guarded(model, seq);
                 }
             });
         } else {
@@ -1096,6 +1384,41 @@ impl<'m> ServeEngine<'m> {
             let workers = workers.min(pool.len() + 1);
             pool.step_chunks(model, split_by_work(&mut self.active, workers).into_iter());
         }
+
+        // Quarantine: retire every sequence whose step panicked *before*
+        // any accounting or prefix publication — its KV writes may be
+        // half-finished, so its work is not counted and its blocks must
+        // never enter the prefix trie. Dropping the sequence returns every
+        // block nobody else maps; all other sequences continue untouched.
+        if self.active.iter().any(|s| s.failed.is_some()) {
+            let failed_step = self.steps + 1;
+            let mut failed = Vec::new();
+            self.active.retain_mut(|seq| {
+                if seq.failed.take().is_none() {
+                    return true;
+                }
+                failed.push(RequestReport {
+                    id: seq.id,
+                    prompt_len: seq.prompt_len,
+                    tokens: std::mem::take(&mut seq.tokens),
+                    finish: FinishReason::Failed,
+                    tenant: seq.tenant.take(),
+                    admitted_step: seq.admitted_step,
+                    finished_step: failed_step,
+                    preemptions: seq.preemptions,
+                    shared_prefill_tokens: seq.shared,
+                    queue_wait: seq.queue_wait,
+                    ttft: seq.ttft,
+                    token_steps: std::mem::take(&mut seq.token_steps),
+                    latency: seq.submitted_at.elapsed(),
+                });
+                false
+            });
+            summary.failed = failed.len();
+            self.failed_total += failed.len() as u64;
+            self.finished.append(&mut failed);
+        }
+
         for seq in &self.active {
             summary.prefilled += seq.work.prefilled;
             summary.generated += usize::from(seq.work.sampled);
@@ -1176,7 +1499,188 @@ impl<'m> ServeEngine<'m> {
         self.finished.append(&mut retired);
         summary.blocks_in_use = self.kv_pool.in_use();
         summary.blocks_peak = self.kv_pool.peak();
+        // Injected pressure lasts exactly one planned step.
+        self.fault_pressure = 0;
+        // Debug builds cross-check the memory-accounting invariants after
+        // every step; release builds leave this to the harness cadence.
+        #[cfg(debug_assertions)]
+        {
+            let audit = self.audit();
+            debug_assert!(audit.is_clean(), "KV audit violations: {:#?}", audit.violations);
+        }
         summary
+    }
+
+    /// Expires every queued or in-batch request whose `deadline_steps` TTL
+    /// has elapsed: it retires with `FinishReason::DeadlineExceeded` and
+    /// its KV blocks (if any) are freed immediately. Runs at the start of
+    /// each step, before admission.
+    ///
+    /// The TTL anchors at the submission step and survives preemption, so
+    /// a request preempted and then expired while re-queued reports
+    /// `DeadlineExceeded` — and frees nothing, because its blocks were
+    /// already returned when the preemption dropped its `DecodeState`
+    /// (blocks are freed exactly once on every path).
+    fn expire_deadlines(&mut self, summary: &mut StepSummary) {
+        let now = self.steps;
+        let mut expired = Vec::new();
+        self.pending.retain_mut(|q| {
+            let Some(deadline) = q.deadline else { return true };
+            if now.saturating_sub(q.submitted_step) < deadline {
+                return true;
+            }
+            let (tokens, preemptions, shared, token_steps, ttft) = match q.resume.take() {
+                Some(r) => (r.tokens, r.preemptions, r.shared, r.token_steps, r.ttft),
+                None => (Vec::new(), 0, 0, Vec::new(), None),
+            };
+            expired.push(RequestReport {
+                id: q.id,
+                prompt_len: q.prompt.len(),
+                tokens,
+                finish: FinishReason::DeadlineExceeded,
+                tenant: q.tenant.take(),
+                admitted_step: now,
+                finished_step: now,
+                preemptions,
+                shared_prefill_tokens: shared,
+                queue_wait: q.submitted_at.elapsed(),
+                ttft,
+                token_steps,
+                latency: q.submitted_at.elapsed(),
+            });
+            false
+        });
+        self.active.retain_mut(|seq| {
+            let Some(deadline) = seq.deadline else { return true };
+            if now.saturating_sub(seq.submitted_step) < deadline {
+                return true;
+            }
+            expired.push(RequestReport {
+                id: seq.id,
+                prompt_len: seq.prompt_len,
+                tokens: std::mem::take(&mut seq.tokens),
+                finish: FinishReason::DeadlineExceeded,
+                tenant: seq.tenant.take(),
+                admitted_step: seq.admitted_step,
+                finished_step: now,
+                preemptions: seq.preemptions,
+                shared_prefill_tokens: seq.shared,
+                queue_wait: seq.queue_wait,
+                ttft: seq.ttft,
+                token_steps: std::mem::take(&mut seq.token_steps),
+                latency: seq.submitted_at.elapsed(),
+            });
+            false // the sequence drops here, releasing its blocks
+        });
+        summary.expired = expired.len();
+        self.deadline_exceeded_total += expired.len() as u64;
+        self.finished.append(&mut expired);
+    }
+
+    /// Pool pressure as a percentage of capacity, counting injected
+    /// pressure faults as real allocations (a simulated shortfall must
+    /// look like one to the degraded-mode policy too). Zero for an
+    /// unbounded pool.
+    fn pool_pressure_pct(&self) -> u32 {
+        let capacity = self.kv_pool.capacity();
+        if capacity == usize::MAX {
+            return 0;
+        }
+        let used = self.kv_pool.in_use().saturating_add(self.fault_pressure).min(capacity);
+        ((used as u128 * 100) / capacity as u128) as u32
+    }
+
+    /// Updates the degraded-mode state machine (see [`DegradedConfig`])
+    /// and, while degraded, sheds youngest-queued load down to the
+    /// configured bound. Runs before admission so a mode entered this step
+    /// already shapes this step's batch.
+    fn update_degraded(&mut self, summary: &mut StepSummary) {
+        let Some(cfg) = self.config.degraded else { return };
+        let now = self.steps;
+        while self
+            .recent_preempts
+            .front()
+            .is_some_and(|&s| now.saturating_sub(s) > cfg.preempt_window)
+        {
+            self.recent_preempts.pop_front();
+        }
+        let pressure = self.pool_pressure_pct();
+        let preempts = self.recent_preempts.len();
+        if !self.degraded_now {
+            if pressure >= cfg.enter_pressure_pct || preempts >= cfg.preempt_threshold.max(1) {
+                self.degraded_now = true;
+                self.mode_transitions += 1;
+                self.healthy_streak = 0;
+            }
+        } else {
+            if pressure <= cfg.exit_pressure_pct && preempts == 0 {
+                self.healthy_streak += 1;
+            } else {
+                self.healthy_streak = 0;
+            }
+            if self.healthy_streak >= cfg.cooldown_steps.max(1) {
+                self.degraded_now = false;
+                self.mode_transitions += 1;
+            }
+        }
+        if self.degraded_now {
+            self.degraded_steps_total += 1;
+            let mut shed = Vec::new();
+            while self.pending.len() > cfg.shed_queue {
+                let mut q = self.pending.pop_back().expect("queue is longer than the bound");
+                let (tokens, preemptions, shared, token_steps, ttft) = match q.resume.take() {
+                    Some(r) => (r.tokens, r.preemptions, r.shared, r.token_steps, r.ttft),
+                    None => (Vec::new(), 0, 0, Vec::new(), None),
+                };
+                shed.push(RequestReport {
+                    id: q.id,
+                    prompt_len: q.prompt.len(),
+                    tokens,
+                    finish: FinishReason::Shed,
+                    tenant: q.tenant.take(),
+                    admitted_step: now,
+                    finished_step: now,
+                    preemptions,
+                    shared_prefill_tokens: shared,
+                    queue_wait: q.submitted_at.elapsed(),
+                    ttft,
+                    token_steps,
+                    latency: q.submitted_at.elapsed(),
+                });
+            }
+            summary.shed = shed.len();
+            self.shed_total += shed.len() as u64;
+            self.finished.append(&mut shed);
+        }
+        summary.degraded = self.degraded_now;
+    }
+
+    /// Batch slots available this step: the configured `max_batch`, shrunk
+    /// while degraded.
+    fn effective_max_batch(&self) -> usize {
+        match (self.degraded_now, self.config.degraded) {
+            (true, Some(cfg)) => {
+                (self.config.max_batch.saturating_mul(cfg.batch_pct as usize) / 100).max(1)
+            }
+            _ => self.config.max_batch,
+        }
+    }
+
+    /// Prefill positions minted per step: the configured `prefill_chunk`,
+    /// shrunk while degraded (blocking admission stays blocking).
+    fn effective_prefill_chunk(&self) -> usize {
+        match (self.degraded_now, self.config.degraded) {
+            (true, Some(cfg)) if self.config.prefill_chunk != usize::MAX => {
+                (self.config.prefill_chunk.saturating_mul(cfg.prefill_pct as usize) / 100).max(1)
+            }
+            _ => self.config.prefill_chunk,
+        }
+    }
+
+    /// Free blocks the planner may spend this step: the pool's real free
+    /// count minus any injected pressure fault.
+    fn planning_free(&self) -> usize {
+        self.kv_pool.free_blocks().saturating_sub(self.fault_pressure)
     }
 
     /// Plans this step's memory use: fixes every sequence's prefill grant
@@ -1207,15 +1711,24 @@ impl<'m> ServeEngine<'m> {
                     .filter(|s| !s.prefilling())
                     .map(|s| self.decode_block_need(s))
                     .sum();
-                if need <= self.kv_pool.free_blocks() {
+                if need <= self.planning_free() {
                     break need;
                 }
                 if self.trie.evict_lru_leaf() > 0 {
                     continue;
                 }
+                // An injected pressure fault must never wedge a lone
+                // sequence the admission check guaranteed can run: the
+                // simulated shortfall yields once real reclamation is
+                // exhausted, exactly where a real allocator would have
+                // recovered.
+                if self.fault_pressure > 0 && self.active.len() <= 1 {
+                    self.fault_pressure = 0;
+                    continue;
+                }
                 self.preempt_youngest(summary);
             };
-            let mut block_budget = self.kv_pool.free_blocks() - decode_need;
+            let mut block_budget = self.planning_free() - decode_need;
 
             // Hand out this step's prefill budget. The scan starts at the
             // rotating cursor and the cursor advances to just past the last
@@ -1232,7 +1745,7 @@ impl<'m> ServeEngine<'m> {
             let mut new_cursor = None;
             if self.active.iter().any(Active::prefilling) {
                 new_cursor = Some(self.prefill_cursor.wrapping_add(1));
-                let mut budget = PrefillBudget::new(self.config.prefill_chunk);
+                let mut budget = PrefillBudget::new(self.effective_prefill_chunk());
                 let start = self.prefill_cursor % batch;
                 let mut last_grantee = None;
                 for i in 0..batch {
@@ -1269,7 +1782,11 @@ impl<'m> ServeEngine<'m> {
                 return;
             }
             if self.trie.evict_lru_leaf() == 0 {
-                self.preempt_youngest(summary);
+                if self.fault_pressure > 0 && self.active.len() <= 1 {
+                    self.fault_pressure = 0; // see the decode-need relief above
+                } else {
+                    self.preempt_youngest(summary);
+                }
             }
         }
     }
@@ -1356,6 +1873,7 @@ impl<'m> ServeEngine<'m> {
         let seq = self.active.pop().expect("batch is non-empty");
         self.preemptions += 1;
         summary.preempted += 1;
+        self.recent_preempts.push_back(self.steps);
         let mut prompt = seq.prefill;
         prompt.truncate(seq.prompt_len);
         self.pending.push_front(Queued {
@@ -1365,6 +1883,8 @@ impl<'m> ServeEngine<'m> {
             sampling: SamplingParams { sampler: seq.sampler, seed: 0 },
             tenant: seq.tenant,
             submitted_at: seq.submitted_at,
+            submitted_step: seq.submitted_step,
+            deadline: seq.deadline,
             resume: Some(Resume {
                 tokens: seq.tokens,
                 rng: seq.rng,
@@ -1560,12 +2080,124 @@ impl<'m> ServeEngine<'m> {
             peak_batch: self.peak_batch,
             blocks_peak: self.kv_pool.peak(),
             preemptions: self.preemptions,
+            deadline_exceeded: self.deadline_exceeded_total,
+            failed: self.failed_total,
+            shed: self.shed_total,
+            degraded_steps: self.degraded_steps_total,
+            mode_transitions: self.mode_transitions,
+            rejections: self.rejections,
             elapsed,
             tokens_per_sec: if secs > 0.0 { total as f64 / secs } else { 0.0 },
             generated_per_sec: if secs > 0.0 { self.generated_tokens as f64 / secs } else { 0.0 },
             energy_j: self.energy_j,
             requests,
         }
+    }
+
+    /// Cross-checks the engine's three views of KV memory against each
+    /// other — the invariant auditor:
+    ///
+    /// 1. **Residency**: the set of distinct blocks reachable from active
+    ///    block tables and the prefix trie has exactly
+    ///    [`BlockPool::in_use`] members (nothing leaked, nothing freed
+    ///    while still mapped).
+    /// 2. **Refcounts**: every reachable block's `Arc::strong_count`
+    ///    equals its table references plus its trie references (no hidden
+    ///    holder, no dangling bookkeeping).
+    /// 3. **Table shape**: each sequence maps exactly
+    ///    `⌈pos / block_size⌉` blocks per layer.
+    ///
+    /// Read-only and refcount-neutral (block visits borrow, never clone),
+    /// so the audit observes true counts and can run at any between-steps
+    /// point: debug builds run it after every step, harnesses every N
+    /// steps and after churn tests.
+    pub fn audit(&self) -> AuditReport {
+        struct Refs {
+            table: usize,
+            trie: usize,
+            strong: usize,
+        }
+        let mut seen: std::collections::HashMap<*const KvBlock, Refs> =
+            std::collections::HashMap::new();
+        let mut violations = Vec::new();
+        let bs = self.config.block_size;
+        let nl = self.model.config().n_layers;
+        for seq in &self.active {
+            let mut per_layer = vec![0usize; nl];
+            seq.state.with_blocks(|layer, block| {
+                per_layer[layer] += 1;
+                let entry = seen.entry(Arc::as_ptr(block)).or_insert(Refs {
+                    table: 0,
+                    trie: 0,
+                    strong: Arc::strong_count(block),
+                });
+                entry.table += 1;
+            });
+            let expected = seq.state.pos().div_ceil(bs);
+            for (layer, &mapped) in per_layer.iter().enumerate() {
+                if mapped != expected {
+                    violations.push(format!(
+                        "{}: layer {layer} maps {mapped} blocks for {} positions \
+                         (expected {expected} at block_size {bs})",
+                        seq.id,
+                        seq.state.pos()
+                    ));
+                }
+            }
+        }
+        self.trie.for_each_block(|block| {
+            let entry = seen.entry(Arc::as_ptr(block)).or_insert(Refs {
+                table: 0,
+                trie: 0,
+                strong: Arc::strong_count(block),
+            });
+            entry.trie += 1;
+        });
+        let (mut table_refs, mut trie_refs) = (0, 0);
+        for (ptr, refs) in &seen {
+            table_refs += refs.table;
+            trie_refs += refs.trie;
+            if refs.strong != refs.table + refs.trie {
+                violations.push(format!(
+                    "block {ptr:?}: strong_count {} != {} table refs + {} trie refs",
+                    refs.strong, refs.table, refs.trie
+                ));
+            }
+        }
+        let pool_in_use = self.kv_pool.in_use();
+        if seen.len() != pool_in_use {
+            violations.push(format!(
+                "pool reports {pool_in_use} blocks in use but {} are reachable \
+                 from tables and trie",
+                seen.len()
+            ));
+        }
+        AuditReport { pool_in_use, live_blocks: seen.len(), table_refs, trie_refs, violations }
+    }
+}
+
+/// Result of [`ServeEngine::audit`]: the reconciliation of pool
+/// accounting, block tables, and prefix-trie refcounts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Blocks the pool believes are allocated.
+    pub pool_in_use: usize,
+    /// Distinct blocks reachable from active tables and the trie.
+    pub live_blocks: usize,
+    /// Total block-table references across active sequences (a shared
+    /// block counts once per mapping sequence).
+    pub table_refs: usize,
+    /// Total prefix-trie references (one per node per layer).
+    pub trie_refs: usize,
+    /// Human-readable descriptions of every violated invariant; empty for
+    /// a consistent engine.
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    /// Whether every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
     }
 }
 

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod faults;
 // The worker pool hands `&Model` / `&mut [Active]` borrows to long-lived
 // threads through raw pointers; the module documents the dispatch protocol
 // that makes this sound and is the only place in the workspace allowed to
@@ -63,7 +64,7 @@ mod report;
 mod trie;
 
 pub use engine::{
-    PrefillBudget, Request, RequestId, SamplingParams, SeqStepWork, ServeConfig, ServeEngine,
-    ServeError, StepMode, StepSummary,
+    AuditReport, DegradedConfig, PrefillBudget, Request, RequestId, SamplingParams, SeqStepWork,
+    ServeConfig, ServeEngine, ServeError, StepMode, StepSummary,
 };
-pub use report::{FinishReason, RequestReport, ServeReport};
+pub use report::{FinishReason, RejectionCounts, RequestReport, ServeReport};

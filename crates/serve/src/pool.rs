@@ -10,23 +10,40 @@
 //! identical to the scoped dispatcher, so output is bit-for-bit unchanged
 //! for every thread count.
 //!
+//! Panic containment is layered. Sequences are stepped through
+//! `advance_sequence_guarded`, so a panic inside one sequence is caught
+//! *per sequence* and quarantined by the engine without disturbing its
+//! chunk-mates. The chunk-level `catch_unwind` below is the backstop for
+//! panics escaping that guard, shipping the payload back to the dispatcher
+//! for re-raise. And should a worker thread die anyway — without acking —
+//! the dispatcher forgives the debt once the thread is provably finished
+//! instead of blocking forever: `Drop for ServeEngine` cannot deadlock on
+//! a dead worker.
+//!
 //! Shutdown is channel-driven: dropping the pool closes the job channels,
 //! each worker's `recv` errors out and the thread exits, and `Drop` joins
 //! them all — no sentinel messages, no leaked threads, safe to run with
 //! requests still queued (pending work simply stays in the engine).
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// One chunk acknowledgement: `Ok` on success, or the worker's caught
-/// panic payload, re-raised on the dispatcher thread so the original
-/// assertion message/location is not lost.
-type Ack = Result<(), Box<dyn std::any::Any + Send>>;
+/// One chunk acknowledgement from worker `.0`: `Ok` on success, or the
+/// worker's caught panic payload, re-raised on the dispatcher thread so
+/// the original assertion message/location is not lost.
+type Ack = (usize, Result<(), Box<dyn std::any::Any + Send>>);
 
 use opal_model::Model;
 
-use crate::engine::{advance_sequence, Active};
+use crate::engine::{advance_sequence_guarded, Active};
+
+/// How long the dispatcher waits for an acknowledgement before checking
+/// whether a worker it is waiting on has died. Purely a liveness poll:
+/// acks arriving earlier wake the `recv_timeout` immediately, so healthy
+/// steps never pay this.
+const ACK_POLL: Duration = Duration::from_millis(20);
 
 /// One chunk of the active batch, dispatched to a worker for one step.
 ///
@@ -34,9 +51,11 @@ use crate::engine::{advance_sequence, Active};
 /// that `ServeEngine::step` holds: a long-lived thread cannot carry those
 /// lifetimes in its type, so the dispatch protocol carries the proof
 /// instead. [`WorkerPool::step_chunks`] sends jobs and then blocks until
-/// every worker acknowledges completion, so a `Job`'s pointers are only
-/// dereferenced while the step's borrows are alive, and every chunk is
-/// disjoint from every other (they come from one `chunks_mut`).
+/// every worker acknowledges completion — or is provably dead, its thread
+/// finished and so incapable of touching the borrows — so a `Job`'s
+/// pointers are only dereferenced while the step's borrows are alive, and
+/// every chunk is disjoint from every other (they come from one
+/// `chunks_mut`).
 struct Job {
     model: *const Model,
     seqs: *mut Active,
@@ -65,6 +84,16 @@ struct Worker {
     handle: Option<JoinHandle<()>>,
 }
 
+impl Worker {
+    /// Whether this worker's thread can still receive and run jobs. A
+    /// finished thread has exited `worker_loop` (it died mid-step, or its
+    /// channel closed); it will never ack again, and — crucially — can
+    /// never again touch a job's borrows.
+    fn alive(&self) -> bool {
+        self.handle.as_ref().is_some_and(|h| !h.is_finished())
+    }
+}
+
 /// Long-lived decode workers, created lazily by the first step that fans
 /// out and owned by the engine for the rest of its life.
 pub(crate) struct WorkerPool {
@@ -82,7 +111,7 @@ impl WorkerPool {
                 let done_tx = done_tx.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("opal-serve-{i}"))
-                    .spawn(move || worker_loop(&jobs_rx, &done_tx))
+                    .spawn(move || worker_loop(i, &jobs_rx, &done_tx))
                     .expect("spawn serve worker");
                 Worker { jobs: Some(jobs_tx), handle: Some(handle) }
             })
@@ -98,66 +127,126 @@ impl WorkerPool {
     /// Advances every sequence of every chunk by one token: chunks after
     /// the first go to the pool, the caller's thread works the first chunk
     /// instead of idling at the join (mirroring the scoped dispatcher),
-    /// then the call blocks until all dispatched chunks complete.
+    /// then the call blocks until all dispatched chunks complete. Chunks
+    /// that find no live worker — every pool thread died, or more chunks
+    /// arrived than live workers — run inline on the caller's thread, so
+    /// a decimated pool degrades to serial stepping instead of erroring.
     ///
     /// This function **never returns or unwinds with a job in flight** —
     /// the soundness keystone. Acknowledgements are drained by a drop
     /// guard, so even a panic on the caller's chunk (or in the panicking
     /// branch below) blocks until every worker has finished touching the
-    /// step's borrows before the unwind proceeds; afterwards the engine —
-    /// and the `active` vector the jobs pointed into — can be reused or
-    /// dropped freely.
+    /// step's borrows before the unwind proceeds. A worker that died
+    /// without acking satisfies the same condition vacuously the moment
+    /// its thread is finished — a dead thread touches nothing — which is
+    /// what lets the guard forgive its ack instead of deadlocking;
+    /// afterwards the engine — and the `active` vector the jobs pointed
+    /// into — can be reused or dropped freely.
     ///
     /// # Panics
     ///
-    /// Re-raises a worker's panic payload if one panicked while advancing
-    /// its chunk (the engine's step cannot produce a consistent batch
-    /// state in that case; the panic is raised only after all
-    /// acknowledgements are in), and panics if more chunks arrive than the
-    /// pool has workers.
+    /// Re-raises a worker's panic payload if one escaped the per-sequence
+    /// quarantine while advancing its chunk (the engine's step cannot
+    /// produce a consistent batch state in that case; the panic is raised
+    /// only after every dispatched chunk is accounted for).
     pub(crate) fn step_chunks<'a>(
         &self,
         model: &Model,
         mut chunks: impl Iterator<Item = &'a mut [Active]>,
     ) {
-        /// Blocks, on drop, until every outstanding job has been
-        /// acknowledged — the in-flight count is owned here so no early
-        /// exit path can skip the wait.
+        /// Tracks which workers still owe an acknowledgement and blocks,
+        /// on drop, until each has acked or provably died — owned here so
+        /// no early exit path can skip the wait.
         struct PendingAcks<'p> {
             done: &'p Receiver<Ack>,
-            outstanding: usize,
+            workers: &'p [Worker],
+            /// Indices of workers owing an ack for a dispatched job.
+            owed: Vec<usize>,
+        }
+        impl PendingAcks<'_> {
+            /// Waits for the next acknowledgement. Returns `None` when no
+            /// further ack can ever arrive: every still-owing worker's
+            /// thread has finished (died mid-step), so their debts are
+            /// forgiven — safe, because a finished thread can no longer
+            /// touch the step's borrows.
+            fn collect(&mut self) -> Option<Ack> {
+                loop {
+                    match self.done.recv_timeout(ACK_POLL) {
+                        Ok((idx, ack)) => {
+                            if let Some(pos) = self.owed.iter().position(|&i| i == idx) {
+                                self.owed.swap_remove(pos);
+                            }
+                            return Some((idx, ack));
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            let workers = self.workers;
+                            self.owed.retain(|&i| workers[i].alive());
+                            if self.owed.is_empty() {
+                                return None;
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            self.owed.clear();
+                            return None;
+                        }
+                    }
+                }
+            }
         }
         impl Drop for PendingAcks<'_> {
             fn drop(&mut self) {
-                while self.outstanding > 0 {
-                    let _ = self.done.recv();
-                    self.outstanding -= 1;
+                while !self.owed.is_empty() {
+                    if self.collect().is_none() {
+                        break;
+                    }
                 }
             }
         }
 
         let first = chunks.next();
-        let mut workers = self.workers.iter();
-        let mut pending = PendingAcks { done: &self.done, outstanding: 0 };
+        let mut pending =
+            PendingAcks { done: &self.done, workers: &self.workers, owed: Vec::new() };
+        let mut inline: Vec<&'a mut [Active]> = Vec::new();
+        let mut next_worker = 0usize;
         for chunk in chunks {
-            let worker = workers.next().expect("more chunks than pool workers");
-            let job = Job { model, seqs: chunk.as_mut_ptr(), len: chunk.len() };
-            worker.jobs.as_ref().expect("pool shutting down").send(job).expect("worker exited");
-            pending.outstanding += 1;
+            let mut dispatched = false;
+            while next_worker < self.workers.len() {
+                let i = next_worker;
+                next_worker += 1;
+                let worker = &self.workers[i];
+                if !worker.alive() {
+                    continue; // died in an earlier step; route around it
+                }
+                let job = Job { model, seqs: chunk.as_mut_ptr(), len: chunk.len() };
+                // A send can still lose the race with a worker exiting;
+                // the unreceived `Job` comes back in the error and is
+                // dropped without ever being dereferenced.
+                if worker.jobs.as_ref().expect("pool shutting down").send(job).is_ok() {
+                    pending.owed.push(i);
+                    dispatched = true;
+                    break;
+                }
+            }
+            if !dispatched {
+                inline.push(chunk);
+            }
+        }
+        for chunk in inline {
+            for seq in chunk {
+                advance_sequence_guarded(model, seq);
+            }
         }
         for seq in first.into_iter().flatten() {
-            advance_sequence(model, seq);
+            advance_sequence_guarded(model, seq);
         }
         let mut panic_payload = None;
-        while pending.outstanding > 0 {
-            match pending.done.recv() {
-                Ok(ack) => {
-                    pending.outstanding -= 1;
-                    if let Err(payload) = ack {
-                        panic_payload.get_or_insert(payload);
-                    }
+        while !pending.owed.is_empty() {
+            match pending.collect() {
+                Some((_, Err(payload))) => {
+                    panic_payload.get_or_insert(payload);
                 }
-                Err(_) => unreachable!("workers outlive the pool"),
+                Some((_, Ok(()))) => {}
+                None => break,
             }
         }
         if let Some(payload) = panic_payload {
@@ -179,24 +268,28 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(jobs: &Receiver<Job>, done: &Sender<Ack>) {
+fn worker_loop(index: usize, jobs: &Receiver<Job>, done: &Sender<Ack>) {
     while let Ok(job) = jobs.recv() {
-        // A panic inside the model (e.g. an assert tripping on corrupt
-        // state) must not strand the dispatcher at its join: catch it,
-        // ship the payload back, and let the dispatcher re-raise it on its
-        // own thread with the original message intact.
+        // Per-sequence panics are quarantined inside
+        // `advance_sequence_guarded`; this chunk-level catch is the
+        // backstop for panics escaping the guard (e.g. in the guard
+        // itself), so even those cannot strand the dispatcher at its
+        // join: catch, ship the payload back, and let the dispatcher
+        // re-raise it on its own thread with the original message intact.
         let ack = catch_unwind(AssertUnwindSafe(|| {
             // SAFETY: `step_chunks` blocks until this job is acknowledged
-            // below, so the `&Model` and `&mut [Active]` borrows it was
-            // built from are still live, and no other thread touches this
-            // chunk in the meantime.
+            // below (or this thread exits — observed via `is_finished` —
+            // after which it provably cannot run this code), so the
+            // `&Model` and `&mut [Active]` borrows it was built from are
+            // still live, and no other thread touches this chunk in the
+            // meantime.
             let model = unsafe { &*job.model };
             let seqs = unsafe { std::slice::from_raw_parts_mut(job.seqs, job.len) };
             for seq in seqs {
-                advance_sequence(model, seq);
+                advance_sequence_guarded(model, seq);
             }
         }));
-        if done.send(ack).is_err() {
+        if done.send((index, ack)).is_err() {
             break;
         }
     }

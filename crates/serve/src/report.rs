@@ -15,6 +15,43 @@ pub enum FinishReason {
     /// were released immediately; `tokens` holds whatever was generated
     /// before the cancellation).
     Cancelled,
+    /// The request's `deadline_steps` TTL elapsed — in the queue, while
+    /// prefilling, or mid-decode — before it could finish. Its KV blocks
+    /// were released immediately; `tokens` holds whatever was generated
+    /// before expiry. Never reported as [`FinishReason::Cancelled`], even
+    /// when the expiry races a preemption or cancellation.
+    DeadlineExceeded,
+    /// The sequence panicked mid-step (a model invariant tripped, or an
+    /// injected chaos fault). The panic was quarantined: this sequence was
+    /// retired and its blocks returned, while every other in-flight
+    /// sequence continued bit-identically and the worker pool survived.
+    Failed,
+    /// The request was shed from the admission queue by degraded-mode load
+    /// shedding (youngest-queued first) while the engine was protecting
+    /// in-flight work under pressure.
+    Shed,
+}
+
+/// Submission rejections split by type (satellite telemetry: one aggregate
+/// counter hides whether clients are hitting backpressure, memory limits,
+/// or their own malformed requests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RejectionCounts {
+    /// Rejections with `ServeError::QueueFull` (retryable backpressure).
+    pub queue_full: u64,
+    /// Rejections with `ServeError::InsufficientBlocks` (the request could
+    /// never fit the KV pool).
+    pub insufficient_blocks: u64,
+    /// Permanently-invalid submissions: empty prompt, out-of-vocabulary
+    /// token, zero token limit, invalid sampling parameters.
+    pub invalid: u64,
+}
+
+impl RejectionCounts {
+    /// Total rejections of every type.
+    pub fn total(&self) -> u64 {
+        self.queue_full + self.insufficient_blocks + self.invalid
+    }
 }
 
 /// Outcome of one finished request.
@@ -110,6 +147,22 @@ pub struct ServeReport {
     /// Sequences preempted under KV-pool pressure (dropped and re-queued;
     /// every preempted request still completes with unchanged output).
     pub preemptions: u64,
+    /// Requests retired with [`FinishReason::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Sequences retired with [`FinishReason::Failed`] (quarantined
+    /// panics).
+    pub failed: u64,
+    /// Requests retired with [`FinishReason::Shed`] (degraded-mode load
+    /// shedding).
+    pub shed: u64,
+    /// Steps the engine spent in degraded mode (shrunken batch/prefill
+    /// budgets and load shedding under pressure).
+    pub degraded_steps: u64,
+    /// Transitions into or out of degraded mode (an even count means the
+    /// engine ended the run healthy).
+    pub mode_transitions: u64,
+    /// Submission rejections, split by type.
+    pub rejections: RejectionCounts,
     /// Wall time of the run.
     pub elapsed: Duration,
     /// Total tokens (prefill + generated) per second of wall time.
@@ -178,6 +231,23 @@ impl std::fmt::Display for ServeReport {
             "  kv: peak {} blocks, {} prefix-shared prompt tokens, {} preemptions",
             self.blocks_peak, self.shared_prefill_tokens, self.preemptions
         )?;
+        if self.deadline_exceeded + self.failed + self.shed + self.mode_transitions > 0
+            || self.rejections.total() > 0
+        {
+            writeln!(
+                f,
+                "  robustness: {} expired, {} failed, {} shed, {} degraded steps \
+                 ({} transitions); rejections {} queue-full / {} insufficient-blocks / {} invalid",
+                self.deadline_exceeded,
+                self.failed,
+                self.shed,
+                self.degraded_steps,
+                self.mode_transitions,
+                self.rejections.queue_full,
+                self.rejections.insufficient_blocks,
+                self.rejections.invalid
+            )?;
+        }
         writeln!(
             f,
             "  throughput: {:.1} tok/s total, {:.1} tok/s generated",
@@ -205,8 +275,11 @@ impl std::fmt::Display for ServeReport {
                 r.prompt_len,
                 r.tokens.len(),
                 match r.finish {
-                    FinishReason::Limit => String::new(),
-                    FinishReason::Cancelled => " (cancelled)".to_owned(),
+                    FinishReason::Limit => "",
+                    FinishReason::Cancelled => " (cancelled)",
+                    FinishReason::DeadlineExceeded => " (deadline exceeded)",
+                    FinishReason::Failed => " (failed)",
+                    FinishReason::Shed => " (shed)",
                 },
                 r.admitted_step,
                 r.finished_step,

@@ -121,6 +121,18 @@ impl PrefixTrie {
         id
     }
 
+    /// Visits every cached block of every resident node by reference
+    /// (interior and leaf alike, all layers). Never clones an `Arc`, so
+    /// the engine's invariant auditor can read true `Arc::strong_count`
+    /// values while cross-checking pool accounting.
+    pub(crate) fn for_each_block(&self, mut f: impl FnMut(&Arc<KvBlock>)) {
+        for node in self.nodes.values() {
+            for block in &node.blocks {
+                f(block);
+            }
+        }
+    }
+
     /// Evicts the least-recently-used leaf whose pages nobody else maps,
     /// returning how many blocks that freed (0 when nothing is evictable —
     /// every remaining node is an interior node or is mapped by a live

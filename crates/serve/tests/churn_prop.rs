@@ -12,22 +12,28 @@ fn model() -> Model {
 
 /// Replays one op-coded churn step. `op`: 0 ⇒ submit a prompt from a
 /// small shared-prefix universe (parameterized by `a`, length by `b`),
-/// 1 ⇒ run a scheduler step, 2 ⇒ cancel the `a`-th in-flight request.
-/// Returns a digest of what happened for cross-run comparison.
+/// 1 ⇒ run a scheduler step, 2 ⇒ cancel the `a`-th in-flight request,
+/// 3 ⇒ submit with a tight `deadline_steps` TTL (so expiry races
+/// admission, decoding, cancellation and preemption freely). Returns a
+/// digest of what happened for cross-run comparison.
 fn apply(engine: &mut ServeEngine<'_>, vocab: u32, op: u8, a: usize, b: usize) -> u64 {
     match op {
-        0 => {
+        0 | 3 => {
             let sys: Vec<u32> = (0..8u32).map(|i| (i * 7 + a as u32) % vocab).collect();
             let mut prompt = sys;
             prompt.extend((0..b as u32).map(|j| (j * 13 + a as u32 * 3) % vocab));
-            match engine.submit_request(Request::new(&prompt).with_limit(1 + b)) {
+            let mut request = Request::new(&prompt).with_limit(1 + b);
+            if op == 3 {
+                request = request.with_deadline(1 + (a + b) as u64 % 6);
+            }
+            match engine.submit_request(request) {
                 Ok(id) => 1000 + format!("{id}").bytes().map(u64::from).sum::<u64>(),
                 Err(_) => 2000,
             }
         }
         1 => {
             let s = engine.step();
-            3000 + s.generated as u64 * 16 + s.finished as u64
+            3000 + s.generated as u64 * 16 + s.finished as u64 + s.expired as u64 * 256
         }
         _ => {
             let ids = engine.in_flight();
@@ -49,7 +55,7 @@ proptest! {
     /// back to the free list.
     #[test]
     fn drained_engine_accounts_every_block(
-        ops in proptest::collection::vec((0u8..3, 0usize..4, 1usize..8), 1..40)
+        ops in proptest::collection::vec((0u8..4, 0usize..4, 1usize..8), 1..40)
     ) {
         let m = model();
         let n_layers = m.config().n_layers;
@@ -66,6 +72,8 @@ proptest! {
             apply(&mut engine, vocab, op, a, b);
             prop_assert!(engine.kv_blocks_in_use() <= config.max_blocks, "pool bound violated");
         }
+        let mid = engine.audit();
+        prop_assert!(mid.is_clean(), "audit violations mid-churn: {:#?}", mid.violations);
         let mut guard = 0;
         while !engine.is_idle() {
             engine.step();
@@ -78,6 +86,8 @@ proptest! {
             "non-cache blocks leaked after drain"
         );
         prop_assert!(engine.kv_blocks_peak() <= config.max_blocks);
+        let audit = engine.audit();
+        prop_assert!(audit.is_clean(), "audit violations after drain: {:#?}", audit.violations);
     }
 
     /// The identical op sequence replayed against two engines produces
@@ -85,7 +95,7 @@ proptest! {
     /// scheduling is a pure function of the op sequence.
     #[test]
     fn churn_is_deterministic(
-        ops in proptest::collection::vec((0u8..3, 0usize..4, 1usize..8), 1..40)
+        ops in proptest::collection::vec((0u8..4, 0usize..4, 1usize..8), 1..40)
     ) {
         let m = model();
         let config = ServeConfig {
@@ -115,6 +125,14 @@ proptest! {
             prop_assert_eq!(&a.tokens, &b.tokens, "request {} tokens diverged", a.id);
             prop_assert_eq!(a.finish, b.finish);
             prop_assert_eq!(a.token_steps.clone(), b.token_steps.clone());
+            // An expiry must never masquerade as a client cancellation or
+            // vice versa: cancel ops and deadline expiries race freely in
+            // this workload, and each retirement keeps its true reason.
+            if a.finish == opal_serve::FinishReason::DeadlineExceeded {
+                prop_assert!(a.tokens.len() < 1 + 7, "an expired request cannot be at its limit");
+            }
         }
+        prop_assert_eq!(rx.deadline_exceeded, ry.deadline_exceeded);
+        prop_assert_eq!(rx.rejections, ry.rejections);
     }
 }
