@@ -82,22 +82,22 @@ impl BlockPool {
     /// Blocks currently allocated (live block tables plus any prefix-cache
     /// references; a block shared by many sequences counts once).
     pub fn in_use(&self) -> usize {
-        self.lock().in_use
+        self.guard().in_use
     }
 
     /// High-water mark of [`BlockPool::in_use`] over the pool's lifetime.
     pub fn peak(&self) -> usize {
-        self.lock().peak
+        self.guard().peak
     }
 
     /// The configured block bound (`usize::MAX` when unbounded).
     pub fn capacity(&self) -> usize {
-        self.lock().max_blocks
+        self.guard().max_blocks
     }
 
     /// Blocks still allocatable before the pool is exhausted.
     pub fn free_blocks(&self) -> usize {
-        let inner = self.lock();
+        let inner = self.guard();
         inner.max_blocks.saturating_sub(inner.in_use)
     }
 
@@ -112,7 +112,7 @@ impl BlockPool {
     pub fn alloc(self: &Arc<Self>) -> Arc<KvBlock> {
         let cap = self.block_size * self.width;
         let (k, v) = {
-            let mut inner = self.lock();
+            let mut inner = self.guard();
             assert!(
                 inner.in_use < inner.max_blocks,
                 "KV block pool exhausted ({} blocks): the scheduler must reserve blocks \
@@ -126,7 +126,7 @@ impl BlockPool {
         Arc::new(KvBlock { pool: Arc::clone(self), k, v })
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+    fn guard(&self) -> std::sync::MutexGuard<'_, PoolInner> {
         // A worker panic mid-step poisons nothing we care about: the inner
         // counters are updated atomically under the lock and the free list
         // holds plain storage, so recover the guard instead of cascading.
@@ -157,7 +157,7 @@ impl Drop for KvBlock {
     fn drop(&mut self) {
         let k = std::mem::take(&mut self.k);
         let v = std::mem::take(&mut self.v);
-        let mut inner = self.pool.lock();
+        let mut inner = self.pool.guard();
         inner.in_use -= 1;
         inner.free.push((k, v));
     }
@@ -209,12 +209,14 @@ impl PagedKv {
             // table to it; the shared original stays untouched.
             let mut fresh = self.pool.alloc();
             {
+                // tidy: allow(panic) -- alloc() returns a fresh Arc with refcount 1
                 let fb = Arc::get_mut(&mut fresh).expect("freshly allocated block is unshared");
                 fb.k[..r * w].copy_from_slice(&table[bi].k[..r * w]);
                 fb.v[..r * w].copy_from_slice(&table[bi].v[..r * w]);
             }
             table[bi] = fresh;
         }
+        // tidy: allow(panic) -- the branch above just made the tail block exclusive
         let block = Arc::get_mut(&mut table[bi]).expect("tail block just made exclusive");
         (&mut block.k[r * w..(r + n) * w], &mut block.v[r * w..(r + n) * w])
     }

@@ -70,6 +70,7 @@ impl Sampler {
     pub fn pick(&self, logits: &[f32], rng: &mut TensorRng) -> u32 {
         assert!(!logits.is_empty(), "empty logits");
         match *self {
+            // tidy: allow(panic) -- unreachable: the assert above rejects empty logits
             Sampler::Greedy => ops::argmax(logits).expect("non-empty") as u32,
             Sampler::Temperature(t) => {
                 assert!(t > 0.0, "temperature must be positive");

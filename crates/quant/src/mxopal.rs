@@ -365,8 +365,10 @@ impl MxOpalQuantizer {
                 scale_min = Some(scale_min.map_or(sc, |m| m.min(sc)));
                 scale_max = Some(scale_max.map_or(sc, |m| m.max(sc)));
             }
+            // tidy: allow(alloc) -- amortized: scratch capacity is reused across calls
             s.block_scales.push(scale);
             s.outlier_idx.extend(s.top[..n].iter().map(|&j| start + j));
+            // tidy: allow(alloc) -- amortized: scratch capacity is reused across calls
             s.outlier_end.push(s.outlier_idx.len());
             start = end;
         }

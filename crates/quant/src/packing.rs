@@ -205,6 +205,7 @@ pub fn roundtrip_through_wire(
 ) -> Result<(Vec<u8>, Vec<f32>), QuantError> {
     let t = q.quantize(x);
     let bytes = pack(&t);
+    // tidy: allow(panic) -- pack() output always satisfies unpack()'s format checks
     let back = unpack(&bytes).expect("self-produced stream is valid");
     Ok((bytes, back.dequantize()))
 }

@@ -19,8 +19,7 @@
 //! cross-checked against the analytical workload model
 //! ([`RooflineCheck`]).
 
-use std::collections::{BTreeMap, HashMap};
-use std::time::Instant;
+use std::collections::BTreeMap;
 
 use opal_hw::workload::{DataFormat, TokenWorkload};
 use opal_model::Model;
@@ -309,8 +308,8 @@ fn replay_inner(
     let mut engine = ServeEngine::new(model, config);
     let n_tenants = trace.tenants as usize;
     let mut tenant_submitted = vec![0u64; n_tenants];
-    let mut submit_vstep: HashMap<RequestId, u64> = HashMap::new();
-    let mut id_to_event: HashMap<RequestId, usize> = HashMap::new();
+    let mut submit_vstep: BTreeMap<RequestId, u64> = BTreeMap::new();
+    let mut id_to_event: BTreeMap<RequestId, usize> = BTreeMap::new();
     let mut submitted = 0usize;
     let mut tally = RejectTally::default();
     let mut retry_q: BTreeMap<u64, Vec<(SubmitSpec, u32)>> = BTreeMap::new();
@@ -328,12 +327,12 @@ fn replay_inner(
     let mut vstep: u64 = 0;
     let mut ev_idx = 0usize;
     let mut stalls = 0u32;
-    let t_start = Instant::now();
+    let t_start = opal_serve::clock::now();
     loop {
         // Due client retries go first (`<=` also catches backoffs a
         // latency spike skipped the clock past).
         while retry_q.first_key_value().is_some_and(|(&due, _)| due <= vstep) {
-            let (_, entries) = retry_q.pop_first().expect("checked non-empty");
+            let Some((_, entries)) = retry_q.pop_first() else { break };
             for (spec, attempt) in entries {
                 let event = spec.event;
                 if let Some(id) = submit_with_retry(
@@ -411,7 +410,7 @@ fn replay_inner(
             continue;
         }
         let before = engine.steps();
-        let t0 = Instant::now();
+        let t0 = opal_serve::clock::now();
         engine.step();
         let dt = t0.elapsed().as_secs_f64();
         if engine.steps() > before {

@@ -24,7 +24,6 @@ use opal_hw::roofline::{GemmKernel, GpuModel};
 use opal_hw::workload::{DataFormat, TokenWorkload};
 use opal_model::{Model, ModelConfig};
 use opal_serve::{ServeConfig, ServeEngine};
-use std::time::Instant;
 
 /// Default multiplicative tolerance of the cross-check: measured per-step
 /// time must sit within `[predicted / 2, predicted × 2]`.
@@ -113,12 +112,13 @@ fn measure_decode(model: &Model, config: &ServeConfig, batch: usize) -> (f64, f6
     let vocab = model.config().vocab as u32;
     for i in 0..batch {
         let prompt: Vec<u32> = (0..8).map(|p| ((i * 131 + p * 17) as u32) % vocab).collect();
+        // tidy: allow(panic) -- config above lifts every queue/block bound
         engine.submit_with_limit(&prompt, 40).expect("calibration submit");
     }
     let mut macs = Vec::new();
     let mut secs = Vec::new();
     while !engine.is_idle() {
-        let t0 = Instant::now();
+        let t0 = opal_serve::clock::now();
         engine.step();
         let dt = t0.elapsed().as_secs_f64();
         let work = engine.last_step_work();

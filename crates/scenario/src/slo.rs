@@ -37,7 +37,7 @@ impl Percentiles {
             p95: at(95.0),
             p99: at(99.0),
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            max: *sorted.last().unwrap(),
+            max: sorted.last().copied().unwrap_or(0.0),
         }
     }
 

@@ -1,0 +1,16 @@
+//! The workspace's single home for wall-clock reads.
+//!
+//! Everything outside this module takes timestamps as values (an
+//! `Instant` handed in, a `Duration` measured by a caller) or calls
+//! [`now`]. Funneling `Instant::now()` through one function keeps the
+//! deterministic-replay modules honest — `opal-tidy` denies direct
+//! wall-clock reads everywhere else — and gives one grep-able seam if the
+//! clock ever needs to be virtualized for simulation.
+
+use std::time::Instant;
+
+/// Reads the monotonic wall clock.
+#[inline]
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -705,6 +705,7 @@ pub(crate) fn advance_sequence(model: &Model, seq: &mut Active) {
         // sequence's step, on whatever thread is running it. The flag is
         // cleared first so the quarantined sequence is never re-armed.
         seq.panic_next = false;
+        // tidy: allow(panic) -- deliberate fault injection; the step harness catches it
         panic!("injected chaos fault: worker panic stepping {}", seq.id);
     }
     if seq.prefilling() {
@@ -872,7 +873,7 @@ impl PrefillEnergy {
         let end = start + n;
         while self.prefix.len() <= end {
             let pos = self.prefix.len();
-            let last = *self.prefix.last().expect("prefix is never empty");
+            let last = self.prefix.last().copied().unwrap_or(0.0);
             self.prefix.push(last + acc.energy_per_token(config, pos).total_j());
         }
         self.prefix[end] - self.prefix[start]
@@ -1149,7 +1150,7 @@ impl<'m> ServeEngine<'m> {
             limit,
             sampling: request.sampling,
             tenant: request.tenant,
-            submitted_at: Instant::now(),
+            submitted_at: crate::clock::now(),
             submitted_step: self.steps,
             deadline: request.deadline_steps,
             resume: None,
@@ -1210,7 +1211,7 @@ impl<'m> ServeEngine<'m> {
                 }
                 break;
             }
-            let q = self.pending.pop_front().expect("peeked entry is still queued");
+            let Some(q) = self.pending.pop_front() else { break };
             let prompt_len = q.prompt.len();
             let prefill = resumed_target.unwrap_or(q.prompt);
             let (tokens, rng, preemptions, shared_before, token_steps, ttft) = match q.resume {
@@ -1222,7 +1223,7 @@ impl<'m> ServeEngine<'m> {
                     TensorRng::seed(q.sampling.seed),
                     0,
                     0,
-                    Vec::new(),
+                    Vec::with_capacity(q.limit.min(4096)),
                     None,
                 ),
             };
@@ -1337,7 +1338,7 @@ impl<'m> ServeEngine<'m> {
             self.active[victim].panic_next = true;
         }
         if self.started_at.is_none() {
-            self.started_at = Some(Instant::now());
+            self.started_at = Some(crate::clock::now());
         }
 
         self.plan_step(&mut summary);
@@ -1627,7 +1628,7 @@ impl<'m> ServeEngine<'m> {
             self.degraded_steps_total += 1;
             let mut shed = Vec::new();
             while self.pending.len() > cfg.shed_queue {
-                let mut q = self.pending.pop_back().expect("queue is longer than the bound");
+                let Some(mut q) = self.pending.pop_back() else { break };
                 let (tokens, preemptions, shared, token_steps, ttft) = match q.resume.take() {
                     Some(r) => (r.tokens, r.preemptions, r.shared, r.token_steps, r.ttft),
                     None => (Vec::new(), 0, 0, Vec::new(), None),
@@ -1870,7 +1871,7 @@ impl<'m> ServeEngine<'m> {
             "KV pool cannot make progress with a single resident sequence; \
              ServeError::InsufficientBlocks should have rejected it at submission"
         );
-        let seq = self.active.pop().expect("batch is non-empty");
+        let Some(seq) = self.active.pop() else { return };
         self.preemptions += 1;
         summary.preempted += 1;
         self.recent_preempts.push_back(self.steps);
@@ -1944,7 +1945,7 @@ impl<'m> ServeEngine<'m> {
     pub fn cancel(&mut self, id: RequestId) -> bool {
         let now = self.steps;
         if let Some(i) = self.pending.iter().position(|q| q.id == id) {
-            let q = self.pending.remove(i).expect("index is in range");
+            let Some(q) = self.pending.remove(i) else { return false };
             let (tokens, preemptions, shared, token_steps, ttft) = match q.resume {
                 Some(r) => (r.tokens, r.preemptions, r.shared, r.token_steps, r.ttft),
                 None => (Vec::new(), 0, 0, Vec::new(), None),
@@ -2056,7 +2057,7 @@ impl<'m> ServeEngine<'m> {
     /// current serving period — manual steps taken before `run` count —
     /// and the clock resets once the engine drains.
     pub fn run(&mut self) -> ServeReport {
-        let t0 = self.started_at.unwrap_or_else(Instant::now);
+        let t0 = self.started_at.unwrap_or_else(crate::clock::now);
         while !self.is_idle() {
             self.step();
         }

@@ -52,6 +52,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 mod engine;
 pub mod faults;
 // The worker pool hands `&Model` / `&mut [Active]` borrows to long-lived

@@ -112,6 +112,8 @@ impl WorkerPool {
                 let handle = std::thread::Builder::new()
                     .name(format!("opal-serve-{i}"))
                     .spawn(move || worker_loop(i, &jobs_rx, &done_tx))
+                    // tidy: allow(panic) -- thread-spawn failure at pool construction is
+                    // unrecoverable; the engine falls back to serial when workers <= 1
                     .expect("spawn serve worker");
                 Worker { jobs: Some(jobs_tx), handle: Some(handle) }
             })
@@ -217,11 +219,15 @@ impl WorkerPool {
                 if !worker.alive() {
                     continue; // died in an earlier step; route around it
                 }
+                // `jobs` is only `None` mid-`Drop`, after which no step
+                // can run; routing around it like a dead worker keeps the
+                // step correct either way.
+                let Some(jobs) = worker.jobs.as_ref() else { continue };
                 let job = Job { model, seqs: chunk.as_mut_ptr(), len: chunk.len() };
                 // A send can still lose the race with a worker exiting;
                 // the unreceived `Job` comes back in the error and is
                 // dropped without ever being dereferenced.
-                if worker.jobs.as_ref().expect("pool shutting down").send(job).is_ok() {
+                if jobs.send(job).is_ok() {
                     pending.owed.push(i);
                     dispatched = true;
                     break;

@@ -73,6 +73,7 @@ impl PrefixTrie {
         let clock = self.clock;
         for block in tokens.chunks_exact(block_size) {
             let Some(&id) = self.children.get(&(parent, Box::from(block))) else { break };
+            // tidy: allow(panic) -- `children` and `nodes` are updated in lockstep; a miss is a corrupted trie
             let node = self.nodes.get_mut(&id).expect("child index points at a live node");
             node.last_used = clock;
             path.push(id);
@@ -98,6 +99,7 @@ impl PrefixTrie {
         self.clock += 1;
         let clock = self.clock;
         if let Some(&id) = self.children.get(&(parent, Box::from(tokens))) {
+            // tidy: allow(panic) -- `children` and `nodes` are updated in lockstep; a miss is a corrupted trie
             self.nodes.get_mut(&id).expect("child index points at a live node").last_used = clock;
             return id;
         }
@@ -116,6 +118,7 @@ impl PrefixTrie {
         );
         self.children.insert((parent, tokens), id);
         if parent != Self::ROOT {
+            // tidy: allow(panic) -- eviction only removes leaves, so a parent with children is resident
             self.nodes.get_mut(&parent).expect("parent outlives its children").child_count += 1;
         }
         id
@@ -148,6 +151,7 @@ impl PrefixTrie {
             .min() // total order on (last_used, id): deterministic
             .map(|(_, id)| id);
         let Some(id) = victim else { return 0 };
+        // tidy: allow(panic) -- the victim id was drawn from `nodes` on the line above
         let node = self.nodes.remove(&id).expect("victim is live");
         self.children.remove(&(node.parent, node.tokens));
         if node.parent != Self::ROOT {

@@ -1,0 +1,315 @@
+//! A comment/string/raw-string-aware view of one Rust source file.
+//!
+//! The linter never parses Rust; it works on a *code view* in which every
+//! comment and every string/char-literal body has been blanked to spaces —
+//! so a lexical pattern like `.unwrap()` or `unsafe` can only match real
+//! code, never prose or test data — plus a parallel *comment view* holding
+//! each line's comment text, where `// SAFETY:` and `// tidy: allow(..)`
+//! annotations live. Both views preserve the line structure of the input
+//! byte-for-line, so every finding maps straight back to a `file:line`.
+
+/// The two parallel per-line views of one source file.
+#[derive(Debug)]
+pub struct SourceView {
+    /// Line `i` of the input with comments and literal bodies blanked
+    /// (string delimiters are kept, so `format!("…")` still shows the
+    /// macro name and the quotes).
+    pub code: Vec<String>,
+    /// Comment text found on line `i` (both `//…` and the lines of
+    /// `/* … */` blocks), empty when the line has none.
+    pub comments: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* … */`.
+    BlockComment(u32),
+    /// Inside `"…"`; `true` after a backslash.
+    Str(bool),
+    /// Inside `r##"…"##` with this many hashes.
+    RawStr(u32),
+    /// Inside `'…'`; `true` after a backslash.
+    CharLit(bool),
+}
+
+impl SourceView {
+    /// Lexes `source` into the blanked code view and the comment view.
+    pub fn lex(source: &str) -> SourceView {
+        let bytes: Vec<char> = source.chars().collect();
+        let mut code = Vec::new();
+        let mut comments = Vec::new();
+        let mut code_line = String::new();
+        let mut comment_line = String::new();
+        let mut state = State::Code;
+        let mut i = 0usize;
+
+        // Number of leading `#`s if a raw string opens at `i` (the `r` /
+        // `br` has already been consumed by the caller's check).
+        let raw_open = |at: usize| -> Option<u32> {
+            let mut j = at;
+            let mut hashes = 0u32;
+            while j < bytes.len() && bytes[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            (j < bytes.len() && bytes[j] == '"').then_some(hashes)
+        };
+
+        while i < bytes.len() {
+            let c = bytes[i];
+            if c == '\n' {
+                // A newline ends the current line in every state; line
+                // comments also end here.
+                if state == State::LineComment {
+                    state = State::Code;
+                }
+                code.push(std::mem::take(&mut code_line));
+                comments.push(std::mem::take(&mut comment_line));
+                i += 1;
+                continue;
+            }
+            match state {
+                State::Code => {
+                    let next = bytes.get(i + 1).copied();
+                    let prev_ident = i
+                        .checked_sub(1)
+                        .map(|p| bytes[p].is_alphanumeric() || bytes[p] == '_')
+                        .unwrap_or(false);
+                    if c == '/' && next == Some('/') {
+                        state = State::LineComment;
+                        code_line.push_str("  ");
+                        comment_line.push_str("//");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment(1);
+                        code_line.push_str("  ");
+                        comment_line.push_str("/*");
+                        i += 2;
+                        continue;
+                    }
+                    // Raw / byte-raw strings: r"…", r#"…"#, br#"…"#.
+                    if !prev_ident && (c == 'r' || (c == 'b' && next == Some('r'))) {
+                        let after = if c == 'b' { i + 2 } else { i + 1 };
+                        if let Some(h) = raw_open(after) {
+                            // Emit the prefix, hashes and opening quote.
+                            for &d in &bytes[i..after + h as usize + 1] {
+                                code_line.push(d);
+                                comment_line.push(' ');
+                            }
+                            state = State::RawStr(h);
+                            i = after + h as usize + 1;
+                            continue;
+                        }
+                    }
+                    // Byte strings: b"…".
+                    if !prev_ident && c == 'b' && next == Some('"') {
+                        code_line.push_str("b\"");
+                        comment_line.push_str("  ");
+                        state = State::Str(false);
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        code_line.push('"');
+                        comment_line.push(' ');
+                        state = State::Str(false);
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        // Distinguish a char literal from a lifetime: after
+                        // the quote, an escape or a `X'` pair is a literal;
+                        // anything else (`'a`, `'static`) is a lifetime.
+                        let is_char = match next {
+                            Some('\\') => true,
+                            Some(_) => bytes.get(i + 2) == Some(&'\''),
+                            None => false,
+                        };
+                        if is_char {
+                            code_line.push('\'');
+                            comment_line.push(' ');
+                            state = State::CharLit(false);
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    // Non-ASCII code characters are blanked so byte and
+                    // char indices agree everywhere downstream.
+                    code_line.push(if c.is_ascii() { c } else { ' ' });
+                    comment_line.push(' ');
+                    i += 1;
+                }
+                State::LineComment => {
+                    code_line.push(' ');
+                    comment_line.push(c);
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    let next = bytes.get(i + 1).copied();
+                    if c == '*' && next == Some('/') {
+                        state =
+                            if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                        code_line.push_str("  ");
+                        comment_line.push_str("*/");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        code_line.push_str("  ");
+                        comment_line.push_str("/*");
+                        i += 2;
+                        continue;
+                    }
+                    code_line.push(' ');
+                    comment_line.push(c);
+                    i += 1;
+                }
+                State::Str(escaped) => {
+                    if escaped {
+                        state = State::Str(false);
+                        code_line.push(' ');
+                    } else if c == '\\' {
+                        state = State::Str(true);
+                        code_line.push(' ');
+                    } else if c == '"' {
+                        state = State::Code;
+                        code_line.push('"');
+                    } else {
+                        code_line.push(' ');
+                    }
+                    comment_line.push(' ');
+                    i += 1;
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        // Closes only when followed by the right number of
+                        // hashes.
+                        let mut j = i + 1;
+                        let mut h = 0u32;
+                        while h < hashes && j < bytes.len() && bytes[j] == '#' {
+                            h += 1;
+                            j += 1;
+                        }
+                        if h == hashes {
+                            code_line.push('"');
+                            for _ in 0..hashes {
+                                code_line.push('#');
+                            }
+                            for _ in 0..=hashes {
+                                comment_line.push(' ');
+                            }
+                            state = State::Code;
+                            i = j;
+                            continue;
+                        }
+                    }
+                    code_line.push(' ');
+                    comment_line.push(' ');
+                    i += 1;
+                }
+                State::CharLit(escaped) => {
+                    if escaped {
+                        state = State::CharLit(false);
+                        code_line.push(' ');
+                    } else if c == '\\' {
+                        state = State::CharLit(true);
+                        code_line.push(' ');
+                    } else if c == '\'' {
+                        state = State::Code;
+                        code_line.push('\'');
+                    } else {
+                        code_line.push(' ');
+                    }
+                    comment_line.push(' ');
+                    i += 1;
+                }
+            }
+        }
+        code.push(code_line);
+        comments.push(comment_line);
+        SourceView { code, comments }
+    }
+
+    /// Number of lines (code and comment views always agree).
+    pub fn lines(&self) -> usize {
+        self.code.len()
+    }
+}
+
+/// Whether `line` contains `pat` starting at a non-ident boundary (so
+/// `unsafe` never matches inside `unsafe_code`, and `fn` never matches
+/// inside `often`). Only the *leading* edge is checked — trailing
+/// punctuation like `(` is part of most patterns already.
+pub fn find_token(line: &str, pat: &str) -> Option<usize> {
+    let ident_start = pat.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(pat) {
+        let at = from + rel;
+        let boundary = !ident_start
+            || at == 0
+            || !line[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            let end_ok = pat
+                .chars()
+                .next_back()
+                .map(|last| {
+                    if last.is_alphanumeric() || last == '_' {
+                        !line[at + pat.len()..]
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    } else {
+                        true
+                    }
+                })
+                .unwrap_or(true);
+            if end_ok {
+                return Some(at);
+            }
+        }
+        from = at + pat.len().max(1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let v = SourceView::lex("let x = \"panic!()\"; // real panic!()\nlet y = 1;");
+        assert!(!v.code[0].contains("panic"));
+        assert!(v.comments[0].contains("panic!()"));
+        assert_eq!(v.code[1].trim(), "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let v = SourceView::lex("let s = r#\"unsafe \"# ; let c = '{'; let l: &'static str = s;");
+        assert!(!v.code[0].contains("unsafe"));
+        assert!(!v.code[0].contains('{'), "char literal body must be blanked");
+        assert!(v.code[0].contains("'static"), "lifetimes stay in the code view");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let v = SourceView::lex("a /* x /* y */ z */ b");
+        assert_eq!(v.code[0].replace(' ', ""), "ab");
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(find_token("unsafe_code", "unsafe").is_none());
+        assert!(find_token("deny(unsafe)", "unsafe").is_some());
+        assert!(find_token("x.unwrap_or(1)", ".unwrap()").is_none());
+        assert!(find_token("x.unwrap();", ".unwrap()").is_some());
+        assert!(find_token("std::collections::HashMap", "HashMap").is_some());
+        assert!(find_token("MyHashMap", "HashMap").is_none());
+    }
+}
