@@ -1,0 +1,119 @@
+//! Criterion bench: the quantized-domain KV dot against dequantize-then-dot.
+//!
+//! The paged attention walk scores a query against MX-OPAL-encoded key rows
+//! without materializing f32: one `ops::dot_codes` integer-code dot per
+//! shared-exponent block, one `step_size` multiply per block, and the few
+//! preserved bfloat16 outliers added back exactly. The baseline is what a
+//! naive quantized cache would do — `MxOpalQuantizer::decode_row` into an
+//! f32 scratch row, then `ops::dot`. Both paths produce the same score (the
+//! setup asserts it); the bench prices the decode traffic the quantized
+//! walk never pays, at the head width (d=128) and a deliberately wide row
+//! (d=4096) where the memory ratio dominates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opal_numerics::shift::step_size;
+use opal_numerics::Bf16;
+use opal_quant::{EncodeScratch, MxOpalQuantizer};
+use opal_tensor::ops;
+use opal_tensor::rng::TensorRng;
+
+const BITS: u32 = 8;
+const QBLOCK: usize = 128;
+const NOUT: usize = 4;
+
+/// One encoded key row in the paged-KV layout: packed codes, per-block
+/// effective scales, and fixed outlier slots with live counts.
+struct EncodedRow {
+    codes: Vec<i8>,
+    scales: Vec<i16>,
+    out_idx: Vec<u16>,
+    out_val: Vec<Bf16>,
+    out_len: Vec<u8>,
+}
+
+fn encoded_row(quantizer: &MxOpalQuantizer, d: usize, seed: u64) -> EncodedRow {
+    let mut rng = TensorRng::seed(seed);
+    let channels = rng.distinct_indices(d, (d / 100).max(1));
+    let x = rng.outlier_vector(d, 1.0, &channels, 40.0);
+    let qpr = d.div_ceil(QBLOCK);
+    let mut row = EncodedRow {
+        codes: vec![0i8; d],
+        scales: vec![0i16; qpr],
+        out_idx: vec![0u16; qpr * NOUT],
+        out_val: vec![Bf16::from_f32(0.0); qpr * NOUT],
+        out_len: vec![0u8; qpr],
+    };
+    let mut scratch = EncodeScratch::new();
+    quantizer.encode_row_scratch(
+        &x,
+        &mut row.codes,
+        &mut row.scales,
+        &mut row.out_idx,
+        &mut row.out_val,
+        &mut row.out_len,
+        &mut scratch,
+    );
+    row
+}
+
+/// The attention walk's scoring path: integer-code dot per shared-exponent
+/// block, one scale multiply per block, outliers added back exactly.
+fn quant_domain_dot(row: &EncodedRow, q: &[f32]) -> f32 {
+    let mut acc = 0.0f64;
+    for (b, chunk) in row.codes.chunks(QBLOCK).enumerate() {
+        let start = b * QBLOCK;
+        let step = step_size(i32::from(row.scales[b]), BITS);
+        acc += f64::from(step) * f64::from(ops::dot_codes(&q[start..start + chunk.len()], chunk));
+        let slot0 = b * NOUT;
+        for slot in slot0..slot0 + usize::from(row.out_len[b]) {
+            let idx = start + usize::from(row.out_idx[slot]);
+            acc += f64::from(q[idx]) * f64::from(row.out_val[slot].to_f32());
+        }
+    }
+    acc as f32
+}
+
+/// The naive baseline: reconstruct the f32 row, then a plain `ops::dot`.
+fn dequant_then_dot(
+    quantizer: &MxOpalQuantizer,
+    row: &EncodedRow,
+    q: &[f32],
+    scratch: &mut [f32],
+) -> f32 {
+    quantizer.decode_row(
+        &row.codes,
+        &row.scales,
+        &row.out_idx,
+        &row.out_val,
+        &row.out_len,
+        scratch,
+    );
+    ops::dot(q, scratch)
+}
+
+fn bench_kv_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_quant_dot");
+    for d in [128usize, 4096] {
+        let quantizer = MxOpalQuantizer::new(BITS, QBLOCK, NOUT).expect("valid geometry");
+        let row = encoded_row(&quantizer, d, 17);
+        let q: Vec<f32> = TensorRng::seed(23).outlier_vector(d, 1.0, &[], 0.0);
+        let mut scratch = vec![0.0f32; d];
+        // Both paths must agree before their costs are worth comparing.
+        let reference = dequant_then_dot(&quantizer, &row, &q, &mut scratch);
+        let fast = quant_domain_dot(&row, &q);
+        assert!(
+            (reference - fast).abs() <= 1e-3 * reference.abs().max(1.0),
+            "quantized-domain dot diverged at d={d}: {fast} vs {reference}"
+        );
+        group.bench_with_input(BenchmarkId::new("quant_domain", d), &d, |b, _| {
+            b.iter(|| quant_domain_dot(black_box(&row), black_box(&q)));
+        });
+        group.bench_with_input(BenchmarkId::new("dequant_then_dot", d), &d, |b, _| {
+            b.iter(|| dequant_then_dot(&quantizer, black_box(&row), black_box(&q), &mut scratch));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kv_dot);
+criterion_main!(benches);

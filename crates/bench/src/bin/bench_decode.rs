@@ -34,12 +34,22 @@
 //! shakedown under a deliberately tiny `max_blocks` pool that *asserts*
 //! preempted requests complete with output identical to the uncontended
 //! run.
+//!
+//! The `kv_quant` section compares MX-OPAL KV pages against the exact
+//! bf16-precision cache: pool bytes per resident token, peak resident
+//! sequences under one shared byte budget, batch-16 decode rate with the
+//! quantized-domain attention walk, and the accuracy contract (max logit
+//! error plus greedy agreement under teacher forcing). The section
+//! *asserts* the acceptance floors: >= 3x bytes/token reduction, >= 2x
+//! resident sequences, >= 0.8x decode rate, 100% greedy agreement.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-use opal_model::{Model, ModelConfig, QuantScheme};
+use std::sync::Arc;
+
+use opal_model::{BlockPool, KvScheme, Model, ModelConfig, QuantScheme};
 use opal_quant::{EncodeScratch, MxOpalQuantizer, Quantizer};
 use opal_scenario::{
     replay_with, CancelStorm, ChurnPhase, DegradedConfig, FinishReason, ReplayOptions, RetryPolicy,
@@ -555,6 +565,175 @@ fn bench_preemption(model: &Model) -> PreemptionStats {
     }
 }
 
+struct KvQuantStats {
+    /// KV pool bytes per resident token, exact pages.
+    bytes_per_token_exact: f64,
+    /// KV pool bytes per resident token, quantized pages.
+    bytes_per_token_quant: f64,
+    bytes_reduction: f64,
+    /// Block bounds the shared byte budget buys each scheme.
+    budget_blocks_exact: usize,
+    budget_blocks_quant: usize,
+    /// Peak resident sequences each scheme reached under that budget.
+    resident_exact: usize,
+    resident_quant: usize,
+    residency_gain: f64,
+    exact_tok_s: f64,
+    quant_tok_s: f64,
+    tok_s_ratio: f64,
+    max_logit_err: f32,
+    greedy_agreement: f64,
+}
+
+/// Batch decode throughput with the given KV page scheme (unbounded pool).
+fn kv_decode_tok_s(
+    model: &Model,
+    scheme: KvScheme,
+    batch: usize,
+    new_tokens: usize,
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..runs {
+        let config = ServeConfig {
+            max_batch: batch,
+            max_tokens: new_tokens,
+            prefill_chunk: usize::MAX,
+            kv_scheme: scheme,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(model, config);
+        for p in prompts(batch, model.config().vocab, seed) {
+            engine.submit(&p).expect("valid prompt");
+        }
+        engine.step(); // prefill
+        let t = Instant::now();
+        let mut generated = 0usize;
+        while !engine.is_idle() {
+            generated += engine.step().generated;
+        }
+        best = best.max(generated as f64 / t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Peak resident sequences a `max_blocks`-bounded pool sustains while
+/// draining `n_requests` cache-cold requests. Submissions interleave with
+/// engine steps so each admission decision sees the blocks earlier prefills
+/// really allocated — the admission gate, not the queue, is what binds.
+fn kv_resident_capacity(
+    model: &Model,
+    scheme: KvScheme,
+    max_blocks: usize,
+    n_requests: usize,
+    prompt_len: u32,
+    new_tokens: usize,
+    seed: u64,
+) -> usize {
+    let config = ServeConfig {
+        max_batch: n_requests,
+        max_tokens: new_tokens,
+        prefill_chunk: usize::MAX,
+        max_blocks,
+        kv_scheme: scheme,
+        prefix_sharing: false,
+        ..ServeConfig::default()
+    };
+    let mut engine = ServeEngine::new(model, config);
+    let vocab = model.config().vocab as u32;
+    for i in 0..n_requests as u32 {
+        let p: Vec<u32> = (0..prompt_len).map(|j| (i * 31 + j * 7 + seed as u32) % vocab).collect();
+        engine.submit(&p).expect("valid prompt");
+        engine.step();
+    }
+    engine.run().peak_batch
+}
+
+/// Accuracy of the quantized cache against the exact cache: teacher-forced
+/// greedy decode on both (identical token history, chosen by the exact
+/// stream), comparing full logit vectors each step.
+fn kv_accuracy(model: &Model, scheme: KvScheme, steps: usize, seed: u64) -> (f32, f64) {
+    let d = model.config().d_model;
+    let exact_pool = Arc::new(BlockPool::with_scheme(16, d, usize::MAX, KvScheme::Exact));
+    let quant_pool = Arc::new(BlockPool::with_scheme(16, d, usize::MAX, scheme));
+    let mut max_err = 0.0f32;
+    let (mut agree, mut total) = (0usize, 0usize);
+    for prompt in prompts(4, model.config().vocab, seed) {
+        let mut se = model.begin_decode_paged(&exact_pool);
+        let mut sq = model.begin_decode_paged(&quant_pool);
+        for &t in &prompt[..prompt.len() - 1] {
+            model.decode_step(&mut se, t);
+            model.decode_step(&mut sq, t);
+        }
+        let mut next = *prompt.last().expect("non-empty prompt");
+        for _ in 0..steps {
+            let le = model.decode_step(&mut se, next);
+            let lq = model.decode_step(&mut sq, next);
+            for (a, b) in le.iter().zip(&lq) {
+                max_err = max_err.max((a - b).abs());
+            }
+            let pick_e = ops::argmax(&le).expect("non-empty logits");
+            let pick_q = ops::argmax(&lq).expect("non-empty logits");
+            total += 1;
+            agree += usize::from(pick_e == pick_q);
+            next = pick_e as u32;
+        }
+    }
+    (max_err, agree as f64 / total as f64)
+}
+
+/// The `kv_quant` section: quantized KV pages (MX-OPAL preset) against the
+/// exact cache — storage, capacity under one byte budget, decode overhead,
+/// and the accuracy contract.
+fn bench_kv_quant(model: &Model, new_tokens: usize, smoke: bool, seed: u64) -> KvQuantStats {
+    let bs = 16usize;
+    let nl = model.config().n_layers;
+    let d = model.config().d_model;
+    let exact = KvScheme::Exact;
+    let quant = KvScheme::mxopal();
+    let bytes_per_token = |s: &KvScheme| (nl * 2) as f64 * s.page_bytes(bs, d) as f64 / bs as f64;
+    let bytes_per_token_exact = bytes_per_token(&exact);
+    let bytes_per_token_quant = bytes_per_token(&quant);
+
+    // One KV byte budget, translated into each scheme's block bound: the
+    // "same memory" comparison a deployment actually faces. Each request
+    // needs 3 blocks per layer (40-token prompt + 8 generated = 48
+    // positions), so the exact cache parks ~3 sequences while the same
+    // bytes hold 3.5x the quantized blocks.
+    let budget_blocks_exact = nl * 12;
+    let budget_bytes = budget_blocks_exact * 2 * exact.page_bytes(bs, d);
+    let budget_blocks_quant = budget_bytes / (2 * quant.page_bytes(bs, d));
+    let n_requests = if smoke { 16 } else { 24 };
+    let resident_exact =
+        kv_resident_capacity(model, exact, budget_blocks_exact, n_requests, 40, 8, seed);
+    let resident_quant =
+        kv_resident_capacity(model, quant, budget_blocks_quant, n_requests, 40, 8, seed);
+
+    let runs = measure_runs(16).min(if smoke { 3 } else { 8 });
+    let exact_tok_s = kv_decode_tok_s(model, exact, 16, new_tokens, runs, seed);
+    let quant_tok_s = kv_decode_tok_s(model, quant, 16, new_tokens, runs, seed);
+
+    let (max_logit_err, greedy_agreement) =
+        kv_accuracy(model, quant, if smoke { 12 } else { 24 }, seed);
+
+    KvQuantStats {
+        bytes_per_token_exact,
+        bytes_per_token_quant,
+        bytes_reduction: bytes_per_token_exact / bytes_per_token_quant,
+        budget_blocks_exact,
+        budget_blocks_quant,
+        resident_exact,
+        resident_quant,
+        residency_gain: resident_quant as f64 / resident_exact as f64,
+        exact_tok_s,
+        quant_tok_s,
+        tok_s_ratio: quant_tok_s / exact_tok_s,
+        max_logit_err,
+        greedy_agreement,
+    }
+}
+
 /// Trace-driven scenario suite: three traffic shapes (steady Poisson,
 /// bursty overload against a bounded queue, cancel storms + preemption
 /// churn under a tight pool) replayed through the virtual-clock harness,
@@ -900,6 +1079,54 @@ fn main() {
     assert!(pre.matches_uncontended, "preemption must not change output");
     assert_eq!(pre.completed, 4, "preempted requests must complete");
 
+    // Quantized KV pages: storage and residency wins at one byte budget,
+    // decode-rate overhead of the quantized-domain attention walk, and the
+    // greedy-agreement accuracy contract vs the exact cache.
+    let kq = bench_kv_quant(&proxy_model, new_tokens, smoke, seed);
+    println!();
+    println!(
+        "kv quant [llama7b-proxy128/mxopal vs exact]: {:.0} vs {:.0} pool bytes/token \
+         ({:.2}x smaller); byte budget {} exact-blocks -> {} quant-blocks, peak resident \
+         {} vs {} sequences ({:.2}x)",
+        kq.bytes_per_token_quant,
+        kq.bytes_per_token_exact,
+        kq.bytes_reduction,
+        kq.budget_blocks_exact,
+        kq.budget_blocks_quant,
+        kq.resident_quant,
+        kq.resident_exact,
+        kq.residency_gain
+    );
+    println!(
+        "kv quant batch-16 decode: {:.0} tok/s quantized vs {:.0} tok/s exact ({:.3}x); \
+         max |logit err| {:.2e}, greedy agreement {:.1}%",
+        kq.quant_tok_s,
+        kq.exact_tok_s,
+        kq.tok_s_ratio,
+        kq.max_logit_err,
+        kq.greedy_agreement * 100.0
+    );
+    assert!(
+        kq.bytes_reduction >= 3.0,
+        "quantized KV pages must shrink pool bytes/token at least 3x (got {:.2}x)",
+        kq.bytes_reduction
+    );
+    assert!(
+        kq.residency_gain >= 2.0,
+        "quantized KV must fit at least 2x more resident sequences (got {:.2}x)",
+        kq.residency_gain
+    );
+    assert!(
+        kq.tok_s_ratio >= 0.8,
+        "quantized decode must stay within 20% of exact tok/s (got {:.3}x)",
+        kq.tok_s_ratio
+    );
+    assert!(
+        (kq.greedy_agreement - 1.0).abs() < f64::EPSILON,
+        "quantized greedy decode must agree with exact (got {:.4})",
+        kq.greedy_agreement
+    );
+
     // SLO-grade scenario suite on the tiny model: per-shape TTFT /
     // inter-token percentiles, goodput under and after overload, Jain
     // fairness across tenants — the serving-quality view the throughput
@@ -1013,6 +1240,32 @@ fn main() {
         pre.preemptions,
         pre.completed,
         pre.matches_uncontended
+    );
+    let _ = writeln!(
+        json,
+        "  \"kv_quant\": {{\n    \"model\": \"llama7b-proxy128\", \"scheme\": \"mxopal\", \
+         \"block_size\": 16,\n    \
+         \"pool_bytes_per_token_exact\": {:.1}, \"pool_bytes_per_token_quant\": {:.1}, \
+         \"bytes_reduction\": {:.3},\n    \
+         \"budget_blocks_exact\": {}, \"budget_blocks_quant\": {}, \
+         \"peak_resident_exact\": {}, \"peak_resident_quant\": {}, \
+         \"residency_gain\": {:.3},\n    \
+         \"decode_tok_s_exact\": {:.1}, \"decode_tok_s_quant\": {:.1}, \
+         \"tok_s_ratio\": {:.3},\n    \
+         \"max_logit_err\": {:.3e}, \"greedy_agreement\": {:.4}\n  }},",
+        kq.bytes_per_token_exact,
+        kq.bytes_per_token_quant,
+        kq.bytes_reduction,
+        kq.budget_blocks_exact,
+        kq.budget_blocks_quant,
+        kq.resident_exact,
+        kq.resident_quant,
+        kq.residency_gain,
+        kq.exact_tok_s,
+        kq.quant_tok_s,
+        kq.tok_s_ratio,
+        kq.max_logit_err,
+        kq.greedy_agreement
     );
     let scenario_json: Vec<String> = scenarios.iter().map(ScenarioReport::to_json).collect();
     let _ = writeln!(

@@ -28,6 +28,12 @@ pub struct DataFormat {
     pub weight_outlier_fraction: f64,
     /// Whether the log2 softmax unit is used (`false` = conventional FP).
     pub log2_softmax: bool,
+    /// Effective stored bits per KV-cache element. Tracks
+    /// `act_high_bits` by default (the cache holds high-activation rows);
+    /// a quantized KV scheme (`opal-model`'s `KvScheme`) overrides it with
+    /// the scheme's packed-page bits so predicted KV traffic reflects the
+    /// compressed pages.
+    pub kv_bits: f64,
 }
 
 impl DataFormat {
@@ -41,6 +47,7 @@ impl DataFormat {
             act_outlier_fraction: 0.0,
             weight_outlier_fraction: 0.0,
             log2_softmax: false,
+            kv_bits: 16.0,
         }
     }
 
@@ -55,6 +62,7 @@ impl DataFormat {
             act_outlier_fraction: 0.0,
             weight_outlier_fraction: 0.0025,
             log2_softmax: false,
+            kv_bits: 16.0,
         }
     }
 
@@ -68,6 +76,7 @@ impl DataFormat {
             act_outlier_fraction: 4.0 / 128.0,
             weight_outlier_fraction: 0.0025,
             log2_softmax: true,
+            kv_bits: effective_act_bits(7),
         }
     }
 
@@ -81,6 +90,7 @@ impl DataFormat {
             act_outlier_fraction: 4.0 / 128.0,
             weight_outlier_fraction: 0.0033,
             log2_softmax: true,
+            kv_bits: effective_act_bits(5),
         }
     }
 }
@@ -220,7 +230,7 @@ impl TokenWorkload {
         let weight_bytes = model.decoder_params() as f64 * format.weight_bits / 8.0;
         // KV cache: K and V per layer per position, stored at high-act
         // precision; this token reads the whole cache and appends one entry.
-        let kv_bytes = (layers * 2 * d) as f64 * (s as f64 + 1.0) * format.act_high_bits / 8.0;
+        let kv_bytes = (layers * 2 * d) as f64 * (s as f64 + 1.0) * format.kv_bits / 8.0;
         // Activations staged per token: inputs/outputs of each MxV.
         let act_low = (layers * 2 * d) as f64 * format.act_low_bits / 8.0;
         let act_high = (layers * (4 * d + ff)) as f64 * format.act_high_bits / 8.0;

@@ -9,7 +9,7 @@ use opal_tensor::ops;
 use opal_tensor::Matrix;
 
 use crate::config::{Arch, ModelConfig};
-use crate::kv::{BlockPool, KvBlock, PagedKv};
+use crate::kv::{AdoptError, BlockPool, KvBlock, PagedKv};
 use crate::scheme::{QuantScheme, SoftmaxKind};
 use crate::weights::{generate_weights, ModelWeights};
 
@@ -367,21 +367,56 @@ impl DecodeState {
     /// # Panics
     ///
     /// Panics if the state already holds positions, `len` is zero, the
-    /// per-layer block counts don't cover exactly `len` positions, or any
-    /// block comes from a different [`BlockPool`].
+    /// per-layer block counts don't cover exactly `len` positions, or the
+    /// donor blocks are incompatible (see
+    /// [`DecodeState::try_adopt_shared_prefix`] for the fallible form).
     pub fn adopt_shared_prefix(&mut self, prefix: Vec<Vec<Arc<KvBlock>>>, len: usize) {
+        // tidy: allow(panic) -- infallible wrapper; engines sharing one pool can't mismatch
+        self.try_adopt_shared_prefix(prefix, len).expect("incompatible shared prefix");
+    }
+
+    /// As [`DecodeState::adopt_shared_prefix`], but returns a typed error
+    /// when the donor blocks are incompatible with this sequence's pool:
+    /// [`AdoptError::SchemeMismatch`] when their page format differs (an
+    /// exact walk cannot read packed codes and vice versa — checked first,
+    /// so mixed-scheme sharing is rejected even across pools), and
+    /// [`AdoptError::ForeignPool`] when they belong to a different
+    /// [`BlockPool`] instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AdoptError`] as described above; `self` is unchanged
+    /// on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state already holds positions, `len` is zero, or the
+    /// per-layer block counts don't cover exactly `len` positions — those
+    /// are caller bugs, not runtime conditions.
+    pub fn try_adopt_shared_prefix(
+        &mut self,
+        prefix: Vec<Vec<Arc<KvBlock>>>,
+        len: usize,
+    ) -> Result<(), AdoptError> {
         assert_eq!(self.pos, 0, "shared prefix must be adopted before any token");
         assert!(len > 0, "empty shared prefix");
         assert_eq!(prefix.len(), self.kv.layers.len(), "layer count mismatch");
         let blocks = len.div_ceil(self.kv.pool.block_size());
+        let ours = self.kv.pool.scheme();
         for table in &prefix {
             assert_eq!(table.len(), blocks, "prefix blocks must cover exactly len positions");
             for b in table {
-                assert!(b.from_pool(&self.kv.pool), "shared block from a foreign pool");
+                if b.scheme() != ours {
+                    return Err(AdoptError::SchemeMismatch { ours, theirs: b.scheme() });
+                }
+                if !b.from_pool(&self.kv.pool) {
+                    return Err(AdoptError::ForeignPool);
+                }
             }
         }
         self.kv.layers = prefix;
         self.pos = len;
+        Ok(())
     }
 }
 
@@ -748,27 +783,49 @@ impl Model {
                 rec.record(l, Site::Value, &st.v);
             }
             self.quant_high_into(&st.q, &mut st.qq, &mut st.quant);
-            let (k_row, v_row) = kv.rows_mut(l, pos, 1);
-            self.quant_high_into(&st.k, k_row, &mut st.quant);
-            self.quant_high_into(&st.v, v_row, &mut st.quant);
+            if kv.quantized() {
+                // Quantized KV: the page encoder *is* the cache-side
+                // quantizer, so the post-RoPE rows go in raw and the
+                // scheme's codes come back out on the walk.
+                kv.append_rows_quant(l, pos, 1, &st.k, &st.v, &mut st.quant);
+            } else {
+                let (k_row, v_row) = kv.rows_mut(l, pos, 1);
+                self.quant_high_into(&st.k, k_row, &mut st.quant);
+                self.quant_high_into(&st.v, v_row, &mut st.quant);
+            }
 
             st.ctx.fill(0.0);
             for head in 0..self.config.n_heads {
                 let s = head * dh;
                 let q_h = &st.qq[s..s + dh];
-                for (score, k_row) in st.scores.iter_mut().zip(kv.k_rows(l, seq)) {
-                    *score = ops::dot(q_h, &k_row[s..s + dh]) * inv_sqrt_dh;
+                if kv.quantized() {
+                    for (score, k_row) in st.scores.iter_mut().zip(kv.k_qrows(l, seq)) {
+                        *score = k_row.dot_range(q_h, s) * inv_sqrt_dh;
+                    }
+                } else {
+                    for (score, k_row) in st.scores.iter_mut().zip(kv.k_rows(l, seq)) {
+                        *score = ops::dot(q_h, &k_row[s..s + dh]) * inv_sqrt_dh;
+                    }
                 }
                 match &self.log2_softmax {
                     None => ops::softmax_into(&st.scores, &mut st.weights),
                     Some(sm) => sm.probs_into(&st.scores, &mut st.weights),
                 }
-                for (&w, v_row) in st.weights.iter().zip(kv.v_rows(l, seq)) {
-                    if w == 0.0 {
-                        continue;
+                if kv.quantized() {
+                    for (&w, v_row) in st.weights.iter().zip(kv.v_qrows(l, seq)) {
+                        if w == 0.0 {
+                            continue;
+                        }
+                        v_row.axpy_range(w, s, &mut st.ctx[s..s + dh]);
                     }
-                    for (c, &vv) in st.ctx[s..s + dh].iter_mut().zip(&v_row[s..s + dh]) {
-                        *c += w * vv;
+                } else {
+                    for (&w, v_row) in st.weights.iter().zip(kv.v_rows(l, seq)) {
+                        if w == 0.0 {
+                            continue;
+                        }
+                        for (c, &vv) in st.ctx[s..s + dh].iter_mut().zip(&v_row[s..s + dh]) {
+                            *c += w * vv;
+                        }
                     }
                 }
             }
@@ -897,9 +954,17 @@ impl Model {
             while off < n {
                 let p = pos0 + off;
                 let rows = (bs - p % bs).min(n - off);
-                let (k_dst, v_dst) = kv.rows_mut(l, p, rows);
-                self.quant_high_flat(&pf.ks.as_slice()[off * d..(off + rows) * d], d, k_dst, quant);
-                self.quant_high_flat(&pf.vs.as_slice()[off * d..(off + rows) * d], d, v_dst, quant);
+                let (ks, vs) = (
+                    &pf.ks.as_slice()[off * d..(off + rows) * d],
+                    &pf.vs.as_slice()[off * d..(off + rows) * d],
+                );
+                if kv.quantized() {
+                    kv.append_rows_quant(l, p, rows, ks, vs, quant);
+                } else {
+                    let (k_dst, v_dst) = kv.rows_mut(l, p, rows);
+                    self.quant_high_flat(ks, d, k_dst, quant);
+                    self.quant_high_flat(vs, d, v_dst, quant);
+                }
                 off += rows;
             }
 
@@ -909,8 +974,14 @@ impl Model {
                 for (r, &len) in pf.lens.iter().enumerate() {
                     let q_h = &pf.qqs.row(r)[s..s + dh];
                     let srow = &mut pf.scores.row_mut(r)[..len];
-                    for (score, k_row) in srow.iter_mut().zip(kv.k_rows(l, len)) {
-                        *score = ops::dot(q_h, &k_row[s..s + dh]) * inv_sqrt_dh;
+                    if kv.quantized() {
+                        for (score, k_row) in srow.iter_mut().zip(kv.k_qrows(l, len)) {
+                            *score = k_row.dot_range(q_h, s) * inv_sqrt_dh;
+                        }
+                    } else {
+                        for (score, k_row) in srow.iter_mut().zip(kv.k_rows(l, len)) {
+                            *score = ops::dot(q_h, &k_row[s..s + dh]) * inv_sqrt_dh;
+                        }
                     }
                 }
                 match &self.log2_softmax {
@@ -927,12 +998,21 @@ impl Model {
                 for (r, &len) in pf.lens.iter().enumerate() {
                     let ctx = &mut pf.ctxs.row_mut(r)[s..s + dh];
                     let weights = &pf.weights.row(r)[..len];
-                    for (&w, v_row) in weights.iter().zip(kv.v_rows(l, len)) {
-                        if w == 0.0 {
-                            continue;
+                    if kv.quantized() {
+                        for (&w, v_row) in weights.iter().zip(kv.v_qrows(l, len)) {
+                            if w == 0.0 {
+                                continue;
+                            }
+                            v_row.axpy_range(w, s, ctx);
                         }
-                        for (c, &vv) in ctx.iter_mut().zip(&v_row[s..s + dh]) {
-                            *c += w * vv;
+                    } else {
+                        for (&w, v_row) in weights.iter().zip(kv.v_rows(l, len)) {
+                            if w == 0.0 {
+                                continue;
+                            }
+                            for (c, &vv) in ctx.iter_mut().zip(&v_row[s..s + dh]) {
+                                *c += w * vv;
+                            }
                         }
                     }
                 }

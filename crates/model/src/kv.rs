@@ -4,7 +4,7 @@
 //! `max_batch × longest-sequence` and stored identical prompt prefixes once
 //! per request. This module pages the cache instead, vLLM-style:
 //!
-//! * a [`BlockPool`] owns every page — `block_size` rows of `width` floats
+//! * a [`BlockPool`] owns every page — `block_size` rows of `width` elements
 //!   for K and the same for V — behind a free-list allocator with a hard
 //!   `max_blocks` bound and `in_use`/`peak` accounting,
 //! * each sequence's [`DecodeState`](crate::DecodeState) holds a per-layer
@@ -17,14 +17,164 @@
 //!   prefix trie) clones the filled rows into a fresh block first —
 //!   [`Arc::get_mut`] is the entire aliasing proof, no `unsafe` anywhere.
 //!
+//! Pages come in two storage formats, fixed per pool by a [`KvScheme`]:
+//!
+//! * **Exact** — `f32` rows, bit-identical to the pre-paged cache, and
+//! * **quantized** — MX-OPAL or MXINT pages holding packed `i8` codes with
+//!   per-quant-block shared exponents (plus bf16 outlier slots for
+//!   MX-OPAL). Rows are encoded once at append time with the
+//!   allocation-free `opal-quant` row encoders, and attention walks them in
+//!   the quantized domain: the q·k inner product runs over integer codes
+//!   with one power-of-two scale multiply per shared-exponent block
+//!   ([`opal_tensor::ops::dot_codes`]), and V aggregation dequantizes
+//!   per-element on the walk. Copy-on-write clones packed codes exactly
+//!   like it clones `f32` rows, so prefix sharing is format-agnostic.
+//!
 //! Dropping the last `Arc` to a block returns its storage to the pool's
 //! free list, so releasing a sequence (retirement, cancellation, or a
 //! memory-pressure preemption) frees exactly the blocks nobody else maps.
 
+use opal_numerics::shift::step_size;
+use opal_numerics::Bf16;
+use opal_quant::{EncodeScratch, MxIntQuantizer, MxOpalQuantizer};
+use opal_tensor::ops;
 use std::sync::{Arc, Mutex};
 
-/// Storage of one recycled page pair (K rows, V rows).
-type FreePage = (Vec<f32>, Vec<f32>);
+/// Storage format for the KV-cache pages of one [`BlockPool`].
+///
+/// The scheme is fixed at pool construction: every page the pool hands out
+/// has the same layout, and blocks are only shareable between sequences on
+/// the same pool (see [`AdoptError::SchemeMismatch`]). `Exact` is the
+/// default and keeps decode bit-identical to the unquantized cache;
+/// the quantized schemes trade bounded accuracy for ~3.5× smaller pages,
+/// which a bounded pool converts directly into more resident sequences.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KvScheme {
+    /// Full-precision `f32` rows.
+    #[default]
+    Exact,
+    /// MX-OPAL pages: `bits`-bit integer codes over shared-exponent blocks
+    /// of `qblock` elements, with the top `outliers` magnitudes per block
+    /// preserved exactly in bf16 side slots.
+    MxOpal {
+        /// Code width in bits (2..=8; codes are stored in `i8` slots).
+        bits: u32,
+        /// Elements per shared-exponent block.
+        qblock: usize,
+        /// bf16 outliers preserved per block (must be `< qblock`).
+        outliers: usize,
+    },
+    /// MXINT pages: `bits`-bit integer codes over shared-exponent blocks of
+    /// `qblock` elements, no outlier slots.
+    MxInt {
+        /// Code width in bits (2..=8; codes are stored in `i8` slots).
+        bits: u32,
+        /// Elements per shared-exponent block.
+        qblock: usize,
+    },
+}
+
+impl KvScheme {
+    /// The default exact (`f32`) scheme.
+    pub fn exact() -> Self {
+        KvScheme::Exact
+    }
+
+    /// The preset MX-OPAL KV scheme: 8-bit codes, 128-element blocks, 4
+    /// bf16 outliers per block (~9.2 stored bits per element).
+    pub fn mxopal() -> Self {
+        KvScheme::MxOpal { bits: 8, qblock: 128, outliers: 4 }
+    }
+
+    /// The preset MXINT KV scheme: 8-bit codes, 32-element blocks (~8.8
+    /// stored bits per element).
+    pub fn mxint() -> Self {
+        KvScheme::MxInt { bits: 8, qblock: 32 }
+    }
+
+    /// Whether pages under this scheme store packed codes rather than
+    /// `f32` rows.
+    pub fn quantized(&self) -> bool {
+        !matches!(self, KvScheme::Exact)
+    }
+
+    /// Short stable name for reports and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KvScheme::Exact => "exact",
+            KvScheme::MxOpal { .. } => "mxopal",
+            KvScheme::MxInt { .. } => "mxint",
+        }
+    }
+
+    /// Bytes of storage behind one K *or* V page of `block_size` rows ×
+    /// `width` elements (codes, shared exponents, and outlier slots; not
+    /// counting per-`Vec` headers).
+    pub fn page_bytes(&self, block_size: usize, width: usize) -> usize {
+        match *self {
+            KvScheme::Exact => block_size * width * std::mem::size_of::<f32>(),
+            KvScheme::MxOpal { qblock, outliers, .. } => {
+                let qpr = width.div_ceil(qblock);
+                // i8 code per element; i16 scale + u8 outlier count per
+                // quant block; (u16 index, bf16 value) per outlier slot.
+                block_size * (width + qpr * 3 + qpr * outliers * 4)
+            }
+            KvScheme::MxInt { qblock, .. } => {
+                let qpr = width.div_ceil(qblock);
+                block_size * (width + qpr * 3)
+            }
+        }
+    }
+
+    /// Average stored bits per cached element for rows of `width`.
+    pub fn bits_per_element(&self, width: usize) -> f64 {
+        self.page_bytes(1, width) as f64 * 8.0 / width as f64
+    }
+}
+
+/// Why [`DecodeState::try_adopt_shared_prefix`] refused a donor block
+/// table.
+///
+/// [`DecodeState::try_adopt_shared_prefix`]: crate::DecodeState::try_adopt_shared_prefix
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdoptError {
+    /// The donor blocks store a different page format than the adopting
+    /// sequence's pool — an exact walk cannot read packed codes and vice
+    /// versa, so sharing across schemes is rejected up front.
+    SchemeMismatch {
+        /// Scheme of the adopting sequence's pool.
+        ours: KvScheme,
+        /// Scheme of the donor block's pool.
+        theirs: KvScheme,
+    },
+    /// The donor blocks belong to a different [`BlockPool`] instance, so
+    /// their storage would escape this pool's accounting.
+    ForeignPool,
+}
+
+impl std::fmt::Display for AdoptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdoptError::SchemeMismatch { ours, theirs } => {
+                write!(f, "cannot adopt {} KV pages into a {} cache", theirs.name(), ours.name())
+            }
+            AdoptError::ForeignPool => write!(f, "shared block from a foreign pool"),
+        }
+    }
+}
+
+impl std::error::Error for AdoptError {}
+
+/// Validated row codec for a quantized pool (constructed once at
+/// [`BlockPool::with_scheme`] so the hot append path never re-validates).
+#[derive(Clone, Copy, Debug)]
+enum Codec {
+    Opal(MxOpalQuantizer),
+    Int(MxIntQuantizer),
+}
+
+/// One recycled page pair (K page, V page) on the free list.
+type FreePage = (PageStore, PageStore);
 
 #[derive(Debug)]
 struct PoolInner {
@@ -41,11 +191,13 @@ struct PoolInner {
 /// creates a private unbounded one per state). Allocation pops the free
 /// list — pages are recycled without zeroing, callers never read past the
 /// rows they wrote — and a hard `max_blocks` bound caps total KV memory at
-/// `max_blocks × block_size × width × 2` floats.
+/// `max_blocks × 2 ×` [`KvScheme::page_bytes`].
 #[derive(Debug)]
 pub struct BlockPool {
     block_size: usize,
     width: usize,
+    scheme: KvScheme,
+    codec: Option<Codec>,
     inner: Mutex<PoolInner>,
 }
 
@@ -53,18 +205,49 @@ impl BlockPool {
     /// Block size of the private pool behind [`crate::Model::begin_decode`].
     pub const DEFAULT_BLOCK_SIZE: usize = 32;
 
-    /// Creates a pool of up to `max_blocks` pages of `block_size` rows ×
-    /// `width` floats (per K and V each). `usize::MAX` means unbounded.
+    /// Creates an exact (`f32`-page) pool of up to `max_blocks` pages of
+    /// `block_size` rows × `width` elements (per K and V each).
+    /// `usize::MAX` means unbounded.
     ///
     /// # Panics
     ///
     /// Panics if `block_size` or `width` is zero.
     pub fn new(block_size: usize, width: usize, max_blocks: usize) -> Self {
+        Self::with_scheme(block_size, width, max_blocks, KvScheme::Exact)
+    }
+
+    /// As [`BlockPool::new`] with an explicit page storage scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` or `width` is zero, or if a quantized
+    /// scheme's parameters are invalid (`bits` ∉ 2..=8, zero `qblock`, or
+    /// `outliers >= qblock`).
+    pub fn with_scheme(
+        block_size: usize,
+        width: usize,
+        max_blocks: usize,
+        scheme: KvScheme,
+    ) -> Self {
         assert!(block_size > 0, "block_size must be at least 1");
         assert!(width > 0, "row width must be at least 1");
+        let codec = match scheme {
+            KvScheme::Exact => None,
+            KvScheme::MxOpal { bits, qblock, outliers } => {
+                let q = MxOpalQuantizer::new(bits, qblock, outliers);
+                // tidy: allow(panic) -- pool construction validates the scheme once
+                Some(Codec::Opal(q.expect("invalid MX-OPAL scheme")))
+            }
+            KvScheme::MxInt { bits, qblock } => {
+                // tidy: allow(panic) -- pool construction validates the scheme once
+                Some(Codec::Int(MxIntQuantizer::new(bits, qblock).expect("invalid MXINT scheme")))
+            }
+        };
         BlockPool {
             block_size,
             width,
+            scheme,
+            codec,
             inner: Mutex::new(PoolInner { free: Vec::new(), in_use: 0, peak: 0, max_blocks }),
         }
     }
@@ -74,9 +257,14 @@ impl BlockPool {
         self.block_size
     }
 
-    /// Floats per row (the model's `d_model`).
+    /// Elements per row (the model's `d_model`).
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// The page storage scheme every block of this pool uses.
+    pub fn scheme(&self) -> KvScheme {
+        self.scheme
     }
 
     /// Blocks currently allocated (live block tables plus any prefix-cache
@@ -101,6 +289,39 @@ impl BlockPool {
         inner.max_blocks.saturating_sub(inner.in_use)
     }
 
+    /// `(bits, qblock, outlier slots per qblock)` of a quantized pool.
+    fn quant_params(&self) -> (u32, usize, usize) {
+        match self.scheme {
+            KvScheme::MxOpal { bits, qblock, outliers } => (bits, qblock, outliers),
+            KvScheme::MxInt { bits, qblock } => (bits, qblock, 0),
+            KvScheme::Exact => unreachable!("quant_params on an exact pool"),
+        }
+    }
+
+    /// Shared-exponent blocks per row of a quantized pool.
+    fn qblocks_per_row(&self) -> usize {
+        let (_, qblock, _) = self.quant_params();
+        self.width.div_ceil(qblock)
+    }
+
+    /// Builds one zeroed page pair matching the pool's scheme.
+    fn fresh_pages(&self) -> FreePage {
+        match self.scheme {
+            KvScheme::Exact => {
+                let cap = self.block_size * self.width;
+                (PageStore::Exact(vec![0.0; cap]), PageStore::Exact(vec![0.0; cap]))
+            }
+            _ => {
+                let (_, _, nout) = self.quant_params();
+                let qpr = self.qblocks_per_row();
+                (
+                    PageStore::Quant(QuantPage::zeroed(self.block_size, self.width, qpr, nout)),
+                    PageStore::Quant(QuantPage::zeroed(self.block_size, self.width, qpr, nout)),
+                )
+            }
+        }
+    }
+
     /// Allocates one block, recycling a free page when available.
     ///
     /// # Panics
@@ -110,7 +331,6 @@ impl BlockPool {
     /// sequences — see `opal-serve`'s memory-aware admission — so this
     /// firing indicates a reservation bug, not a recoverable condition.
     pub fn alloc(self: &Arc<Self>) -> Arc<KvBlock> {
-        let cap = self.block_size * self.width;
         let (k, v) = {
             let mut inner = self.guard();
             assert!(
@@ -121,7 +341,7 @@ impl BlockPool {
             );
             inner.in_use += 1;
             inner.peak = inner.peak.max(inner.in_use);
-            inner.free.pop().unwrap_or_else(|| (vec![0.0; cap], vec![0.0; cap]))
+            inner.free.pop().unwrap_or_else(|| self.fresh_pages())
         };
         Arc::new(KvBlock { pool: Arc::clone(self), k, v })
     }
@@ -134,7 +354,185 @@ impl BlockPool {
     }
 }
 
-/// One fixed-size KV page: `block_size` rows × `width` floats for K and V.
+/// One page's backing storage: `f32` rows or packed quantized rows.
+#[derive(Debug)]
+enum PageStore {
+    Exact(Vec<f32>),
+    Quant(QuantPage),
+}
+
+impl PageStore {
+    /// The `f32` rows of an exact page.
+    fn exact(&self) -> &[f32] {
+        match self {
+            PageStore::Exact(rows) => rows,
+            PageStore::Quant(_) => unreachable!("exact row access on a quantized page"),
+        }
+    }
+
+    fn exact_mut(&mut self) -> &mut [f32] {
+        match self {
+            PageStore::Exact(rows) => rows,
+            PageStore::Quant(_) => unreachable!("exact row access on a quantized page"),
+        }
+    }
+
+    /// The packed rows of a quantized page.
+    fn quant(&self) -> &QuantPage {
+        match self {
+            PageStore::Quant(page) => page,
+            PageStore::Exact(_) => unreachable!("quantized row access on an exact page"),
+        }
+    }
+
+    fn quant_mut(&mut self) -> &mut QuantPage {
+        match self {
+            PageStore::Quant(page) => page,
+            PageStore::Exact(_) => unreachable!("quantized row access on an exact page"),
+        }
+    }
+
+    /// Copies the first `rows` rows of `src` into `self` (copy-on-write
+    /// body; both pages come from the same pool, hence the same layout).
+    fn copy_rows_from(&mut self, src: &PageStore, rows: usize, w: usize, qpr: usize, nout: usize) {
+        match (self, src) {
+            (PageStore::Exact(dst), PageStore::Exact(s)) => {
+                dst[..rows * w].copy_from_slice(&s[..rows * w]);
+            }
+            (PageStore::Quant(dst), PageStore::Quant(s)) => {
+                dst.codes[..rows * w].copy_from_slice(&s.codes[..rows * w]);
+                dst.scales[..rows * qpr].copy_from_slice(&s.scales[..rows * qpr]);
+                dst.out_len[..rows * qpr].copy_from_slice(&s.out_len[..rows * qpr]);
+                let slots = rows * qpr * nout;
+                dst.out_idx[..slots].copy_from_slice(&s.out_idx[..slots]);
+                dst.out_val[..slots].copy_from_slice(&s.out_val[..slots]);
+            }
+            _ => unreachable!("copy-on-write across page formats"),
+        }
+    }
+}
+
+/// Packed storage for one quantized page: `block_size` rows of `width`
+/// elements, each row split into `qpr` shared-exponent blocks.
+///
+/// Layout per row: `width` `i8` codes, `qpr` effective `i16` scales (the
+/// post-clamp shared exponents the codes were quantized against; `0` for
+/// an all-zero block, whose codes are all `0`), and — for MX-OPAL — `qpr ×
+/// nout` fixed outlier slots of `(u16 in-block index, bf16 exact value)`
+/// with a `u8` live count per quant block. Codes at outlier positions are
+/// `0`, so a walk adds outlier contributions without double-counting.
+#[derive(Debug)]
+struct QuantPage {
+    codes: Vec<i8>,
+    scales: Vec<i16>,
+    out_idx: Vec<u16>,
+    out_val: Vec<Bf16>,
+    out_len: Vec<u8>,
+}
+
+impl QuantPage {
+    fn zeroed(rows: usize, width: usize, qpr: usize, nout: usize) -> Self {
+        QuantPage {
+            codes: vec![0; rows * width],
+            scales: vec![0; rows * qpr],
+            out_idx: vec![0; rows * qpr * nout],
+            out_val: vec![Bf16::default(); rows * qpr * nout],
+            out_len: vec![0; rows * qpr],
+        }
+    }
+
+    /// The page's rows as borrowed [`QuantRow`] views, in position order.
+    fn rows(
+        &self,
+        w: usize,
+        qpr: usize,
+        nout: usize,
+        bits: u32,
+        qblock: usize,
+    ) -> impl Iterator<Item = QuantRow<'_>> + '_ {
+        (0..self.out_len.len() / qpr).map(move |row| QuantRow {
+            codes: &self.codes[row * w..(row + 1) * w],
+            scales: &self.scales[row * qpr..(row + 1) * qpr],
+            out_idx: &self.out_idx[row * qpr * nout..(row + 1) * qpr * nout],
+            out_val: &self.out_val[row * qpr * nout..(row + 1) * qpr * nout],
+            out_len: &self.out_len[row * qpr..(row + 1) * qpr],
+            bits,
+            qblock,
+            nout,
+        })
+    }
+}
+
+/// A borrowed view of one quantized KV row, walkable without full
+/// dequantization.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct QuantRow<'a> {
+    codes: &'a [i8],
+    scales: &'a [i16],
+    out_idx: &'a [u16],
+    out_val: &'a [Bf16],
+    out_len: &'a [u8],
+    bits: u32,
+    qblock: usize,
+    nout: usize,
+}
+
+impl QuantRow<'_> {
+    /// q·k over columns `start..start + q.len()` in the quantized domain:
+    /// one integer-code dot ([`ops::dot_codes`]) and one power-of-two
+    /// scale multiply per overlapping shared-exponent block, plus exact
+    /// bf16 outlier terms. Accumulation order is fixed (ascending blocks,
+    /// then slot order), so the result is bit-deterministic.
+    pub(crate) fn dot_range(&self, q: &[f32], start: usize) -> f32 {
+        let end = start + q.len();
+        debug_assert!(end <= self.codes.len(), "column range out of row");
+        let mut acc = 0.0f64;
+        for qb in start / self.qblock..=(end - 1) / self.qblock {
+            let b0 = qb * self.qblock;
+            let lo = start.max(b0);
+            let hi = end.min(b0 + self.qblock);
+            let step = step_size(i32::from(self.scales[qb]), self.bits);
+            let d = ops::dot_codes(&q[lo - start..hi - start], &self.codes[lo..hi]);
+            acc += f64::from(step) * f64::from(d);
+            let so = qb * self.nout;
+            for slot in so..so + usize::from(self.out_len[qb]) {
+                let idx = b0 + usize::from(self.out_idx[slot]);
+                if idx >= lo && idx < hi {
+                    acc += f64::from(q[idx - start]) * f64::from(self.out_val[slot].to_f32());
+                }
+            }
+        }
+        acc as f32
+    }
+
+    /// `ctx[j] += w · dequant(row[start + j])` for `j` in
+    /// `0..ctx.len()` — V aggregation by dequantize-on-walk: each code is
+    /// rescaled by its block's power-of-two step in place, outlier slots
+    /// contribute their exact bf16 value (their codes are `0`).
+    pub(crate) fn axpy_range(&self, w: f32, start: usize, ctx: &mut [f32]) {
+        let end = start + ctx.len();
+        debug_assert!(end <= self.codes.len(), "column range out of row");
+        for qb in start / self.qblock..=(end - 1) / self.qblock {
+            let b0 = qb * self.qblock;
+            let lo = start.max(b0);
+            let hi = end.min(b0 + self.qblock);
+            let step = step_size(i32::from(self.scales[qb]), self.bits);
+            for (c, &code) in ctx[lo - start..hi - start].iter_mut().zip(&self.codes[lo..hi]) {
+                *c += w * (f32::from(code) * step);
+            }
+            let so = qb * self.nout;
+            for slot in so..so + usize::from(self.out_len[qb]) {
+                let idx = b0 + usize::from(self.out_idx[slot]);
+                if idx >= lo && idx < hi {
+                    ctx[idx - start] += w * self.out_val[slot].to_f32();
+                }
+            }
+        }
+    }
+}
+
+/// One fixed-size KV page: `block_size` rows × `width` elements for K and
+/// V, stored per the pool's [`KvScheme`].
 ///
 /// Blocks are handed out as `Arc<KvBlock>` so prefix sharing is a refcount
 /// bump; the storage returns to its pool's free list when the last
@@ -142,8 +540,8 @@ impl BlockPool {
 #[derive(Debug)]
 pub struct KvBlock {
     pool: Arc<BlockPool>,
-    pub(crate) k: Vec<f32>,
-    pub(crate) v: Vec<f32>,
+    k: PageStore,
+    v: PageStore,
 }
 
 impl KvBlock {
@@ -151,12 +549,17 @@ impl KvBlock {
     pub fn from_pool(&self, pool: &Arc<BlockPool>) -> bool {
         Arc::ptr_eq(&self.pool, pool)
     }
+
+    /// The page storage scheme of this block's pool.
+    pub fn scheme(&self) -> KvScheme {
+        self.pool.scheme
+    }
 }
 
 impl Drop for KvBlock {
     fn drop(&mut self) {
-        let k = std::mem::take(&mut self.k);
-        let v = std::mem::take(&mut self.v);
+        let k = std::mem::replace(&mut self.k, PageStore::Exact(Vec::new()));
+        let v = std::mem::replace(&mut self.v, PageStore::Exact(Vec::new()));
         let mut inner = self.pool.guard();
         inner.in_use -= 1;
         inner.free.push((k, v));
@@ -182,10 +585,58 @@ impl PagedKv {
         PagedKv { pool, layers: (0..n_layers).map(|_| Vec::new()).collect() }
     }
 
-    /// Writable K/V row spans for positions `pos..pos + n` of `layer`,
-    /// allocating the block on first touch and copy-on-writing it when it
-    /// is shared. The span must not cross a block boundary (callers split
-    /// chunks into per-block segments).
+    /// Whether this cache stores quantized pages.
+    pub(crate) fn quantized(&self) -> bool {
+        self.pool.scheme.quantized()
+    }
+
+    /// Makes `layers[layer]` cover position `pos` with an exclusively
+    /// owned tail block: allocates on first touch and copy-on-writes a
+    /// shared tail (cloning the `rows_filled` rows written so far), then
+    /// returns the block index. Shared paging/CoW body of [`rows_mut`]
+    /// and [`append_rows_quant`].
+    ///
+    /// [`rows_mut`]: PagedKv::rows_mut
+    /// [`append_rows_quant`]: PagedKv::append_rows_quant
+    fn provision(&mut self, layer: usize, pos: usize, rows_filled: usize) -> usize {
+        let bs = self.pool.block_size();
+        let bi = pos / bs;
+        let table = &mut self.layers[layer];
+        debug_assert!(bi <= table.len(), "append must be contiguous");
+        if bi == table.len() {
+            debug_assert_eq!(rows_filled, 0, "a fresh block starts at its first row");
+            // tidy: allow(alloc) -- block provisioning, amortized over block_size appends
+            table.push(self.pool.alloc());
+        } else if Arc::get_mut(&mut table[bi]).is_none() {
+            // Copy-on-write: the tail block is mapped by someone else (a
+            // prefix-sharing peer or the prefix cache). Clone the rows
+            // filled so far into a fresh block and divert this sequence's
+            // table to it; the shared original stays untouched.
+            let w = self.pool.width();
+            let (qpr, nout) = match self.pool.scheme {
+                KvScheme::Exact => (0, 0),
+                _ => {
+                    let (_, _, nout) = self.pool.quant_params();
+                    (self.pool.qblocks_per_row(), nout)
+                }
+            };
+            // tidy: allow(alloc) -- copy-on-write provisioning, amortized
+            let mut fresh = self.pool.alloc();
+            {
+                // tidy: allow(panic) -- alloc() returns a fresh Arc with refcount 1
+                let fb = Arc::get_mut(&mut fresh).expect("freshly allocated block is unshared");
+                fb.k.copy_rows_from(&table[bi].k, rows_filled, w, qpr, nout);
+                fb.v.copy_rows_from(&table[bi].v, rows_filled, w, qpr, nout);
+            }
+            table[bi] = fresh;
+        }
+        bi
+    }
+
+    /// Writable K/V row spans for positions `pos..pos + n` of `layer` in
+    /// an exact pool, allocating the block on first touch and
+    /// copy-on-writing it when it is shared. The span must not cross a
+    /// block boundary (callers split chunks into per-block segments).
     pub(crate) fn rows_mut(
         &mut self,
         layer: usize,
@@ -194,43 +645,109 @@ impl PagedKv {
     ) -> (&mut [f32], &mut [f32]) {
         let bs = self.pool.block_size();
         let w = self.pool.width();
-        let bi = pos / bs;
         let r = pos % bs;
         debug_assert!(n > 0 && r + n <= bs, "row span must stay inside one block");
-        let table = &mut self.layers[layer];
-        debug_assert!(bi <= table.len(), "append must be contiguous");
-        if bi == table.len() {
-            debug_assert_eq!(r, 0, "a fresh block starts at its first row");
-            table.push(self.pool.alloc());
-        } else if Arc::get_mut(&mut table[bi]).is_none() {
-            // Copy-on-write: the tail block is mapped by someone else (a
-            // prefix-sharing peer or the prefix cache). Clone the rows
-            // filled so far into a fresh block and divert this sequence's
-            // table to it; the shared original stays untouched.
-            let mut fresh = self.pool.alloc();
-            {
-                // tidy: allow(panic) -- alloc() returns a fresh Arc with refcount 1
-                let fb = Arc::get_mut(&mut fresh).expect("freshly allocated block is unshared");
-                fb.k[..r * w].copy_from_slice(&table[bi].k[..r * w]);
-                fb.v[..r * w].copy_from_slice(&table[bi].v[..r * w]);
-            }
-            table[bi] = fresh;
-        }
-        // tidy: allow(panic) -- the branch above just made the tail block exclusive
-        let block = Arc::get_mut(&mut table[bi]).expect("tail block just made exclusive");
-        (&mut block.k[r * w..(r + n) * w], &mut block.v[r * w..(r + n) * w])
+        let bi = self.provision(layer, pos, r);
+        // tidy: allow(panic) -- provision() just made the tail block exclusive
+        let block = Arc::get_mut(&mut self.layers[layer][bi]).expect("tail block made exclusive");
+        (&mut block.k.exact_mut()[r * w..(r + n) * w], &mut block.v.exact_mut()[r * w..(r + n) * w])
     }
 
-    /// The first `len` cached K rows of `layer`, in position order.
+    /// Encodes rows `pos..pos + n` of `layer` from the `f32` sources
+    /// `k_src`/`v_src` (each `n × width`) into the quantized tail page,
+    /// with the same first-touch allocation and copy-on-write rules as
+    /// [`PagedKv::rows_mut`]. The span must not cross a block boundary.
+    pub(crate) fn append_rows_quant(
+        &mut self,
+        layer: usize,
+        pos: usize,
+        n: usize,
+        k_src: &[f32],
+        v_src: &[f32],
+        enc: &mut EncodeScratch,
+    ) {
+        let bs = self.pool.block_size();
+        let w = self.pool.width();
+        let r = pos % bs;
+        debug_assert!(n > 0 && r + n <= bs, "row span must stay inside one block");
+        debug_assert!(k_src.len() == n * w && v_src.len() == n * w, "source row shape mismatch");
+        let (_, _, nout) = self.pool.quant_params();
+        let qpr = self.pool.qblocks_per_row();
+        let codec = self.pool.codec;
+        let bi = self.provision(layer, pos, r);
+        // tidy: allow(panic) -- provision() just made the tail block exclusive
+        let block = Arc::get_mut(&mut self.layers[layer][bi]).expect("tail block made exclusive");
+        for (page, src) in [(&mut block.k, k_src), (&mut block.v, v_src)] {
+            let page = page.quant_mut();
+            for i in 0..n {
+                let (e0, e1) = ((r + i) * w, (r + i + 1) * w);
+                let (q0, q1) = ((r + i) * qpr, (r + i + 1) * qpr);
+                let (s0, s1) = (q0 * nout, q1 * nout);
+                match codec {
+                    Some(Codec::Opal(q)) => q.encode_row_scratch(
+                        &src[i * w..(i + 1) * w],
+                        &mut page.codes[e0..e1],
+                        &mut page.scales[q0..q1],
+                        &mut page.out_idx[s0..s1],
+                        &mut page.out_val[s0..s1],
+                        &mut page.out_len[q0..q1],
+                        enc,
+                    ),
+                    Some(Codec::Int(q)) => q.encode_row(
+                        &src[i * w..(i + 1) * w],
+                        &mut page.codes[e0..e1],
+                        &mut page.scales[q0..q1],
+                    ),
+                    None => unreachable!("append_rows_quant on an exact pool"),
+                }
+            }
+        }
+    }
+
+    /// The first `len` cached K rows of `layer`, in position order
+    /// (exact pools).
     pub(crate) fn k_rows(&self, layer: usize, len: usize) -> impl Iterator<Item = &[f32]> + '_ {
         let w = self.pool.width();
-        self.layers[layer].iter().flat_map(move |b| b.k.chunks_exact(w)).take(len)
+        self.layers[layer].iter().flat_map(move |b| b.k.exact().chunks_exact(w)).take(len)
     }
 
-    /// The first `len` cached V rows of `layer`, in position order.
+    /// The first `len` cached V rows of `layer`, in position order
+    /// (exact pools).
     pub(crate) fn v_rows(&self, layer: usize, len: usize) -> impl Iterator<Item = &[f32]> + '_ {
         let w = self.pool.width();
-        self.layers[layer].iter().flat_map(move |b| b.v.chunks_exact(w)).take(len)
+        self.layers[layer].iter().flat_map(move |b| b.v.exact().chunks_exact(w)).take(len)
+    }
+
+    /// The first `len` cached quantized K rows of `layer`, in position
+    /// order (quantized pools).
+    pub(crate) fn k_qrows(
+        &self,
+        layer: usize,
+        len: usize,
+    ) -> impl Iterator<Item = QuantRow<'_>> + '_ {
+        let w = self.pool.width();
+        let (bits, qblock, nout) = self.pool.quant_params();
+        let qpr = self.pool.qblocks_per_row();
+        self.layers[layer]
+            .iter()
+            .flat_map(move |b| b.k.quant().rows(w, qpr, nout, bits, qblock))
+            .take(len)
+    }
+
+    /// The first `len` cached quantized V rows of `layer`, in position
+    /// order (quantized pools).
+    pub(crate) fn v_qrows(
+        &self,
+        layer: usize,
+        len: usize,
+    ) -> impl Iterator<Item = QuantRow<'_>> + '_ {
+        let w = self.pool.width();
+        let (bits, qblock, nout) = self.pool.quant_params();
+        let qpr = self.pool.qblocks_per_row();
+        self.layers[layer]
+            .iter()
+            .flat_map(move |b| b.v.quant().rows(w, qpr, nout, bits, qblock))
+            .take(len)
     }
 
     /// Whether any layer's tail block is mapped by someone else (an append
@@ -243,6 +760,7 @@ impl PagedKv {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use opal_quant::Quantizer;
 
     fn pool(bs: usize, max: usize) -> Arc<BlockPool> {
         Arc::new(BlockPool::new(bs, 4, max))
@@ -292,9 +810,112 @@ mod tests {
         kv.rows_mut(0, 3, 1).0.copy_from_slice(&[4.0; 4]);
         assert_eq!(p.in_use(), 3, "CoW allocates a fresh block");
         assert!(!Arc::ptr_eq(&tail, &kv.layers[0][1]), "table must divert to the copy");
-        assert_eq!(&tail.k[..4], &[3.0; 4], "donor block must be untouched");
-        assert_eq!(&kv.layers[0][1].k[..4], &[3.0; 4], "filled rows must be copied");
-        assert_eq!(&kv.layers[0][1].k[4..], &[4.0; 4]);
+        assert_eq!(&tail.k.exact()[..4], &[3.0; 4], "donor block must be untouched");
+        assert_eq!(&kv.layers[0][1].k.exact()[..4], &[3.0; 4], "filled rows must be copied");
+        assert_eq!(&kv.layers[0][1].k.exact()[4..], &[4.0; 4]);
         assert!(!kv.tail_shared());
+    }
+
+    /// Deterministic pseudo-random row (no external RNG in tests).
+    fn test_row(w: usize, seed: u32) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        (0..w)
+            .map(|_| {
+                s = s.wrapping_mul(1103515245).wrapping_add(12345);
+                ((s >> 8) as f32 / (1u32 << 24) as f32 - 0.5) * 4.0
+            })
+            .collect()
+    }
+
+    fn quant_pool(scheme: KvScheme, bs: usize, w: usize) -> Arc<BlockPool> {
+        Arc::new(BlockPool::with_scheme(bs, w, usize::MAX, scheme))
+    }
+
+    #[test]
+    fn quant_walk_matches_reference_decode() {
+        let w = 20;
+        for scheme in [
+            KvScheme::MxOpal { bits: 4, qblock: 8, outliers: 2 },
+            KvScheme::MxInt { bits: 8, qblock: 8 },
+        ] {
+            let p = quant_pool(scheme, 3, w);
+            let mut kv = PagedKv::new(Arc::clone(&p), 1);
+            let mut enc = EncodeScratch::new();
+            let rows: Vec<Vec<f32>> = (0..5).map(|i| test_row(w, i)).collect();
+            for (i, row) in rows.iter().enumerate() {
+                kv.append_rows_quant(0, i, 1, row, row, &mut enc);
+            }
+            // Reference: the fused quantize-dequantize of each row.
+            for (row, qrow) in rows.iter().zip(kv.k_qrows(0, 5)) {
+                let mut reference = vec![0.0f32; w];
+                match scheme {
+                    KvScheme::MxOpal { bits, qblock, outliers } => {
+                        let q = MxOpalQuantizer::new(bits, qblock, outliers).unwrap();
+                        q.quantize_dequantize_scratch(row, &mut reference, &mut enc);
+                    }
+                    KvScheme::MxInt { bits, qblock } => {
+                        let q = MxIntQuantizer::new(bits, qblock).unwrap();
+                        q.quantize_dequantize_into(row, &mut reference);
+                    }
+                    KvScheme::Exact => unreachable!(),
+                }
+                // dot_range against a one-hot query reads back one element.
+                for (j, &want) in reference.iter().enumerate() {
+                    let mut onehot = vec![0.0f32; w];
+                    onehot[j] = 1.0;
+                    let got = qrow.dot_range(&onehot, 0);
+                    assert_eq!(got.to_bits(), want.to_bits(), "{} col {j}", scheme.name());
+                }
+                // axpy_range with weight 1 into a zero context dequantizes
+                // the whole row.
+                let mut ctx = vec![0.0f32; w];
+                qrow.axpy_range(1.0, 0, &mut ctx);
+                for (j, (&got, &want)) in ctx.iter().zip(&reference).enumerate() {
+                    assert!((got - want).abs() < 1e-6, "{} col {j}", scheme.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quant_dot_range_respects_column_offsets() {
+        let w = 16;
+        let scheme = KvScheme::MxOpal { bits: 4, qblock: 8, outliers: 2 };
+        let p = quant_pool(scheme, 2, w);
+        let mut kv = PagedKv::new(Arc::clone(&p), 1);
+        let mut enc = EncodeScratch::new();
+        let row = test_row(w, 7);
+        kv.append_rows_quant(0, 0, 1, &row, &row, &mut enc);
+        let q = MxOpalQuantizer::new(4, 8, 2).unwrap();
+        let mut reference = vec![0.0f32; w];
+        q.quantize_dequantize_scratch(&row, &mut reference, &mut enc);
+        let qrow = kv.k_qrows(0, 1).next().unwrap();
+        // A head slice straddling the quant-block boundary at column 8.
+        let query = test_row(8, 9);
+        let got = qrow.dot_range(&query, 4);
+        let want: f64 =
+            query.iter().zip(&reference[4..12]).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        assert!((f64::from(got) - want).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quant_cow_leaves_donor_unchanged() {
+        let scheme = KvScheme::MxOpal { bits: 4, qblock: 8, outliers: 2 };
+        let w = 8;
+        let p = quant_pool(scheme, 2, w);
+        let mut kv = PagedKv::new(Arc::clone(&p), 1);
+        let mut enc = EncodeScratch::new();
+        let r0 = test_row(w, 1);
+        kv.append_rows_quant(0, 0, 1, &r0, &r0, &mut enc);
+        // Share the partial block, then append: must copy-on-write.
+        let donor = kv.layers[0][0].clone();
+        let donor_codes = donor.k.quant().codes.clone();
+        let r1 = test_row(w, 2);
+        kv.append_rows_quant(0, 1, 1, &r1, &r1, &mut enc);
+        assert!(!Arc::ptr_eq(&donor, &kv.layers[0][0]), "table must divert to the copy");
+        assert_eq!(donor.k.quant().codes, donor_codes, "donor codes must be untouched");
+        // Row 0 of the copy matches the donor's row 0.
+        assert_eq!(&kv.layers[0][0].k.quant().codes[..w], &donor_codes[..w]);
+        assert_eq!(p.in_use(), 2);
     }
 }

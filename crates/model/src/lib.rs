@@ -40,6 +40,6 @@ pub mod weights;
 
 pub use config::{Arch, ModelConfig};
 pub use infer::{ActivationCapture, DecodeState, Model, Recorder, SecondMomentRecorder, Site};
-pub use kv::{BlockPool, KvBlock};
+pub use kv::{AdoptError, BlockPool, KvBlock, KvScheme};
 pub use reference::ReferenceDecodeState;
 pub use scheme::{ActFormat, ActScheme, QuantScheme, SoftmaxKind, WeightScheme};

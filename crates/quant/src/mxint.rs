@@ -107,6 +107,68 @@ impl MxIntQuantizer {
             None => vec![0.0; block.elements.len()],
         }
     }
+
+    /// Encodes one row into caller-owned packed page arrays — the KV-cache
+    /// storage form of the streaming
+    /// [`Quantizer::quantize_dequantize_into`] override. Block `b` of
+    /// `block_size` elements gets integer codes and one shared scale in
+    /// `scales[b]`; an all-zero/subnormal block stores scale `0` with all
+    /// codes `0`, which decodes to `0.0` exactly like the streaming path's
+    /// `fill(0.0)`.
+    ///
+    /// MXINT is block-local (no tensor-global pass), so no scratch is
+    /// needed and the encode is allocation-free by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != x.len()` or `scales` does not hold one
+    /// entry per block.
+    pub fn encode_row(&self, x: &[f32], codes: &mut [i8], scales: &mut [i16]) {
+        assert_eq!(codes.len(), x.len(), "code length mismatch");
+        assert_eq!(scales.len(), x.len().div_ceil(self.block_size), "scale length mismatch");
+        for ((xb, cb), sc) in
+            x.chunks(self.block_size).zip(codes.chunks_mut(self.block_size)).zip(scales.iter_mut())
+        {
+            let scale = xb
+                .iter()
+                .map(|&v| Bf16::from_f32(v))
+                .filter(|v| !v.is_zero() && !v.is_subnormal())
+                .map(|v| v.unbiased_exponent())
+                .max();
+            match scale {
+                Some(s) => {
+                    *sc = s as i16;
+                    for (c, &v) in cb.iter_mut().zip(xb) {
+                        // |q| <= 2^(bits-1)-1 <= 127 for bits <= 8.
+                        *c = shift_quantize(Bf16::from_f32(v), s, self.bits, self.rounding) as i8;
+                    }
+                }
+                None => {
+                    *sc = 0;
+                    cb.fill(0);
+                }
+            }
+        }
+    }
+
+    /// Decodes a row encoded by [`MxIntQuantizer::encode_row`], bit-for-bit
+    /// equal to the streaming round trip for the same input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array lengths disagree with the block geometry.
+    pub fn decode_row(&self, codes: &[i8], scales: &[i16], out: &mut [f32]) {
+        assert_eq!(out.len(), codes.len(), "output length mismatch");
+        assert_eq!(scales.len(), codes.len().div_ceil(self.block_size), "scale length mismatch");
+        for ((cb, ob), &sc) in
+            codes.chunks(self.block_size).zip(out.chunks_mut(self.block_size)).zip(scales.iter())
+        {
+            let step = opal_numerics::shift::step_size(i32::from(sc), self.bits);
+            for (o, &c) in ob.iter_mut().zip(cb) {
+                *o = f32::from(c) * step;
+            }
+        }
+    }
 }
 
 impl Quantizer for MxIntQuantizer {

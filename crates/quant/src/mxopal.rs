@@ -403,6 +403,160 @@ impl MxOpalQuantizer {
             outlier_start = outlier_end;
         }
     }
+
+    /// Encodes one row into caller-owned packed page arrays — the KV-cache
+    /// storage form of [`MxOpalQuantizer::quantize_dequantize_fused`].
+    ///
+    /// Runs the identical two passes over `scratch` (same stable top-`(n+1)`
+    /// outlier selection, same global-scale rule, same per-block clamp) but
+    /// instead of reconstructing values it emits the encoding itself:
+    ///
+    /// * `codes[i]` — the shift-quantized integer element (outlier positions
+    ///   hold `0`, so a code-domain dot never double-counts them);
+    /// * `scales[b]` — the *effective* (post-clamp) shared scale of block
+    ///   `b`, so decoding needs no global scale;
+    /// * `out_idx`/`out_val` — `self.outliers` fixed slots per block of
+    ///   preserved `(index within block, bfloat16 value)` pairs, the live
+    ///   prefix length in `out_len[b]`.
+    ///
+    /// [`MxOpalQuantizer::decode_row`] reconstructs bit-for-bit the values
+    /// `quantize_dequantize_fused` would have produced, because the fused
+    /// reconstruction is exactly `code × step_size(scale, bits)` (scaling by
+    /// an exact power of two) plus exact bfloat16 outliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any destination length disagrees with `x.len()` and this
+    /// quantizer's block geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn encode_row_scratch(
+        &self,
+        x: &[f32],
+        codes: &mut [i8],
+        scales: &mut [i16],
+        out_idx: &mut [u16],
+        out_val: &mut [Bf16],
+        out_len: &mut [u8],
+        s: &mut EncodeScratch,
+    ) {
+        let blocks = x.len().div_ceil(self.block_size);
+        assert_eq!(codes.len(), x.len(), "code length mismatch");
+        assert_eq!(scales.len(), blocks, "scale length mismatch");
+        assert_eq!(out_idx.len(), blocks * self.outliers, "outlier index length mismatch");
+        assert_eq!(out_val.len(), blocks * self.outliers, "outlier value length mismatch");
+        assert_eq!(out_len.len(), blocks, "outlier count length mismatch");
+        s.bf.clear();
+        s.bf.extend(x.iter().map(|&v| Bf16::from_f32(v)));
+        s.block_scales.clear();
+        s.outlier_idx.clear();
+        s.outlier_end.clear();
+
+        // Pass 1: identical to `quantize_dequantize_fused`.
+        let mut scale_min: Option<i32> = None;
+        let mut scale_max: Option<i32> = None;
+        let mut start = 0;
+        while start < x.len() {
+            let end = (start + self.block_size).min(x.len());
+            let n = self.outliers.min(end - start - 1);
+            s.top.clear();
+            for j in 0..end - start {
+                let v = s.bf[start + j];
+                let mut pos = s.top.len();
+                for (t, &e) in s.top.iter().enumerate() {
+                    if s.bf[start + e].abs_cmp(v) == Ordering::Less {
+                        pos = t;
+                        break;
+                    }
+                }
+                if pos <= n {
+                    s.top.insert(pos, j);
+                    s.top.truncate(n + 1);
+                }
+            }
+            let scale_elem = s.bf[start + s.top[n]];
+            let scale = if scale_elem.is_zero() || scale_elem.is_subnormal() {
+                None
+            } else {
+                Some(scale_elem.unbiased_exponent())
+            };
+            if let Some(sc) = scale {
+                scale_min = Some(scale_min.map_or(sc, |m| m.min(sc)));
+                scale_max = Some(scale_max.map_or(sc, |m| m.max(sc)));
+            }
+            // tidy: allow(alloc) -- amortized: scratch capacity is reused across calls
+            s.block_scales.push(scale);
+            s.outlier_idx.extend(s.top[..n].iter().map(|&j| start + j));
+            // tidy: allow(alloc) -- amortized: scratch capacity is reused across calls
+            s.outlier_end.push(s.outlier_idx.len());
+            start = end;
+        }
+
+        let global_scale = match (scale_min, scale_max) {
+            (Some(lo), Some(hi)) => lo.max(hi - MAX_OFFSET),
+            _ => 0,
+        };
+
+        // Pass 2: emit codes at each block's clamped effective scale, zero
+        // the outlier positions, and record the preserved values.
+        let mut outlier_start = 0;
+        for (b, block_scale) in s.block_scales.iter().enumerate() {
+            let start = b * self.block_size;
+            let end = (start + self.block_size).min(x.len());
+            let scale = block_scale
+                .map(|sc| sc.clamp(global_scale, global_scale + MAX_OFFSET))
+                .unwrap_or(global_scale);
+            // bf16 exponents fit i16 with orders of magnitude to spare.
+            scales[b] = scale as i16;
+            for (c, &v) in codes[start..end].iter_mut().zip(&s.bf[start..end]) {
+                // |q| <= 2^(bits-1)-1 <= 127 for bits <= 8: exact in i8.
+                *c = shift_quantize(v, scale, self.bits, self.rounding) as i8;
+            }
+            let outlier_end = s.outlier_end[b];
+            let slot0 = b * self.outliers;
+            out_len[b] = (outlier_end - outlier_start) as u8;
+            for (slot, &i) in s.outlier_idx[outlier_start..outlier_end].iter().enumerate() {
+                codes[i] = 0;
+                out_idx[slot0 + slot] = (i - start) as u16;
+                out_val[slot0 + slot] = s.bf[i];
+            }
+            outlier_start = outlier_end;
+        }
+    }
+
+    /// Decodes a row encoded by [`MxOpalQuantizer::encode_row_scratch`],
+    /// bit-for-bit equal to what `quantize_dequantize_fused` writes for the
+    /// same input: one power-of-two step multiply per code, then the exact
+    /// bfloat16 outliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array lengths disagree with the block geometry.
+    pub fn decode_row(
+        &self,
+        codes: &[i8],
+        scales: &[i16],
+        out_idx: &[u16],
+        out_val: &[Bf16],
+        out_len: &[u8],
+        out: &mut [f32],
+    ) {
+        let blocks = codes.len().div_ceil(self.block_size);
+        assert_eq!(out.len(), codes.len(), "output length mismatch");
+        assert_eq!(scales.len(), blocks, "scale length mismatch");
+        assert_eq!(out_len.len(), blocks, "outlier count length mismatch");
+        for b in 0..blocks {
+            let start = b * self.block_size;
+            let end = (start + self.block_size).min(codes.len());
+            let step = opal_numerics::shift::step_size(i32::from(scales[b]), self.bits);
+            for (o, &c) in out[start..end].iter_mut().zip(&codes[start..end]) {
+                *o = f32::from(c) * step;
+            }
+            let slot0 = b * self.outliers;
+            for slot in 0..usize::from(out_len[b]) {
+                out[start + usize::from(out_idx[slot0 + slot])] = out_val[slot0 + slot].to_f32();
+            }
+        }
+    }
 }
 
 impl Quantizer for MxOpalQuantizer {

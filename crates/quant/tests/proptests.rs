@@ -247,6 +247,116 @@ proptest! {
     }
 
     #[test]
+    fn mxopal_page_row_codec_round_trips_bit_identically(
+        x in block(300),
+        bits in 2u32..=8,
+        block_size in 1usize..40,
+        n in 0usize..8,
+    ) {
+        // The packed-page row codec behind the quantized KV cache:
+        // `encode_row_scratch` → `decode_row` must reconstruct exactly what
+        // `quantize_dequantize` produces for the same input — the paged
+        // attention walk trusts this to score against packed codes without
+        // ever materializing the reference reconstruction. Bit compare so
+        // signed zeros count, across block sizes and outlier budgets.
+        let n = n.min(block_size - 1);
+        let q = MxOpalQuantizer::new(bits, block_size, n).unwrap();
+        let mut scratch = EncodeScratch::new();
+        for len in [1usize, block_size, block_size + 1, 2 * block_size + 1, 300] {
+            let len = len.min(x.len());
+            let qpr = len.div_ceil(block_size);
+            let mut codes = vec![0i8; len];
+            let mut scales = vec![0i16; qpr];
+            let mut out_idx = vec![0u16; qpr * n];
+            let mut out_val = vec![opal_numerics::Bf16::from_f32(0.0); qpr * n];
+            let mut out_len = vec![0u8; qpr];
+            q.encode_row_scratch(
+                &x[..len], &mut codes, &mut scales, &mut out_idx, &mut out_val, &mut out_len,
+                &mut scratch,
+            );
+            let mut decoded = vec![f32::NAN; len];
+            q.decode_row(&codes, &scales, &out_idx, &out_val, &out_len, &mut decoded);
+            let reference = q.quantize_dequantize(&x[..len]);
+            let dec_bits: Vec<u32> = decoded.iter().map(|v| v.to_bits()).collect();
+            let ref_bits: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&dec_bits, &ref_bits, "page codec diverged, len {}", len);
+        }
+    }
+
+    #[test]
+    fn mxint_page_row_codec_round_trips_bit_identically(
+        x in block(300),
+        bits in 2u32..=8,
+        block_size in 1usize..40,
+    ) {
+        // The outlier-free page codec: `encode_row` → `decode_row` against
+        // the streaming `quantize_dequantize_into` reference.
+        let q = MxIntQuantizer::new(bits, block_size).unwrap();
+        for len in [1usize, block_size, block_size + 1, 2 * block_size + 1, 300] {
+            let len = len.min(x.len());
+            let qpr = len.div_ceil(block_size);
+            let mut codes = vec![0i8; len];
+            let mut scales = vec![0i16; qpr];
+            q.encode_row(&x[..len], &mut codes, &mut scales);
+            let mut decoded = vec![f32::NAN; len];
+            q.decode_row(&codes, &scales, &mut decoded);
+            let mut reference = vec![f32::NAN; len];
+            q.quantize_dequantize_into(&x[..len], &mut reference);
+            let dec_bits: Vec<u32> = decoded.iter().map(|v| v.to_bits()).collect();
+            let ref_bits: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&dec_bits, &ref_bits, "mxint page codec diverged, len {}", len);
+        }
+    }
+
+    #[test]
+    fn mxopal_page_row_error_bounded_by_half_step_or_saturation(
+        x in block(256),
+        bits in 3u32..=8,
+        n in 0usize..6,
+    ) {
+        // Per-element reconstruction error of a packed page row: against
+        // the bf16 input (the format's domain), every non-outlier position
+        // is either within half a quantization step of its block's scale,
+        // or its code saturated (the clamped block scale cannot represent
+        // it — the magnitude shrinks, never grows).
+        let block_size = 32usize;
+        let q = MxOpalQuantizer::new(bits, block_size, n).unwrap();
+        let mut scratch = EncodeScratch::new();
+        let qpr = x.len().div_ceil(block_size);
+        let mut codes = vec![0i8; x.len()];
+        let mut scales = vec![0i16; qpr];
+        let mut out_idx = vec![0u16; qpr * n];
+        let mut out_val = vec![opal_numerics::Bf16::from_f32(0.0); qpr * n];
+        let mut out_len = vec![0u8; qpr];
+        q.encode_row_scratch(
+            &x, &mut codes, &mut scales, &mut out_idx, &mut out_val, &mut out_len, &mut scratch,
+        );
+        let mut decoded = vec![f32::NAN; x.len()];
+        q.decode_row(&codes, &scales, &out_idx, &out_val, &out_len, &mut decoded);
+        let code_max = ((1i32 << (bits - 1)) - 1) as f64;
+        for (i, (&v, &d)) in x.iter().zip(&decoded).enumerate() {
+            let b = i / block_size;
+            // Outlier slots reconstruct their bf16 value exactly and are
+            // checked by `mxopal_preserves_top_outliers_exactly`.
+            let slot0 = b * n;
+            let is_outlier = (0..usize::from(out_len[b]))
+                .any(|s| b * block_size + usize::from(out_idx[slot0 + s]) == i);
+            if is_outlier {
+                continue;
+            }
+            let target = f64::from(opal_numerics::Bf16::from_f32(v).to_f32());
+            let step = f64::from(opal_numerics::shift::step_size(i32::from(scales[b]), bits));
+            let err = (f64::from(d) - target).abs();
+            let saturated = i64::from(codes[i]).unsigned_abs() as f64 >= code_max;
+            prop_assert!(
+                err <= step / 2.0 + 1e-12 || (saturated && d.abs() <= v.abs()),
+                "row[{}]: err {} > step/2 {} (code {}, scale {})",
+                i, err, step / 2.0, codes[i], scales[b]
+            );
+        }
+    }
+
+    #[test]
     fn zero_maps_to_zero(bits in 2u32..=8, len in 1usize..257) {
         let x = vec![0.0f32; len];
         let quantizers: Vec<Box<dyn Quantizer>> = vec![

@@ -15,7 +15,7 @@
 //! if the Poisson roofline cross-check leaves its ±2× band, or if the
 //! emitted JSON report is malformed.
 
-use opal_model::{Model, ModelConfig, QuantScheme};
+use opal_model::{KvScheme, Model, ModelConfig, QuantScheme};
 use opal_scenario::{
     autotune, calibrate, replay_calibrated, replay_with, CancelStorm, ChurnPhase, DegradedConfig,
     FinishReason, GridSpec, ReplayOptions, RetryPolicy, ScenarioReport, ServeConfig, TraceConfig,
@@ -112,6 +112,46 @@ fn main() {
         churn_cfg.max_blocks
     );
     println!("  churn: storms and pool pressure exercised the preempt path ✓\n");
+
+    // --- Traffic shape 3b: the same churn under quantized KV pages. -------
+    // The byte budget the exact pool spends on `max_blocks` pages buys
+    // several times as many MX-OPAL pages, so the identical storm trace
+    // preempts less and drains faster — the serving-level payoff of the
+    // quantized cache, beyond the per-token storage ratio.
+    let quant = KvScheme::mxopal();
+    let d_model = model.config().d_model;
+    let budget_bytes =
+        churn_cfg.max_blocks * 2 * KvScheme::Exact.page_bytes(churn_cfg.block_size, d_model);
+    let quant_cfg = ServeConfig {
+        max_blocks: budget_bytes / (2 * quant.page_bytes(churn_cfg.block_size, d_model)),
+        kv_scheme: quant,
+        ..churn_cfg
+    };
+    let quant_storm = replay_calibrated(&model, quant_cfg, &storm_trace, calibration, DEFAULT_BAND);
+    print!("{quant_storm}");
+    assert!(
+        quant_storm.drain_goodput > storm.drain_goodput,
+        "quantized KV ({} blocks for the exact pool's byte budget) must drain faster than the \
+         exact cache under the same churn: {:.3} vs {:.3} tok/step",
+        quant_cfg.max_blocks,
+        quant_storm.drain_goodput,
+        storm.drain_goodput
+    );
+    assert!(
+        quant_storm.preemptions < storm.preemptions,
+        "the roomier quantized pool must preempt less ({} vs {})",
+        quant_storm.preemptions,
+        storm.preemptions
+    );
+    println!(
+        "  churn/quantized: {} blocks for the same bytes, drain {:.3} vs {:.3} tok/step, \
+         {} vs {} preemptions ✓\n",
+        quant_cfg.max_blocks,
+        quant_storm.drain_goodput,
+        storm.drain_goodput,
+        quant_storm.preemptions,
+        storm.preemptions
+    );
 
     // --- Traffic shape 4: chaos soak — fault burst, deadlines, retries. ---
     let chaos_serve = ServeConfig {
@@ -214,7 +254,11 @@ fn main() {
     );
 
     // --- Emit and validate the JSON report. -------------------------------
-    let json = suite_json(seed, &[&poisson, &bursty, &storm, &chaos], &tune.best_point().report);
+    let json = suite_json(
+        seed,
+        &[&poisson, &bursty, &storm, &quant_storm, &chaos],
+        &tune.best_point().report,
+    );
     assert_json_wellformed(&json);
     println!("\n{json}");
     println!("\nscenario suite passed");

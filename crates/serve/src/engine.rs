@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use opal_hw::accelerator::Accelerator;
-use opal_model::kv::{BlockPool, KvBlock};
+use opal_model::kv::{BlockPool, KvBlock, KvScheme};
 use opal_model::sampling::Sampler;
 use opal_model::{DecodeState, Model};
 use opal_tensor::rng::TensorRng;
@@ -165,6 +165,15 @@ pub enum StepMode {
     ForceScoped,
 }
 
+/// Upper bound on how many times one queued request can be bypassed by
+/// [`ServeEngine::admit`]'s trie-aware reordering. Under block pressure a
+/// cache-warm request may be admitted ahead of colder ones submitted
+/// earlier; every jumped request counts the bypass, and the reorder scan
+/// refuses to pass a request that has reached this count — so a cold
+/// request is delayed by at most this many out-of-order admissions before
+/// the queue falls back to strict arrival order.
+pub const REORDER_STARVATION_BOUND: u32 = 4;
+
 /// Scheduler limits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -201,12 +210,23 @@ pub struct ServeConfig {
     pub block_size: usize,
     /// Hard bound on KV blocks across the whole engine — every layer of
     /// every resident sequence plus the prefix cache; total KV memory is
-    /// `max_blocks × block_size × d_model × 2` floats. When the pool runs
-    /// dry the scheduler evicts unused prefix-cache blocks, shrinks
-    /// prefill grants, and finally preempts the youngest sequence (its
-    /// blocks are freed and it re-queues to re-prefill later) instead of
-    /// erroring. Default `usize::MAX` (unbounded).
+    /// `max_blocks × 2 ×` [`KvScheme::page_bytes`] for the configured
+    /// [`ServeConfig::kv_scheme`] (`block_size × d_model × 2` floats per
+    /// block when exact). When the pool runs dry the scheduler evicts
+    /// unused prefix-cache blocks, shrinks prefill grants, and finally
+    /// preempts the youngest sequence (its blocks are freed and it
+    /// re-queues to re-prefill later) instead of erroring. Default
+    /// `usize::MAX` (unbounded).
     pub max_blocks: usize,
+    /// Storage format of the KV-cache pages (see [`KvScheme`]). The
+    /// default [`KvScheme::Exact`] keeps decode bit-identical to the
+    /// unpaged cache; [`KvScheme::mxopal`] / [`KvScheme::mxint`] store
+    /// packed shared-exponent codes instead — ~3.5× smaller pages, so a
+    /// bounded pool holds ~3.5× more resident tokens — and attention runs
+    /// in the quantized domain (bit-deterministic, accuracy-bounded
+    /// against the exact cache). Prefix sharing works identically in
+    /// either mode, but blocks never cross schemes.
+    pub kv_scheme: KvScheme,
     /// Exact-prefix KV sharing: requests whose token prefix matches blocks
     /// already resident adopt them read-only and skip that span's prefill.
     /// Output is bit-identical either way (shared rows are exactly the
@@ -234,6 +254,7 @@ impl Default for ServeConfig {
             max_queue: usize::MAX,
             block_size: 16,
             max_blocks: usize::MAX,
+            kv_scheme: KvScheme::Exact,
             prefix_sharing: true,
             degraded: None,
         }
@@ -487,6 +508,9 @@ struct Queued {
     /// Present when this entry is a preempted sequence awaiting
     /// re-admission rather than a fresh request.
     resume: Option<Resume>,
+    /// Times a younger cache-warm request was admitted past this one under
+    /// block pressure (see [`REORDER_STARVATION_BOUND`]).
+    bypassed: u32,
 }
 
 /// What [`advance_sequence`] did to one sequence during one step — written
@@ -891,8 +915,12 @@ impl<'m> ServeEngine<'m> {
         assert!(config.max_queue > 0, "max_queue must be at least 1");
         assert!(config.block_size > 0, "block_size must be at least 1");
         assert!(config.max_blocks > 0, "max_blocks must be at least 1");
-        let kv_pool =
-            Arc::new(BlockPool::new(config.block_size, model.config().d_model, config.max_blocks));
+        let kv_pool = Arc::new(BlockPool::with_scheme(
+            config.block_size,
+            model.config().d_model,
+            config.max_blocks,
+            config.kv_scheme,
+        ));
         ServeEngine {
             model,
             accelerator: None,
@@ -1154,6 +1182,7 @@ impl<'m> ServeEngine<'m> {
             submitted_step: self.steps,
             deadline: request.deadline_steps,
             resume: None,
+            bypassed: 0,
         });
         Ok(id)
     }
@@ -1180,6 +1209,11 @@ impl<'m> ServeEngine<'m> {
         let nl = self.model.config().n_layers;
         let bs = self.config.block_size;
         let mut admitted = 0;
+        // Blocks promised to requests admitted earlier in this same pass.
+        // Their prefills only allocate later in the step, so the raw free
+        // count alone would let one pass admit an entire backlog the pool
+        // cannot actually hold — and preemption would thrash it back out.
+        let mut planned = 0usize;
         while self.active.len() < self.effective_max_batch() {
             let Some(q) = self.pending.front() else { break };
             // The prefill target: the prompt, plus — when resuming a
@@ -1205,9 +1239,34 @@ impl<'m> ServeEngine<'m> {
             let new_blocks = (shared_len + first_chunk).div_ceil(bs) - shared_blocks;
             let cow = usize::from(!shared_len.is_multiple_of(bs));
             let need = nl * (new_blocks + cow + 1);
-            if self.planning_free() < need {
+            if self.planning_free() < planned.saturating_add(need) {
+                // With admissions already planned this pass, the pool is
+                // merely spoken for, not under pressure: stop here and let
+                // the next step re-evaluate against real allocations.
+                if planned > 0 {
+                    break;
+                }
                 if self.trie.evict_lru_leaf() > 0 {
                     continue; // re-probe: the eviction may have freed enough
+                }
+                // Trie-aware reordering: the front request doesn't fit and
+                // nothing more can be evicted. A younger request whose
+                // prompt prefix is already resident needs fewer fresh
+                // blocks — admit it first rather than stalling the whole
+                // queue behind a cache-cold head. Every jumped request
+                // counts the bypass, and the scan never passes one that
+                // has reached [`REORDER_STARVATION_BOUND`], so cold
+                // requests are delayed by at most that many admissions.
+                if self.config.prefix_sharing {
+                    if let Some(idx) = self.find_warm_fit(nl, bs) {
+                        for e in self.pending.iter_mut().take(idx) {
+                            e.bypassed += 1;
+                        }
+                        if let Some(warm) = self.pending.remove(idx) {
+                            self.pending.push_front(warm);
+                            continue; // the loop re-enters and admits it
+                        }
+                    }
                 }
                 break;
             }
@@ -1276,6 +1335,7 @@ impl<'m> ServeEngine<'m> {
                 panic_next: false,
             });
             admitted += 1;
+            planned += need;
         }
         self.peak_batch = self.peak_batch.max(self.active.len());
         admitted
@@ -1684,6 +1744,45 @@ impl<'m> ServeEngine<'m> {
         self.kv_pool.free_blocks().saturating_sub(self.fault_pressure)
     }
 
+    /// Scans the admission queue behind its (unadmittable) front for the
+    /// earliest request whose prompt prefix is already resident in the
+    /// prefix trie *and* whose first-chunk block need fits the pool right
+    /// now — the candidate [`ServeEngine::admit`]'s trie-aware reordering
+    /// moves to the front. Probing is read-only (no LRU touches), the
+    /// earliest qualifying request wins (deterministic arrival-order
+    /// tie-break), and the scan never passes a request already bypassed
+    /// [`REORDER_STARVATION_BOUND`] times.
+    fn find_warm_fit(&self, nl: usize, bs: usize) -> Option<usize> {
+        if self.pending.front().is_none_or(|q| q.bypassed >= REORDER_STARVATION_BOUND) {
+            return None;
+        }
+        for (i, q) in self.pending.iter().enumerate().skip(1) {
+            let resumed_target: Option<Vec<u32>> = q.resume.as_ref().map(|r| {
+                let mut t = q.prompt.clone();
+                t.extend_from_slice(&r.tokens);
+                t
+            });
+            let target: &[u32] = resumed_target.as_deref().unwrap_or(&q.prompt);
+            let matched_blocks = self.trie.probe(target, bs);
+            let shared_len = (matched_blocks * bs).min(target.len() - 1);
+            if shared_len > 0 {
+                // Same arithmetic as the admission gate, so a returned
+                // candidate is guaranteed to admit on the next iteration.
+                let shared_blocks = shared_len.div_ceil(bs);
+                let first_chunk = self.config.prefill_chunk.min(target.len() - shared_len);
+                let new_blocks = (shared_len + first_chunk).div_ceil(bs) - shared_blocks;
+                let cow = usize::from(!shared_len.is_multiple_of(bs));
+                if self.planning_free() >= nl * (new_blocks + cow + 1) {
+                    return Some(i);
+                }
+            }
+            if q.bypassed >= REORDER_STARVATION_BOUND {
+                break; // jumping past this request would starve it
+            }
+        }
+        None
+    }
+
     /// Plans this step's memory use: fixes every sequence's prefill grant
     /// so the forthcoming appends — decode rows, granted prefill rows, and
     /// any copy-on-write of a shared tail block — are guaranteed to fit the
@@ -1894,6 +1993,7 @@ impl<'m> ServeEngine<'m> {
                 token_steps: seq.token_steps,
                 ttft: seq.ttft,
             }),
+            bypassed: 0,
         });
         // `seq.state` drops here, releasing its blocks.
     }

@@ -66,6 +66,7 @@ mod trie;
 
 pub use engine::{
     AuditReport, DegradedConfig, PrefillBudget, Request, RequestId, SamplingParams, SeqStepWork,
-    ServeConfig, ServeEngine, ServeError, StepMode, StepSummary,
+    ServeConfig, ServeEngine, ServeError, StepMode, StepSummary, REORDER_STARVATION_BOUND,
 };
+pub use opal_model::{AdoptError, KvScheme};
 pub use report::{FinishReason, RejectionCounts, RequestReport, ServeReport};

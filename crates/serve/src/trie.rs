@@ -82,6 +82,22 @@ impl PrefixTrie {
         path
     }
 
+    /// Counts the longest chain of full `block_size`-token blocks of
+    /// `tokens` present in the trie *without* LRU-touching anything — the
+    /// read-only form of [`PrefixTrie::lookup`], used by the scheduler's
+    /// trie-aware queue reordering to rank waiting requests by cache
+    /// warmth without perturbing eviction order.
+    pub(crate) fn probe(&self, tokens: &[u32], block_size: usize) -> usize {
+        let mut matched = 0;
+        let mut parent = Self::ROOT;
+        for block in tokens.chunks_exact(block_size) {
+            let Some(&id) = self.children.get(&(parent, Box::from(block))) else { break };
+            matched += 1;
+            parent = id;
+        }
+        matched
+    }
+
     /// The cached block of `node` at `layer` (a refcount bump).
     pub(crate) fn node_block(&self, node: usize, layer: usize) -> Arc<KvBlock> {
         Arc::clone(&self.nodes[&node].blocks[layer])

@@ -28,7 +28,7 @@
 
 use opal_alloc_probe::{allocations, probe_lock, CountingAlloc};
 use opal_model::{Model, ModelConfig, QuantScheme};
-use opal_serve::{ServeConfig, ServeEngine, StepMode};
+use opal_serve::{KvScheme, ServeConfig, ServeEngine, StepMode};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -39,6 +39,16 @@ const PROMPT_LEN: usize = 8;
 const LIMIT: usize = 40;
 
 fn engine_for(model: &Model, batch: usize, mode: StepMode, threads: usize) -> ServeEngine<'_> {
+    engine_for_kv(model, batch, mode, threads, KvScheme::Exact)
+}
+
+fn engine_for_kv(
+    model: &Model,
+    batch: usize,
+    mode: StepMode,
+    threads: usize,
+    kv_scheme: KvScheme,
+) -> ServeEngine<'_> {
     let config = ServeConfig {
         max_batch: batch,
         max_tokens: LIMIT,
@@ -49,6 +59,7 @@ fn engine_for(model: &Model, batch: usize, mode: StepMode, threads: usize) -> Se
         prefill_chunk: usize::MAX,
         block_size: 16,
         prefix_sharing: false,
+        kv_scheme,
         ..ServeConfig::default()
     };
     let mut engine = ServeEngine::new(model, config);
@@ -78,9 +89,18 @@ fn measure_steps(engine: &mut ServeEngine<'_>) -> Vec<u64> {
 }
 
 fn assert_zero_alloc_decode(scheme: QuantScheme, batch: usize, mode: StepMode) {
+    assert_zero_alloc_decode_kv(scheme, KvScheme::Exact, batch, mode);
+}
+
+/// Same window arithmetic as the exact-cache probes: quantized pages use
+/// the identical 16-row block geometry (only the bytes inside a page
+/// differ), so block boundaries still fall at sequence lengths 17 and 33
+/// — outside steps 13..=23 — and the `EncodeScratch` the append encoder
+/// reuses reaches its full capacity during warmup.
+fn assert_zero_alloc_decode_kv(scheme: QuantScheme, kv: KvScheme, batch: usize, mode: StepMode) {
     let _serial = probe_lock();
     let model = Model::new(ModelConfig::tiny(), scheme, 7).expect("probe model");
-    let mut engine = engine_for(&model, batch, mode, 1);
+    let mut engine = engine_for_kv(&model, batch, mode, 1, kv);
     let counts = measure_steps(&mut engine);
     assert_eq!(counts.len(), 11);
     // Debug builds run the engine's allocating invariant auditor after
@@ -122,6 +142,31 @@ fn mxopal_batch16_pool_steady_state_is_allocation_free() {
 #[test]
 fn mxopal_batch16_scoped_steady_state_is_allocation_free() {
     assert_zero_alloc_decode(QuantScheme::mxopal_w4a47(), 16, StepMode::ForceScoped);
+}
+
+#[test]
+fn kv_mxopal_batch1_pool_steady_state_is_allocation_free() {
+    assert_zero_alloc_decode_kv(QuantScheme::bf16(), KvScheme::mxopal(), 1, StepMode::ForcePool);
+}
+
+#[test]
+fn kv_mxopal_batch16_pool_steady_state_is_allocation_free() {
+    assert_zero_alloc_decode_kv(QuantScheme::bf16(), KvScheme::mxopal(), 16, StepMode::ForcePool);
+}
+
+#[test]
+fn kv_mxopal_batch16_scoped_steady_state_is_allocation_free() {
+    assert_zero_alloc_decode_kv(QuantScheme::bf16(), KvScheme::mxopal(), 16, StepMode::ForceScoped);
+}
+
+#[test]
+fn kv_mxint_batch16_pool_steady_state_is_allocation_free() {
+    assert_zero_alloc_decode_kv(
+        QuantScheme::mxopal_w4a47(),
+        KvScheme::mxint(),
+        16,
+        StepMode::ForcePool,
+    );
 }
 
 /// Multi-threaded pool dispatch allocates by design (channel nodes, chunk
