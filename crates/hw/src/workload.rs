@@ -306,6 +306,46 @@ impl TokenWorkload {
         }
         step
     }
+
+    /// The workload of one fused speculative-*verify* pass: `rows` tokens
+    /// appended after `start` cached positions and scored in a single
+    /// chunked sweep, arithmetically identical to a prefill chunk over
+    /// contexts `start + 1 ..= start + rows` (weights stream once). The
+    /// arithmetic is billed in full even though rejected rows are rolled
+    /// back afterwards — speculation's cost is exactly this over-compute.
+    ///
+    /// Like the weight stream, the KV stream is shared by the fusion: the
+    /// pass reads the `start` cached positions once for all rows (each
+    /// row's attention over the preceding in-chunk rows happens in the
+    /// activation buffer) and appends `rows` entries, where the equivalent
+    /// unfused schedule would re-stream the cache per row. This KV
+    /// amortization — on top of the weight amortization — is what makes
+    /// speculative verification nearly free in the memory-bound decode
+    /// regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero (an empty verify pass never runs).
+    pub fn from_verify(
+        model: &ModelConfig,
+        format: &DataFormat,
+        start: usize,
+        rows: usize,
+    ) -> Self {
+        assert!(rows > 0, "a verify pass scores at least one row");
+        let contexts: Vec<usize> = (1..=rows).map(|i| start + i).collect();
+        let mut wl = TokenWorkload::from_schedule(model, format, &contexts);
+        // One fused stream over the final cache extent (matching the
+        // `new` convention of `ctx + 1` entries per pass): with a single
+        // row this equals the unfused schedule — fusion saves nothing —
+        // and every additional row adds one entry instead of a full
+        // re-read of the cache.
+        wl.kv_bytes = (model.n_layers as u64 * 2 * model.d_model as u64) as f64
+            * (start + rows + 1) as f64
+            * format.kv_bits
+            / 8.0;
+        wl
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +436,35 @@ mod tests {
         assert_eq!(zero, TokenWorkload::zero());
         let one = TokenWorkload::from_schedule(&model, &fmt, &[100]);
         assert_eq!(one, a);
+    }
+
+    #[test]
+    fn verify_pass_matches_prefill_chunk_arithmetic() {
+        let model = ModelConfig::llama2_7b();
+        let fmt = DataFormat::opal_w4a47();
+        // A k=3 verify after 100 cached positions scores 4 rows at
+        // contexts 101..=104 — the same arithmetic as a 4-token prefill
+        // chunk at that offset, but the fused pass streams the shared KV
+        // cache once where the chunk schedule bills it per row.
+        let verify = TokenWorkload::from_verify(&model, &fmt, 100, 4);
+        let chunk = TokenWorkload::from_schedule(&model, &fmt, &[101, 102, 103, 104]);
+        assert_eq!(verify.macs, chunk.macs);
+        assert_eq!(verify.weight_bytes, chunk.weight_bytes);
+        assert_eq!(verify.softmax_elems, chunk.softmax_elems);
+        assert_eq!(verify.act_bytes, chunk.act_bytes);
+        assert!(verify.kv_bytes < chunk.kv_bytes);
+        // One fused KV stream: final cache extent times the per-position
+        // entry size, regardless of how many rows share it.
+        let d = model.n_layers as u64 * 2 * model.d_model as u64;
+        let expected = d as f64 * 105.0 * fmt.kv_bits / 8.0;
+        assert!((verify.kv_bytes - expected).abs() < 1e-6);
+        // With a single row there is nothing to share: the fused pass
+        // costs exactly what the unfused schedule does.
+        let one = TokenWorkload::from_verify(&model, &fmt, 100, 1);
+        assert_eq!(one, TokenWorkload::from_schedule(&model, &fmt, &[101]));
+        // More rows at the same start always cost more.
+        let shorter = TokenWorkload::from_verify(&model, &fmt, 100, 2);
+        assert!(verify.macs.total() > shorter.macs.total());
     }
 
     #[test]

@@ -127,6 +127,7 @@ impl Recorder for ActivationCapture {
     }
 }
 
+#[derive(Clone)]
 pub(crate) struct ReadyLayer {
     // All stored transposed (d_out × d_in) so a token step is a matvec.
     pub(crate) wq_t: Matrix,
@@ -140,6 +141,20 @@ pub(crate) struct ReadyLayer {
     pub(crate) attn_bias: Vec<f32>,
     pub(crate) ffn_gain: Vec<f32>,
     pub(crate) ffn_bias: Vec<f32>,
+}
+
+/// Which logits a fused multi-row pass materializes: none (mid-prompt
+/// prefill), the final row's (a prompt's last chunk), or every row's into
+/// a caller matrix (the speculative verify pass).
+enum LogitsOut<'a> {
+    None,
+    /// `keep_scratch` distinguishes a prompt's final chunk (drop the
+    /// chunk-sized buffers, the prompt is consumed) from a speculative
+    /// draft's per-step catch-up chunk (keep them — it runs every step).
+    Last {
+        keep_scratch: bool,
+    },
+    All(&'a mut Matrix),
 }
 
 /// Reshapes a scratch matrix to `rows × cols` in place, reusing the backing
@@ -337,6 +352,27 @@ impl DecodeState {
     /// shared tail block (schedulers use this to reserve the extra block).
     pub fn tail_block_shared(&self) -> bool {
         self.kv.tail_shared()
+    }
+
+    /// Rolls the sequence back to `len` positions, dropping the cached
+    /// rows past it: block-table entries past `ceil(len / block_size)`
+    /// return to the pool (or merely release this sequence's reference
+    /// when a prefix-cache entry or sharing peer still maps them), and
+    /// decoding resumes at position `len`. This is the rejected-tail
+    /// cleanup of speculative decoding: the verify pass appends K+1 rows
+    /// via [`Model::verify_chunk_into`], and the unaccepted suffix is
+    /// discarded here in O(dropped blocks). Rows at positions `>= len`
+    /// inside a kept tail block need no clearing — reads are bounded by
+    /// the sequence length, so they are recycled-page garbage like any
+    /// freshly allocated block's rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the current position.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len <= self.pos, "cannot truncate {} forward to {len}", self.pos);
+        self.kv.truncate(len);
+        self.pos = len;
     }
 
     /// Visits every `(layer, block)` entry of this sequence's block tables
@@ -575,6 +611,60 @@ impl Model {
         &self.config
     }
 
+    /// Builds the low-cost *draft sibling* for speculative decoding: a
+    /// model sharing this model's configuration, embedding, unembedding,
+    /// final norm and the processed weights of its first `n_layers`
+    /// decoder blocks, under the same activation/softmax scheme. Running
+    /// a fraction of the depth makes its forward pass proportionally
+    /// cheaper while staying correlated with the full model's greedy
+    /// choices — and the sibling is never trusted: a serving engine
+    /// verifies every proposal against the full model, so the draft
+    /// affects speed, not output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_layers` is zero or exceeds this model's layer count.
+    pub fn draft_truncated(&self, n_layers: usize) -> Model {
+        assert!(
+            n_layers >= 1 && n_layers <= self.layers.len(),
+            "draft depth {n_layers} outside 1..={}",
+            self.layers.len()
+        );
+        let mut config = self.config.clone();
+        config.n_layers = n_layers;
+        // The boxed activation quantizers are not cloneable; rebuild them
+        // from the scheme, whose parameters were validated when `self`
+        // was constructed.
+        let (low_q, high_q) = match &self.scheme.acts {
+            Some(a) => (
+                // tidy: allow(panic) -- the same parameters built self's quantizers
+                Some(a.low_quantizer().expect("scheme validated at construction")),
+                // tidy: allow(panic) -- the same parameters built self's quantizers
+                Some(a.high_quantizer().expect("scheme validated at construction")),
+            ),
+            None => (None, None),
+        };
+        let log2_softmax = match self.scheme.softmax {
+            SoftmaxKind::Exact => None,
+            SoftmaxKind::Log2 { bits } => Some(Log2Softmax::new(bits)),
+        };
+        Model {
+            config,
+            scheme: self.scheme.clone(),
+            embedding: self.embedding.clone(),
+            unembedding: self.unembedding.clone(),
+            final_norm_gain: self.final_norm_gain.clone(),
+            final_norm_bias: self.final_norm_bias.clone(),
+            layers: self.layers[..n_layers].to_vec(),
+            outlier_channels: self.outlier_channels.clone(),
+            low_q,
+            high_q,
+            log2_softmax,
+            rope_theta: self.rope_theta,
+            logit_scale: self.logit_scale,
+        }
+    }
+
     /// The active quantization scheme.
     pub fn scheme(&self) -> &QuantScheme {
         &self.scheme
@@ -701,7 +791,7 @@ impl Model {
     ///
     /// Panics if `tokens` is empty or contains out-of-range ids.
     pub fn prefill_chunk(&self, state: &mut DecodeState, tokens: &[u32]) {
-        self.prefill_core(state, tokens, false);
+        self.prefill_core(state, tokens, LogitsOut::None);
     }
 
     /// As [`Model::prefill_chunk`], additionally writing the next-token
@@ -714,8 +804,49 @@ impl Model {
     /// `out.len()` differs from the vocabulary size.
     pub fn prefill_chunk_into(&self, state: &mut DecodeState, tokens: &[u32], out: &mut [f32]) {
         assert_eq!(out.len(), self.config.vocab, "logits length mismatch");
-        self.prefill_core(state, tokens, true);
+        self.prefill_core(state, tokens, LogitsOut::Last { keep_scratch: false });
         out.copy_from_slice(&state.scratch.logits);
+    }
+
+    /// As [`Model::prefill_chunk_into`], but keeps the chunk scratch
+    /// alive. This is the steady-state form of a speculative draft's
+    /// per-step catch-up chunk: it runs on every decode step, so dropping
+    /// and re-growing the chunk-sized scratch matrices each time — the
+    /// right trade for a prompt's final chunk — would put an allocation
+    /// storm on the hot path (the alloc-probe speculative test pins this
+    /// to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty, contains out-of-range ids, or
+    /// `out.len()` differs from the vocabulary size.
+    pub fn catchup_chunk_into(&self, state: &mut DecodeState, tokens: &[u32], out: &mut [f32]) {
+        assert_eq!(out.len(), self.config.vocab, "logits length mismatch");
+        self.prefill_core(state, tokens, LogitsOut::Last { keep_scratch: true });
+        out.copy_from_slice(&state.scratch.logits);
+    }
+
+    /// The fused multi-row *verify* pass of speculative decoding: advances
+    /// `state` by `tokens.len()` positions exactly like
+    /// [`Model::prefill_chunk`], but materializes the next-token logits of
+    /// **every** position into `out` (reshaped to `tokens.len() × vocab`
+    /// in place; allocation-free once grown). Row `r` holds the logits
+    /// after `tokens[..=r]`, bit-identical to what
+    /// [`Model::decode_step_into`] would return having consumed those same
+    /// tokens one at a time — so a serving engine can accept the longest
+    /// drafted prefix whose picks match and roll the rejected tail back
+    /// with [`DecodeState::truncate`], with output pinned to the
+    /// non-speculative stream.
+    ///
+    /// Unlike the prompt path, the final chunk scratch is kept alive: a
+    /// speculating sequence verifies every step, so dropping the buffers
+    /// would recreate them each time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains out-of-range ids.
+    pub fn verify_chunk_into(&self, state: &mut DecodeState, tokens: &[u32], out: &mut Matrix) {
+        self.prefill_core(state, tokens, LogitsOut::All(out));
     }
 
     /// As [`Model::decode_step`], optionally reporting activations to a
@@ -882,9 +1013,10 @@ impl Model {
     }
 
     /// The fused multi-token prefill pass: advances `state` by
-    /// `tokens.len()` prompt positions in one layer sweep, leaving the
-    /// final position's logits in `state.scratch.logits` when
-    /// `compute_logits` is set.
+    /// `tokens.len()` prompt positions in one layer sweep, materializing
+    /// logits per the [`LogitsOut`] mode (the final position's into
+    /// `state.scratch.logits`, or every position's into a caller matrix
+    /// for the speculative verify pass).
     ///
     /// Bit-identity with the token-by-token loop holds operation by
     /// operation: norms and quantizers run per row with the same kernels
@@ -894,7 +1026,7 @@ impl Model {
     /// same cache rows in the same order the sequential path would at
     /// position `pos0 + r` — K/V rows never depend on attention, so
     /// appending the whole chunk before attending changes nothing.
-    fn prefill_core(&self, state: &mut DecodeState, tokens: &[u32], compute_logits: bool) {
+    fn prefill_core(&self, state: &mut DecodeState, tokens: &[u32], logits_out: LogitsOut<'_>) {
         let n = tokens.len();
         assert!(n > 0, "empty prefill chunk");
         for &t in tokens {
@@ -1052,18 +1184,40 @@ impl Model {
         }
 
         *pos += n;
-        if compute_logits {
-            self.norm_into(pf.hs.row(n - 1), &self.final_norm_gain, &self.final_norm_bias, hn);
-            self.unembedding.matvec_into(hn, logits);
-            for v in logits.iter_mut() {
-                *v *= self.logit_scale;
+        match logits_out {
+            LogitsOut::None => {}
+            LogitsOut::Last { keep_scratch } => {
+                self.norm_into(pf.hs.row(n - 1), &self.final_norm_gain, &self.final_norm_bias, hn);
+                self.unembedding.matvec_into(hn, logits);
+                for v in logits.iter_mut() {
+                    *v *= self.logit_scale;
+                }
+                if !keep_scratch {
+                    // A prompt's final chunk: the prompt is consumed, so
+                    // drop the chunk-sized buffers instead of carrying ~13
+                    // `chunk × d_ff`/`chunk × seq` matrices through the
+                    // sequence's whole decode lifetime (they regrow lazily
+                    // if another prompt chunk ever arrives). Draft
+                    // catch-up chunks set `keep_scratch` — they recur
+                    // every step.
+                    *pf = PrefillScratch::default();
+                }
             }
-            // Logits are only requested for a prompt's final chunk: the
-            // prompt is consumed, so drop the chunk-sized buffers instead
-            // of carrying ~13 `chunk × d_ff`/`chunk × seq` matrices through
-            // the sequence's whole decode lifetime (they regrow lazily if
-            // another prompt chunk ever arrives).
-            *pf = PrefillScratch::default();
+            LogitsOut::All(out) => {
+                // Per-row final norm + unembedding with the single-token
+                // kernels, so row `r` is bit-identical to the logits a
+                // `decode_step` at position `pos0 + r` would produce. The
+                // chunk scratch stays alive — see `verify_chunk_into`.
+                ensure_shape(out, n, self.config.vocab);
+                for r in 0..n {
+                    self.norm_into(pf.hs.row(r), &self.final_norm_gain, &self.final_norm_bias, hn);
+                    let row = out.row_mut(r);
+                    self.unembedding.matvec_into(hn, row);
+                    for v in row.iter_mut() {
+                        *v *= self.logit_scale;
+                    }
+                }
+            }
         }
     }
 
@@ -1375,6 +1529,85 @@ mod tests {
         let m = tiny_model(QuantScheme::bf16());
         let mut s = m.begin_decode();
         m.decode_step(&mut s, 64);
+    }
+
+    #[test]
+    fn verify_chunk_matches_sequential_decode_bitwise() {
+        for scheme in [QuantScheme::bf16(), QuantScheme::mxopal_w4a47()] {
+            let m = tiny_model(scheme);
+            let prompt = [3u32, 14, 15, 9, 2];
+            let tail = [6u32, 5, 35, 8];
+            // Sequential: prefill then decode the tail token by token.
+            let mut seq_state = m.begin_decode();
+            let mut last = vec![0.0; m.config().vocab];
+            m.prefill_into(&mut seq_state, &prompt, &mut last);
+            let mut seq_logits = Vec::new();
+            for &t in &tail {
+                m.decode_step_into(&mut seq_state, t, &mut last);
+                seq_logits.push(last.clone());
+            }
+            // Fused: one verify pass over the same tail.
+            let mut ver_state = m.begin_decode();
+            m.prefill_into(&mut ver_state, &prompt, &mut last);
+            let mut rows = Matrix::zeros(0, 0);
+            m.verify_chunk_into(&mut ver_state, &tail, &mut rows);
+            assert_eq!(rows.rows(), tail.len());
+            for (r, want) in seq_logits.iter().enumerate() {
+                for (c, (a, b)) in rows.row(r).iter().zip(want).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {r} col {c}");
+                }
+            }
+            assert_eq!(ver_state.pos(), seq_state.pos());
+        }
+    }
+
+    #[test]
+    fn truncate_then_redecode_is_bit_identical() {
+        let m = tiny_model(QuantScheme::mxopal_w4a47());
+        let tokens = [1u32, 2, 3, 4, 5, 6];
+        // Baseline: decode straight through.
+        let mut base = m.begin_decode();
+        let mut want = vec![0.0; m.config().vocab];
+        for &t in &tokens {
+            m.decode_step_into(&mut base, t, &mut want);
+        }
+        // Speculative shape: decode 4, verify 5 bogus rows, roll back,
+        // then decode the real remainder.
+        let mut spec = m.begin_decode();
+        let mut got = vec![0.0; m.config().vocab];
+        for &t in &tokens[..4] {
+            m.decode_step_into(&mut spec, t, &mut got);
+        }
+        let mut rows = Matrix::zeros(0, 0);
+        m.verify_chunk_into(&mut spec, &[60, 61, 62, 63, 59], &mut rows);
+        spec.truncate(4);
+        assert_eq!(spec.pos(), 4);
+        for &t in &tokens[4..] {
+            m.decode_step_into(&mut spec, t, &mut got);
+        }
+        for (c, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "col {c}");
+        }
+    }
+
+    #[test]
+    fn draft_truncated_shares_shallow_stack() {
+        let m = tiny_model(QuantScheme::mxopal_w4a47());
+        let draft = m.draft_truncated(1);
+        assert_eq!(draft.config().n_layers, 1);
+        let logits = draft.forward(&[1, 2, 3]);
+        assert!(logits.row(2).iter().all(|v| v.is_finite()));
+        // A full-depth sibling reproduces the parent's logits exactly.
+        let mirror = m.draft_truncated(m.config().n_layers);
+        let a = m.forward(&[7, 8, 9]);
+        let b = mirror.forward(&[7, 8, 9]);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn draft_truncated_rejects_zero_depth() {
+        tiny_model(QuantScheme::bf16()).draft_truncated(0);
     }
 
     #[test]

@@ -57,7 +57,8 @@ pub enum KvScheme {
     /// of `qblock` elements, with the top `outliers` magnitudes per block
     /// preserved exactly in bf16 side slots.
     MxOpal {
-        /// Code width in bits (2..=8; codes are stored in `i8` slots).
+        /// Code width in bits (2..=8; codes at 5..=8 bits occupy one `i8`
+        /// slot each, codes at `<= 4` bits are nibble-packed two per byte).
         bits: u32,
         /// Elements per shared-exponent block.
         qblock: usize,
@@ -67,11 +68,22 @@ pub enum KvScheme {
     /// MXINT pages: `bits`-bit integer codes over shared-exponent blocks of
     /// `qblock` elements, no outlier slots.
     MxInt {
-        /// Code width in bits (2..=8; codes are stored in `i8` slots).
+        /// Code width in bits (2..=8; codes at 5..=8 bits occupy one `i8`
+        /// slot each, codes at `<= 4` bits are nibble-packed two per byte).
         bits: u32,
         /// Elements per shared-exponent block.
         qblock: usize,
     },
+}
+
+/// `i8` storage slots behind one row of `width` codes: nibble-packed pages
+/// (`bits <= 4`) hold two codes per byte, wider codes one per byte.
+fn code_slots(bits: u32, width: usize) -> usize {
+    if bits <= 4 {
+        width.div_ceil(2)
+    } else {
+        width
+    }
 }
 
 impl KvScheme {
@@ -92,17 +104,28 @@ impl KvScheme {
         KvScheme::MxInt { bits: 8, qblock: 32 }
     }
 
+    /// The preset 4-bit MX-OPAL KV scheme: 4-bit codes nibble-packed two
+    /// per byte, 32-element blocks, 2 bf16 outliers per block (~6.75
+    /// stored bits per element at `width = 128`) — roughly 1.4× smaller
+    /// pages than [`KvScheme::mxopal`] and ~4.7× smaller than `Exact`.
+    pub fn mxopal4() -> Self {
+        KvScheme::MxOpal { bits: 4, qblock: 32, outliers: 2 }
+    }
+
     /// Whether pages under this scheme store packed codes rather than
     /// `f32` rows.
     pub fn quantized(&self) -> bool {
         !matches!(self, KvScheme::Exact)
     }
 
-    /// Short stable name for reports and bench output.
+    /// Short stable name for reports and bench output (nibble-packed
+    /// variants are named separately so byte-budget tables stay legible).
     pub fn name(&self) -> &'static str {
         match self {
             KvScheme::Exact => "exact",
+            KvScheme::MxOpal { bits: 0..=4, .. } => "mxopal4",
             KvScheme::MxOpal { .. } => "mxopal",
+            KvScheme::MxInt { bits: 0..=4, .. } => "mxint4",
             KvScheme::MxInt { .. } => "mxint",
         }
     }
@@ -113,15 +136,16 @@ impl KvScheme {
     pub fn page_bytes(&self, block_size: usize, width: usize) -> usize {
         match *self {
             KvScheme::Exact => block_size * width * std::mem::size_of::<f32>(),
-            KvScheme::MxOpal { qblock, outliers, .. } => {
+            KvScheme::MxOpal { bits, qblock, outliers } => {
                 let qpr = width.div_ceil(qblock);
-                // i8 code per element; i16 scale + u8 outlier count per
-                // quant block; (u16 index, bf16 value) per outlier slot.
-                block_size * (width + qpr * 3 + qpr * outliers * 4)
+                // i8 slot per code (nibble-packed below 5 bits); i16 scale
+                // + u8 outlier count per quant block; (u16 index, bf16
+                // value) per outlier slot.
+                block_size * (code_slots(bits, width) + qpr * 3 + qpr * outliers * 4)
             }
-            KvScheme::MxInt { qblock, .. } => {
+            KvScheme::MxInt { bits, qblock } => {
                 let qpr = width.div_ceil(qblock);
-                block_size * (width + qpr * 3)
+                block_size * (code_slots(bits, width) + qpr * 3)
             }
         }
     }
@@ -312,11 +336,12 @@ impl BlockPool {
                 (PageStore::Exact(vec![0.0; cap]), PageStore::Exact(vec![0.0; cap]))
             }
             _ => {
-                let (_, _, nout) = self.quant_params();
+                let (bits, _, nout) = self.quant_params();
                 let qpr = self.qblocks_per_row();
+                let cw = code_slots(bits, self.width);
                 (
-                    PageStore::Quant(QuantPage::zeroed(self.block_size, self.width, qpr, nout)),
-                    PageStore::Quant(QuantPage::zeroed(self.block_size, self.width, qpr, nout)),
+                    PageStore::Quant(QuantPage::zeroed(self.block_size, cw, qpr, nout)),
+                    PageStore::Quant(QuantPage::zeroed(self.block_size, cw, qpr, nout)),
                 )
             }
         }
@@ -394,13 +419,22 @@ impl PageStore {
 
     /// Copies the first `rows` rows of `src` into `self` (copy-on-write
     /// body; both pages come from the same pool, hence the same layout).
-    fn copy_rows_from(&mut self, src: &PageStore, rows: usize, w: usize, qpr: usize, nout: usize) {
+    /// `cw` is the `i8` code stride per quantized row (`code_slots`).
+    fn copy_rows_from(
+        &mut self,
+        src: &PageStore,
+        rows: usize,
+        w: usize,
+        cw: usize,
+        qpr: usize,
+        nout: usize,
+    ) {
         match (self, src) {
             (PageStore::Exact(dst), PageStore::Exact(s)) => {
                 dst[..rows * w].copy_from_slice(&s[..rows * w]);
             }
             (PageStore::Quant(dst), PageStore::Quant(s)) => {
-                dst.codes[..rows * w].copy_from_slice(&s.codes[..rows * w]);
+                dst.codes[..rows * cw].copy_from_slice(&s.codes[..rows * cw]);
                 dst.scales[..rows * qpr].copy_from_slice(&s.scales[..rows * qpr]);
                 dst.out_len[..rows * qpr].copy_from_slice(&s.out_len[..rows * qpr]);
                 let slots = rows * qpr * nout;
@@ -415,12 +449,14 @@ impl PageStore {
 /// Packed storage for one quantized page: `block_size` rows of `width`
 /// elements, each row split into `qpr` shared-exponent blocks.
 ///
-/// Layout per row: `width` `i8` codes, `qpr` effective `i16` scales (the
-/// post-clamp shared exponents the codes were quantized against; `0` for
-/// an all-zero block, whose codes are all `0`), and — for MX-OPAL — `qpr ×
-/// nout` fixed outlier slots of `(u16 in-block index, bf16 exact value)`
-/// with a `u8` live count per quant block. Codes at outlier positions are
-/// `0`, so a walk adds outlier contributions without double-counting.
+/// Layout per row: `code_slots(bits, width)` `i8` code slots (one code per
+/// slot, or two nibble-packed codes per byte below 5 bits), `qpr` effective
+/// `i16` scales (the post-clamp shared exponents the codes were quantized
+/// against; `0` for an all-zero block, whose codes are all `0`), and — for
+/// MX-OPAL — `qpr × nout` fixed outlier slots of `(u16 in-block index,
+/// bf16 exact value)` with a `u8` live count per quant block. Codes at
+/// outlier positions are `0`, so a walk adds outlier contributions without
+/// double-counting.
 #[derive(Debug)]
 struct QuantPage {
     codes: Vec<i8>,
@@ -431,9 +467,10 @@ struct QuantPage {
 }
 
 impl QuantPage {
-    fn zeroed(rows: usize, width: usize, qpr: usize, nout: usize) -> Self {
+    /// `cw` is the `i8` code stride per row ([`code_slots`]).
+    fn zeroed(rows: usize, cw: usize, qpr: usize, nout: usize) -> Self {
         QuantPage {
-            codes: vec![0; rows * width],
+            codes: vec![0; rows * cw],
             scales: vec![0; rows * qpr],
             out_idx: vec![0; rows * qpr * nout],
             out_val: vec![Bf16::default(); rows * qpr * nout],
@@ -450,12 +487,14 @@ impl QuantPage {
         bits: u32,
         qblock: usize,
     ) -> impl Iterator<Item = QuantRow<'_>> + '_ {
+        let cw = code_slots(bits, w);
         (0..self.out_len.len() / qpr).map(move |row| QuantRow {
-            codes: &self.codes[row * w..(row + 1) * w],
+            codes: &self.codes[row * cw..(row + 1) * cw],
             scales: &self.scales[row * qpr..(row + 1) * qpr],
             out_idx: &self.out_idx[row * qpr * nout..(row + 1) * qpr * nout],
             out_val: &self.out_val[row * qpr * nout..(row + 1) * qpr * nout],
             out_len: &self.out_len[row * qpr..(row + 1) * qpr],
+            width: w,
             bits,
             qblock,
             nout,
@@ -472,27 +511,63 @@ pub(crate) struct QuantRow<'a> {
     out_idx: &'a [u16],
     out_val: &'a [Bf16],
     out_len: &'a [u8],
+    /// Logical elements per row (`codes` holds `code_slots(bits, width)`).
+    width: usize,
     bits: u32,
     qblock: usize,
     nout: usize,
 }
 
 impl QuantRow<'_> {
+    /// Whether this row stores two nibble-packed codes per byte.
+    fn packed(&self) -> bool {
+        self.bits <= 4
+    }
+
+    /// The sign-extended code of element `e` of a nibble-packed row (even
+    /// elements in the low nibble, odd in the high nibble).
+    #[inline]
+    fn packed_code(&self, e: usize) -> i8 {
+        let byte = self.codes[e / 2] as u8;
+        if e % 2 == 0 {
+            ((byte << 4) as i8) >> 4
+        } else {
+            (byte as i8) >> 4
+        }
+    }
+
+    /// Integer-code dot of `q` against nibble-packed columns `lo..hi`, in
+    /// ascending element order (the packed counterpart of
+    /// [`ops::dot_codes`]; fixed order keeps it bit-deterministic).
+    #[inline]
+    fn dot_codes_packed(&self, q: &[f32], lo: usize, hi: usize) -> f32 {
+        let mut acc = 0.0f32;
+        for (qv, e) in q.iter().zip(lo..hi) {
+            acc += qv * f32::from(self.packed_code(e));
+        }
+        acc
+    }
+
     /// q·k over columns `start..start + q.len()` in the quantized domain:
-    /// one integer-code dot ([`ops::dot_codes`]) and one power-of-two
-    /// scale multiply per overlapping shared-exponent block, plus exact
-    /// bf16 outlier terms. Accumulation order is fixed (ascending blocks,
-    /// then slot order), so the result is bit-deterministic.
+    /// one integer-code dot ([`ops::dot_codes`], or its nibble-unpacking
+    /// counterpart on packed rows) and one power-of-two scale multiply per
+    /// overlapping shared-exponent block, plus exact bf16 outlier terms.
+    /// Accumulation order is fixed (ascending blocks, then slot order), so
+    /// the result is bit-deterministic.
     pub(crate) fn dot_range(&self, q: &[f32], start: usize) -> f32 {
         let end = start + q.len();
-        debug_assert!(end <= self.codes.len(), "column range out of row");
+        debug_assert!(end <= self.width, "column range out of row");
         let mut acc = 0.0f64;
         for qb in start / self.qblock..=(end - 1) / self.qblock {
             let b0 = qb * self.qblock;
             let lo = start.max(b0);
             let hi = end.min(b0 + self.qblock);
             let step = step_size(i32::from(self.scales[qb]), self.bits);
-            let d = ops::dot_codes(&q[lo - start..hi - start], &self.codes[lo..hi]);
+            let d = if self.packed() {
+                self.dot_codes_packed(&q[lo - start..hi - start], lo, hi)
+            } else {
+                ops::dot_codes(&q[lo - start..hi - start], &self.codes[lo..hi])
+            };
             acc += f64::from(step) * f64::from(d);
             let so = qb * self.nout;
             for slot in so..so + usize::from(self.out_len[qb]) {
@@ -511,14 +586,20 @@ impl QuantRow<'_> {
     /// contribute their exact bf16 value (their codes are `0`).
     pub(crate) fn axpy_range(&self, w: f32, start: usize, ctx: &mut [f32]) {
         let end = start + ctx.len();
-        debug_assert!(end <= self.codes.len(), "column range out of row");
+        debug_assert!(end <= self.width, "column range out of row");
         for qb in start / self.qblock..=(end - 1) / self.qblock {
             let b0 = qb * self.qblock;
             let lo = start.max(b0);
             let hi = end.min(b0 + self.qblock);
             let step = step_size(i32::from(self.scales[qb]), self.bits);
-            for (c, &code) in ctx[lo - start..hi - start].iter_mut().zip(&self.codes[lo..hi]) {
-                *c += w * (f32::from(code) * step);
+            if self.packed() {
+                for (c, e) in ctx[lo - start..hi - start].iter_mut().zip(lo..hi) {
+                    *c += w * (f32::from(self.packed_code(e)) * step);
+                }
+            } else {
+                for (c, &code) in ctx[lo - start..hi - start].iter_mut().zip(&self.codes[lo..hi]) {
+                    *c += w * (f32::from(code) * step);
+                }
             }
             let so = qb * self.nout;
             for slot in so..so + usize::from(self.out_len[qb]) {
@@ -578,11 +659,29 @@ pub(crate) struct PagedKv {
     pub(crate) pool: Arc<BlockPool>,
     /// `layers[l]` is layer `l`'s block table.
     pub(crate) layers: Vec<Vec<Arc<KvBlock>>>,
+    /// Reusable `i8` staging row for nibble-packed appends: the row
+    /// encoders emit one code per slot, which is then packed two-per-byte
+    /// into the page. Grows to `width` once and is reused thereafter.
+    stage: Vec<i8>,
 }
 
 impl PagedKv {
     pub(crate) fn new(pool: Arc<BlockPool>, n_layers: usize) -> Self {
-        PagedKv { pool, layers: (0..n_layers).map(|_| Vec::new()).collect() }
+        PagedKv { pool, layers: (0..n_layers).map(|_| Vec::new()).collect(), stage: Vec::new() }
+    }
+
+    /// Drops every cached row at position `>= len`, returning now-unused
+    /// tail blocks to the pool: each layer's table keeps its first
+    /// `ceil(len / block_size)` blocks (rows past `len` inside a kept tail
+    /// block are recycled-page garbage by design, like rows past the
+    /// sequence length always were). Dropping a block that a prefix-cache
+    /// entry or a sharing peer still maps only releases this table's
+    /// reference — the storage stays live for the other holders.
+    pub(crate) fn truncate(&mut self, len: usize) {
+        let keep = len.div_ceil(self.pool.block_size());
+        for table in &mut self.layers {
+            table.truncate(keep);
+        }
     }
 
     /// Whether this cache stores quantized pages.
@@ -613,11 +712,11 @@ impl PagedKv {
             // filled so far into a fresh block and divert this sequence's
             // table to it; the shared original stays untouched.
             let w = self.pool.width();
-            let (qpr, nout) = match self.pool.scheme {
-                KvScheme::Exact => (0, 0),
+            let (cw, qpr, nout) = match self.pool.scheme {
+                KvScheme::Exact => (0, 0, 0),
                 _ => {
-                    let (_, _, nout) = self.pool.quant_params();
-                    (self.pool.qblocks_per_row(), nout)
+                    let (bits, _, nout) = self.pool.quant_params();
+                    (code_slots(bits, w), self.pool.qblocks_per_row(), nout)
                 }
             };
             // tidy: allow(alloc) -- copy-on-write provisioning, amortized
@@ -625,8 +724,8 @@ impl PagedKv {
             {
                 // tidy: allow(panic) -- alloc() returns a fresh Arc with refcount 1
                 let fb = Arc::get_mut(&mut fresh).expect("freshly allocated block is unshared");
-                fb.k.copy_rows_from(&table[bi].k, rows_filled, w, qpr, nout);
-                fb.v.copy_rows_from(&table[bi].v, rows_filled, w, qpr, nout);
+                fb.k.copy_rows_from(&table[bi].k, rows_filled, w, cw, qpr, nout);
+                fb.v.copy_rows_from(&table[bi].v, rows_filled, w, cw, qpr, nout);
             }
             table[bi] = fresh;
         }
@@ -671,34 +770,50 @@ impl PagedKv {
         let r = pos % bs;
         debug_assert!(n > 0 && r + n <= bs, "row span must stay inside one block");
         debug_assert!(k_src.len() == n * w && v_src.len() == n * w, "source row shape mismatch");
-        let (_, _, nout) = self.pool.quant_params();
+        let (bits, _, nout) = self.pool.quant_params();
         let qpr = self.pool.qblocks_per_row();
+        let cw = code_slots(bits, w);
+        let packed = bits <= 4;
         let codec = self.pool.codec;
         let bi = self.provision(layer, pos, r);
+        if packed && self.stage.len() < w {
+            // tidy: allow(alloc) -- one-time staging-row growth per sequence
+            self.stage.resize(w, 0);
+        }
+        let PagedKv { layers, stage, .. } = self;
         // tidy: allow(panic) -- provision() just made the tail block exclusive
-        let block = Arc::get_mut(&mut self.layers[layer][bi]).expect("tail block made exclusive");
+        let block = Arc::get_mut(&mut layers[layer][bi]).expect("tail block made exclusive");
         for (page, src) in [(&mut block.k, k_src), (&mut block.v, v_src)] {
             let page = page.quant_mut();
             for i in 0..n {
-                let (e0, e1) = ((r + i) * w, (r + i + 1) * w);
+                let (e0, e1) = ((r + i) * cw, (r + i + 1) * cw);
                 let (q0, q1) = ((r + i) * qpr, (r + i + 1) * qpr);
                 let (s0, s1) = (q0 * nout, q1 * nout);
+                // Nibble-packed pages stage one code per slot, then pack
+                // two-per-byte below.
+                let codes: &mut [i8] =
+                    if packed { &mut stage[..w] } else { &mut page.codes[e0..e1] };
                 match codec {
                     Some(Codec::Opal(q)) => q.encode_row_scratch(
                         &src[i * w..(i + 1) * w],
-                        &mut page.codes[e0..e1],
+                        codes,
                         &mut page.scales[q0..q1],
                         &mut page.out_idx[s0..s1],
                         &mut page.out_val[s0..s1],
                         &mut page.out_len[q0..q1],
                         enc,
                     ),
-                    Some(Codec::Int(q)) => q.encode_row(
-                        &src[i * w..(i + 1) * w],
-                        &mut page.codes[e0..e1],
-                        &mut page.scales[q0..q1],
-                    ),
+                    Some(Codec::Int(q)) => {
+                        q.encode_row(&src[i * w..(i + 1) * w], codes, &mut page.scales[q0..q1])
+                    }
                     None => unreachable!("append_rows_quant on an exact pool"),
+                }
+                if packed {
+                    for (slot, pair) in page.codes[e0..e1].iter_mut().zip(stage[..w].chunks(2)) {
+                        let lo = pair[0] as u8 & 0x0F;
+                        let hi = (pair.get(1).copied().unwrap_or(0) as u8) << 4;
+                        *slot = (lo | hi) as i8;
+                    }
                 }
             }
         }
@@ -836,7 +951,9 @@ mod tests {
         let w = 20;
         for scheme in [
             KvScheme::MxOpal { bits: 4, qblock: 8, outliers: 2 },
+            KvScheme::MxOpal { bits: 8, qblock: 8, outliers: 2 },
             KvScheme::MxInt { bits: 8, qblock: 8 },
+            KvScheme::MxInt { bits: 4, qblock: 8 },
         ] {
             let p = quant_pool(scheme, 3, w);
             let mut kv = PagedKv::new(Arc::clone(&p), 1);
@@ -914,8 +1031,89 @@ mod tests {
         kv.append_rows_quant(0, 1, 1, &r1, &r1, &mut enc);
         assert!(!Arc::ptr_eq(&donor, &kv.layers[0][0]), "table must divert to the copy");
         assert_eq!(donor.k.quant().codes, donor_codes, "donor codes must be untouched");
-        // Row 0 of the copy matches the donor's row 0.
-        assert_eq!(&kv.layers[0][0].k.quant().codes[..w], &donor_codes[..w]);
+        // Row 0 of the copy matches the donor's row 0 (4-bit pages pack
+        // two codes per byte, so the row stride is w / 2).
+        let cw = code_slots(4, w);
+        assert_eq!(&kv.layers[0][0].k.quant().codes[..cw], &donor_codes[..cw]);
         assert_eq!(p.in_use(), 2);
+    }
+
+    #[test]
+    fn packed_pages_halve_code_storage() {
+        let w = 128;
+        let four = KvScheme::mxopal4();
+        let eight = KvScheme::mxopal();
+        assert!(four.page_bytes(16, w) < eight.page_bytes(16, w));
+        // 64 code bytes + 4 qblocks × (3 metadata + 2 outliers × 4) bytes.
+        assert_eq!(four.page_bytes(1, w), 64 + 4 * 3 + 4 * 2 * 4);
+        assert_eq!(four.name(), "mxopal4");
+        assert_eq!(KvScheme::MxInt { bits: 4, qblock: 8 }.name(), "mxint4");
+        // The preset validates: a pool constructs without panicking.
+        let _ = quant_pool(four, 2, w);
+        assert!(four.bits_per_element(w) < 7.0, "{}", four.bits_per_element(w));
+    }
+
+    #[test]
+    fn truncate_returns_tail_blocks_and_keeps_prefix_readable() {
+        let p = pool(2, usize::MAX);
+        let mut kv = PagedKv::new(Arc::clone(&p), 2);
+        for layer in 0..2 {
+            for i in 0..5u32 {
+                kv.rows_mut(layer, i as usize, 1).0.copy_from_slice(&[i as f32; 4]);
+            }
+        }
+        assert_eq!(p.in_use(), 6, "3 blocks per layer for 5 rows of block size 2");
+        kv.truncate(3);
+        assert_eq!(p.in_use(), 4, "2 blocks per layer survive a truncate to 3 rows");
+        let rows: Vec<Vec<f32>> = kv.k_rows(0, 3).map(<[f32]>::to_vec).collect();
+        assert_eq!(rows, vec![vec![0.0; 4], vec![1.0; 4], vec![2.0; 4]]);
+        // The cache accepts appends again at the truncated position.
+        kv.rows_mut(0, 3, 1).0.copy_from_slice(&[9.0; 4]);
+        assert_eq!(kv.k_rows(0, 4).last().unwrap(), &[9.0; 4]);
+        // Truncating to a block boundary keeps exactly the full blocks.
+        kv.truncate(2);
+        assert_eq!(kv.layers[0].len(), 1);
+        // Truncating to zero rows empties every table.
+        kv.truncate(0);
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn truncate_releases_only_this_tables_reference() {
+        let p = pool(2, usize::MAX);
+        let mut kv = PagedKv::new(Arc::clone(&p), 1);
+        for i in 0..4 {
+            kv.rows_mut(0, i, 1).0.copy_from_slice(&[i as f32; 4]);
+        }
+        let shared_tail = kv.layers[0][1].clone();
+        kv.truncate(2);
+        assert_eq!(p.in_use(), 2, "the shared tail block stays allocated for its other holder");
+        assert_eq!(&shared_tail.k.exact()[..4], &[2.0; 4], "donor storage is untouched");
+        drop(shared_tail);
+        assert_eq!(p.in_use(), 1);
+    }
+
+    #[test]
+    fn packed_append_spanning_blocks_roundtrips() {
+        // Multi-row appends + packed storage + odd width (straggler nibble).
+        let w = 9;
+        let scheme = KvScheme::MxInt { bits: 4, qblock: 4 };
+        let p = quant_pool(scheme, 4, w);
+        let mut kv = PagedKv::new(Arc::clone(&p), 1);
+        let mut enc = EncodeScratch::new();
+        let rows: Vec<Vec<f32>> = (0..6).map(|i| test_row(w, 100 + i)).collect();
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        kv.append_rows_quant(0, 0, 4, &flat[..4 * w], &flat[..4 * w], &mut enc);
+        kv.append_rows_quant(0, 4, 2, &flat[4 * w..], &flat[4 * w..], &mut enc);
+        let q = MxIntQuantizer::new(4, 4).unwrap();
+        for (row, qrow) in rows.iter().zip(kv.k_qrows(0, 6)) {
+            let mut reference = vec![0.0f32; w];
+            q.quantize_dequantize_into(row, &mut reference);
+            let mut ctx = vec![0.0f32; w];
+            qrow.axpy_range(1.0, 0, &mut ctx);
+            for (j, (&got, &want)) in ctx.iter().zip(&reference).enumerate() {
+                assert!((got - want).abs() < 1e-6, "col {j}: {got} vs {want}");
+            }
+        }
     }
 }

@@ -21,6 +21,7 @@ use opal_scenario::{
     FinishReason, GridSpec, ReplayOptions, RetryPolicy, ScenarioReport, ServeConfig, TraceConfig,
     DEFAULT_BAND,
 };
+use opal_serve::{DraftSource, SpecConfig};
 
 fn main() {
     let mut smoke = false;
@@ -78,6 +79,29 @@ fn main() {
         "replay must be step-deterministic"
     );
     println!("  determinism: regenerated trace and second replay identical ✓\n");
+
+    // --- Traffic shape 1b: the same Poisson load with speculative decode. -
+    // Speculation is a pure throughput device: every client must receive
+    // the exact token stream of the non-speculative replay, while the
+    // verifier accepts draft tokens and the engine leaks nothing.
+    let spec_cfg = ServeConfig {
+        spec: Some(SpecConfig { draft: DraftSource::Truncated { layers: 1 }, k: 3 }),
+        ..base
+    };
+    let spec = replay_calibrated(&model, spec_cfg, &poisson_trace, calibration, DEFAULT_BAND);
+    print!("{spec}");
+    assert_eq!(
+        spec.outcomes_fingerprint(),
+        poisson.outcomes_fingerprint(),
+        "speculative replay must deliver bit-identical token streams"
+    );
+    assert!(spec.drafted_tokens > 0, "speculation must draft under steady decode");
+    assert!(spec.accepted_tokens > 0, "a depth-1 draft of the same weights must land some tokens");
+    assert_eq!(spec.leaked_blocks, 0, "speculative rollback leaked {} blocks", spec.leaked_blocks);
+    println!(
+        "  speculation: outcomes bit-identical to plain replay; {}/{} drafts accepted ✓\n",
+        spec.accepted_tokens, spec.drafted_tokens
+    );
 
     // --- Traffic shape 2: bursty overload with a bounded queue. -----------
     let bursty_trace =
@@ -256,7 +280,7 @@ fn main() {
     // --- Emit and validate the JSON report. -------------------------------
     let json = suite_json(
         seed,
-        &[&poisson, &bursty, &storm, &quant_storm, &chaos],
+        &[&poisson, &spec, &bursty, &storm, &quant_storm, &chaos],
         &tune.best_point().report,
     );
     assert_json_wellformed(&json);

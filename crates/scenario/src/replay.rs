@@ -150,6 +150,10 @@ pub struct ScenarioReport {
     pub shared_prefill_tokens: u64,
     /// Tokens generated across all requests.
     pub generated_tokens: u64,
+    /// Speculative draft tokens verified (zero when speculation is off).
+    pub drafted_tokens: u64,
+    /// Speculative draft tokens accepted.
+    pub accepted_tokens: u64,
     /// Time to first token in virtual steps (submission → first sampled
     /// token, queue wait included).
     pub ttft_steps: Percentiles,
@@ -328,6 +332,16 @@ fn replay_inner(
         opal_fmt.kv_bits = config.kv_scheme.bits_per_element(model.config().d_model);
     }
     let mut total_workload = TokenWorkload::zero();
+    // Speculation's truncated draft runs the same architecture at fewer
+    // layers; its rows are priced against this shrunken config.
+    let draft_config = config.spec.and_then(|s| match s.draft {
+        opal_serve::DraftSource::Truncated { layers } => {
+            let mut dc = model.config().clone();
+            dc.n_layers = layers;
+            Some(dc)
+        }
+        opal_serve::DraftSource::NGram => None,
+    });
 
     let mut vstep: u64 = 0;
     let mut ev_idx = 0usize;
@@ -423,12 +437,20 @@ fn replay_inner(
             let contexts = step_contexts(engine.last_step_work());
             step_virtual.push(vstep);
             step_secs.push(dt);
-            step_macs.push(schedule_macs(model.config(), &contexts));
+            let mut macs = schedule_macs(model.config(), &contexts);
             total_workload.accumulate(&TokenWorkload::from_schedule(
                 model.config(),
                 &opal_fmt,
                 &contexts,
             ));
+            if let Some(dc) = &draft_config {
+                let dctx = crate::roofline::draft_contexts(engine.last_step_work());
+                if !dctx.is_empty() {
+                    macs += schedule_macs(dc, &dctx);
+                    total_workload.accumulate(&TokenWorkload::from_schedule(dc, &opal_fmt, &dctx));
+                }
+            }
+            step_macs.push(macs);
             batch_sum += engine.last_step_work().len();
             if options.audit_every > 0 && engine.steps() % options.audit_every == 0 {
                 let audit = engine.audit();
@@ -596,6 +618,8 @@ fn replay_inner(
         prefill_tokens: served.prefill_tokens,
         shared_prefill_tokens: served.shared_prefill_tokens,
         generated_tokens: served.generated_tokens,
+        drafted_tokens: served.drafted_tokens,
+        accepted_tokens: served.accepted_tokens,
         ttft_steps: Percentiles::compute(&ttft_steps),
         ttft_ms: Percentiles::compute(&ttft_ms),
         inter_token_steps: Percentiles::compute(&itl_steps),
@@ -645,7 +669,8 @@ impl ScenarioReport {
         format!(
             "{}/{:016x} sub={} done={} cancel={} rej={}:{}:{} steps={} v={} preempt={} \
              ttft(p50={},p99={}) itl(p50={},p99={}) wait(p99={}) good={:.4}/{:.4}/{:.4} jain={:.6} \
-             dl={} fail={} shed={} degr={}:{} retry={}:{} spike={} leak={} out={:016x}",
+             dl={} fail={} shed={} degr={}:{} retry={}:{} spike={} leak={} spec={}:{} \
+             out={:016x}",
             self.trace,
             self.fingerprint,
             self.submitted,
@@ -675,6 +700,8 @@ impl ScenarioReport {
             self.retry_gave_up,
             self.latency_spike_steps,
             self.leaked_blocks,
+            self.drafted_tokens,
+            self.accepted_tokens,
             self.outcomes_fingerprint(),
         )
     }
@@ -708,6 +735,10 @@ impl ScenarioReport {
             "      \"blocks_peak\": {}, \"peak_batch\": {}, \"prefill_tokens\": {}, \"shared_prefill_tokens\": {}, \"generated_tokens\": {},\n",
             self.blocks_peak, self.peak_batch, self.prefill_tokens, self.shared_prefill_tokens,
             self.generated_tokens
+        ));
+        s.push_str(&format!(
+            "      \"drafted_tokens\": {}, \"accepted_tokens\": {},\n",
+            self.drafted_tokens, self.accepted_tokens
         ));
         s.push_str(&format!("      \"ttft_steps\": {},\n", self.ttft_steps.to_json()));
         s.push_str(&format!("      \"ttft_ms\": {},\n", self.ttft_ms.to_json()));
@@ -813,6 +844,15 @@ impl std::fmt::Display for ScenarioReport {
             self.leaked_blocks,
             self.audit_checks
         )?;
+        if self.drafted_tokens > 0 {
+            writeln!(
+                f,
+                "  speculation: {} drafted, {} accepted ({:.1}% acceptance)",
+                self.drafted_tokens,
+                self.accepted_tokens,
+                100.0 * self.accepted_tokens as f64 / self.drafted_tokens as f64
+            )?;
+        }
         if let Some(rl) = &self.roofline {
             writeln!(
                 f,

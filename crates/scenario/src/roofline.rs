@@ -61,16 +61,33 @@ pub(crate) fn schedule_macs(model: &ModelConfig, contexts: &[usize]) -> f64 {
 }
 
 /// Expands one step's realized schedule into per-forward-pass context
-/// lengths: each granted prefill position plus the decode pass, per
-/// sequence.
+/// lengths on the *served* model: each granted prefill position, each
+/// fused speculative-verify row (rows later rolled back still ran — their
+/// arithmetic must be billed), plus the decode pass, per sequence.
 pub(crate) fn step_contexts(work: &[opal_serve::SeqStepWork]) -> Vec<usize> {
     let mut contexts = Vec::new();
     for w in work {
         for i in 0..w.prefilled {
             contexts.push(w.prefill_start + i + 1);
         }
+        for i in 0..w.verify_rows {
+            contexts.push(w.verify_start + i + 1);
+        }
         if let Some(ctx) = w.decode_context {
             contexts.push(ctx);
+        }
+    }
+    contexts
+}
+
+/// Expands one step's draft-model rows (speculative catch-up and proposal
+/// feeds) into context lengths. Priced separately from [`step_contexts`]
+/// because the truncated draft runs fewer layers than the served model.
+pub(crate) fn draft_contexts(work: &[opal_serve::SeqStepWork]) -> Vec<usize> {
+    let mut contexts = Vec::new();
+    for w in work {
+        for i in 0..w.draft_rows {
+            contexts.push(w.draft_start + i + 1);
         }
     }
     contexts
@@ -239,10 +256,42 @@ mod tests {
     fn step_contexts_expand_prefill_and_decode() {
         use opal_serve::SeqStepWork;
         let work = [
-            SeqStepWork { prefill_start: 4, prefilled: 3, sampled: false, decode_context: None },
-            SeqStepWork { prefill_start: 0, prefilled: 0, sampled: true, decode_context: Some(9) },
+            SeqStepWork {
+                prefill_start: 4,
+                prefilled: 3,
+                sampled: false,
+                decode_context: None,
+                ..Default::default()
+            },
+            SeqStepWork {
+                prefill_start: 0,
+                prefilled: 0,
+                sampled: true,
+                decode_context: Some(9),
+                ..Default::default()
+            },
         ];
         assert_eq!(step_contexts(&work), vec![5, 6, 7, 9]);
+        assert!(draft_contexts(&work).is_empty());
+    }
+
+    #[test]
+    fn step_contexts_bill_verify_and_draft_rows() {
+        use opal_serve::SeqStepWork;
+        let work = [SeqStepWork {
+            sampled: true,
+            drafted: 3,
+            accepted: 2,
+            verify_start: 10,
+            verify_rows: 4,
+            draft_start: 8,
+            draft_rows: 5,
+            ..Default::default()
+        }];
+        // Verify rows are billed on the served model even though two of the
+        // four were rolled back.
+        assert_eq!(step_contexts(&work), vec![11, 12, 13, 14]);
+        assert_eq!(draft_contexts(&work), vec![9, 10, 11, 12, 13]);
     }
 
     #[test]

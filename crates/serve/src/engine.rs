@@ -11,6 +11,7 @@ use opal_model::kv::{BlockPool, KvBlock, KvScheme};
 use opal_model::sampling::Sampler;
 use opal_model::{DecodeState, Model};
 use opal_tensor::rng::TensorRng;
+use opal_tensor::Matrix;
 
 use crate::faults::FaultKind;
 use crate::pool::WorkerPool;
@@ -165,6 +166,49 @@ pub enum StepMode {
     ForceScoped,
 }
 
+/// Where speculative draft tokens come from (see [`SpecConfig`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DraftSource {
+    /// A truncated-depth sibling of the served model: the first `layers`
+    /// decoder layers plus the shared embedding, final norm and
+    /// unembedding (built once per engine via `Model::draft_truncated`).
+    /// `layers` equal to the full stack yields a draft that reproduces the
+    /// served model exactly — 100% acceptance, useful as a deterministic
+    /// harness mode — while shallow depths trade acceptance for a cheaper
+    /// proposal pass.
+    Truncated {
+        /// Decoder layers the draft keeps (`1 ..=` the model's `n_layers`).
+        layers: usize,
+    },
+    /// Model-free n-gram lookup: propose the tokens that followed the most
+    /// recent earlier occurrence of the sequence's current suffix (bigram
+    /// match preferred, unigram fallback). Costs no forward passes at all,
+    /// so any accepted token is pure profit; acceptance is high exactly
+    /// when greedy decode revisits its own context (repetitive or
+    /// templated streams).
+    NGram,
+}
+
+/// Speculative-decoding policy ([`ServeConfig::spec`]): a cheap draft
+/// proposes up to `k` tokens per sequence per pure-decode step, and the
+/// served model verifies all of them plus the step's sampled token in one
+/// fused multi-row pass, accepting the longest prefix the request's own
+/// sampler reproduces and rolling the rejected tail back by truncating
+/// the sequence's block tables.
+///
+/// Output — token streams and finish reasons — is bit-identical to
+/// non-speculative decoding for every sampler (greedy and
+/// seeded-stochastic alike); only the steps-per-token ratio changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpecConfig {
+    /// The draft proposal source.
+    pub draft: DraftSource,
+    /// Maximum tokens drafted per sequence per step (must be at least 1).
+    /// Each step verifies at most `k + 1` positions and rolls back the
+    /// rejected tail, so per-step KV reservations grow by the same bound.
+    pub k: usize,
+}
+
 /// Upper bound on how many times one queued request can be bypassed by
 /// [`ServeEngine::admit`]'s trie-aware reordering. Under block pressure a
 /// cache-warm request may be admitted ahead of colder ones submitted
@@ -241,6 +285,14 @@ pub struct ServeConfig {
     /// thrashing. `None` (the default) disables the mode entirely; the
     /// scheduler behaves exactly as before.
     pub degraded: Option<DegradedConfig>,
+    /// Speculative decoding ([`SpecConfig`]): when set, pure-decode steps
+    /// draft up to `spec.k` tokens per sequence and verify them together
+    /// with the step's sampled token in one fused multi-row pass, emitting
+    /// every accepted token in a single step. Rejected tails roll back by
+    /// truncating the sequence's block tables, so the served KV cache is
+    /// always exactly what non-speculative decode would hold. `None` (the
+    /// default) decodes one token per step.
+    pub spec: Option<SpecConfig>,
 }
 
 impl Default for ServeConfig {
@@ -257,6 +309,7 @@ impl Default for ServeConfig {
             kv_scheme: KvScheme::Exact,
             prefix_sharing: true,
             degraded: None,
+            spec: None,
         }
     }
 }
@@ -470,6 +523,13 @@ pub struct StepSummary {
     /// step (telemetry for step-clocked harnesses; the schedule itself is
     /// unaffected).
     pub latency_spike_steps: u64,
+    /// Draft tokens proposed and verified across the batch during this
+    /// step (zero when speculative decoding is off).
+    pub drafted: usize,
+    /// Drafted tokens the verify passes accepted this step — each one an
+    /// extra generated token beyond the per-sequence sampled one, so
+    /// `generated` counts them too.
+    pub accepted: usize,
 }
 
 /// Decoding progress carried across a preemption: everything needed to
@@ -528,6 +588,20 @@ pub(crate) struct StepWork {
     sampled: bool,
     /// Whether a decode forward pass ran this step.
     forwarded: bool,
+    /// Draft tokens proposed and verified this step.
+    drafted: usize,
+    /// Drafted tokens accepted (tokens emitted beyond the sampled one).
+    accepted: usize,
+    /// Context length before the fused verify pass, when one ran.
+    verify_start: usize,
+    /// Rows the fused verify pass computed (`1 + drafted`; zero when no
+    /// verify pass ran this step).
+    verify_rows: usize,
+    /// Draft-model context length before this step's draft work.
+    draft_start: usize,
+    /// Draft-model forward passes this step (catch-up rows plus proposal
+    /// steps), priced under the draft sibling's config.
+    draft_rows: usize,
 }
 
 /// What one sequence did during the most recent [`ServeEngine::step`] —
@@ -545,10 +619,28 @@ pub struct SeqStepWork {
     /// Whether a token was sampled this step.
     pub sampled: bool,
     /// Context length (cached positions) of this step's decode forward
-    /// pass, or `None` when no decode pass ran (still prefilling, or the
+    /// pass, or `None` when no decode pass ran (still prefilling, the
     /// sequence retired at its limit and its next logits were never
-    /// needed).
+    /// needed, or a fused verify pass replaced the decode pass — see
+    /// [`SeqStepWork::verify_rows`]).
     pub decode_context: Option<usize>,
+    /// Draft tokens proposed and verified for this sequence this step.
+    pub drafted: usize,
+    /// Drafted tokens accepted (tokens emitted beyond the sampled one).
+    pub accepted: usize,
+    /// Context length before the fused verify pass, when one ran.
+    pub verify_start: usize,
+    /// Rows the fused verify pass computed — one fused layer sweep over
+    /// contexts `verify_start + 1 ..= verify_start + verify_rows`, exactly
+    /// like a prefill chunk. Zero when no verify pass ran.
+    pub verify_rows: usize,
+    /// Draft-model cache position before this step's draft rows.
+    pub draft_start: usize,
+    /// Rows the *draft* model computed this step (catch-up plus proposal
+    /// feeds, at contexts `draft_start + 1 ..= draft_start + draft_rows`).
+    /// These price against the draft's truncated layer count, not the
+    /// served model's. Zero without a truncated draft.
+    pub draft_rows: usize,
 }
 
 /// A sequence currently in the batch. Each owns a private [`DecodeState`] —
@@ -629,6 +721,47 @@ pub(crate) struct Active {
     /// [`advance_sequence`] call on this sequence panics, on whichever
     /// thread runs it.
     panic_next: bool,
+    /// Speculative-decoding state when [`ServeConfig::spec`] is set:
+    /// draft source plus the reusable draft/verify buffers. Dropped on
+    /// preemption (never carried in [`Resume`]) and rebuilt at
+    /// re-admission — the draft re-prefills lazily, so resumption stays
+    /// output-identical.
+    spec: Option<Box<SpecState>>,
+}
+
+/// Per-sequence speculative-decoding state: the proposal source and the
+/// reusable buffers of the draft/verify loop. Everything here is scratch —
+/// none of it influences output, only how many tokens each step emits.
+struct SpecState {
+    /// Maximum tokens drafted per step ([`SpecConfig::k`]).
+    k: usize,
+    /// Draft-model side of this sequence (`DraftSource::Truncated` only;
+    /// `None` drafts by n-gram lookup).
+    draft: Option<DraftSeq>,
+    /// Draft tokens proposed this step (reused).
+    proposals: Vec<u32>,
+    /// Verify-row token buffer `[t0, d1..dk]` (reused).
+    verify: Vec<u32>,
+    /// Logits of the fused verify pass, one row per verify token
+    /// (pre-grown to `k + 1` rows; reused).
+    logits: Matrix,
+}
+
+/// The truncated-depth draft sibling's side of one sequence.
+struct DraftSeq {
+    /// The engine-wide draft sibling (shared `Arc`, built once).
+    model: Arc<Model>,
+    /// The draft's private KV cache over the sequence's committed tokens,
+    /// allocated from a per-sequence unbounded pool — draft KV is a
+    /// throwaway accelerant, never part of the served cache, so it counts
+    /// against neither [`ServeConfig::max_blocks`] nor the audit.
+    state: DecodeState,
+    /// The draft's last-row logits buffer (reused).
+    logits: Vec<f32>,
+    /// Committed tokens (prefill + emitted) the draft has consumed; the
+    /// draft catches up lazily at the start of each speculative step, so
+    /// a fresh or resumed sequence just starts from `seen == 0`.
+    seen: usize,
 }
 
 impl Active {
@@ -659,9 +792,16 @@ fn approx_macs_per_token(config: &opal_model::ModelConfig) -> u64 {
 /// Decode-equivalent forward passes this sequence will run this step: its
 /// granted prefill positions (each one layer sweep of the fused chunk)
 /// plus one if it will sample (a prefill position costs about as much as a
-/// decoded token).
+/// decoded token), plus up to `k` fused verify rows when a speculative
+/// step will fire — a pure function of pre-fan-out scheduler state, so
+/// chunk cuts stay deterministic.
 fn seq_units(seq: &Active) -> u64 {
-    seq.grant as u64 + u64::from(seq.prefilled + seq.grant >= seq.prefill.len())
+    let samples = seq.prefilled + seq.grant >= seq.prefill.len();
+    let spec_rows = match &seq.spec {
+        Some(spec) if samples && !seq.prefilling() => spec.k as u64,
+        _ => 0,
+    };
+    seq.grant as u64 + u64::from(samples) + spec_rows
 }
 
 /// Exclusive end indices (all but the last) cutting `units` into `chunks`
@@ -755,9 +895,197 @@ pub(crate) fn advance_sequence(model: &Model, seq: &mut Active) {
     seq.work.sampled = true;
     // A sequence that just hit its limit retires without another forward
     // pass — its next logits would be discarded.
-    if seq.tokens.len() < seq.limit {
-        model.decode_step_into(&mut seq.state, token, &mut seq.last_logits);
+    if seq.tokens.len() >= seq.limit {
+        return;
+    }
+    // Speculative path: pure-decode steps only. The prompt-completion
+    // step's decode row was reserved by `grant_block_cost`, while
+    // `decode_block_need` reserves the speculative rows only for
+    // sequences already decoding at planning time — this gate must match
+    // that reservation exactly. (Speculation is output-invariant, so the
+    // gate can only shift throughput, never tokens.)
+    if seq.work.prefilled == 0 {
+        if let Some(mut spec) = seq.spec.take() {
+            speculative_advance(model, seq, &mut spec, token);
+            seq.spec = Some(spec);
+            return;
+        }
+    }
+    model.decode_step_into(&mut seq.state, token, &mut seq.last_logits);
+    seq.work.forwarded = true;
+}
+
+/// One speculative decode step for `seq`, entered after the step's token
+/// `t0` was sampled and pushed, with capacity for at least one more token.
+/// Drafts up to `spec.k` proposals, verifies `[t0, d1..dk]` in one fused
+/// multi-row pass, accepts the longest proposal prefix the request's own
+/// sampler reproduces, and rolls the rejected tail back by truncating the
+/// sequence's block tables.
+///
+/// Bit-identity with plain decode holds by construction:
+///
+/// * Verify-row logits are bit-identical to sequential decode rows
+///   (`Model::verify_chunk_into`'s contract, pinned by the model's golden
+///   tests): row `i` is exactly the `last_logits` a plain run would hold
+///   after emitting `t0, d1..di`.
+/// * Each acceptance test runs the *real* sampler on a clone of the
+///   request RNG. A match commits the clone — the RNG advances exactly as
+///   the plain run's pick would have — while a mismatch discards it, so
+///   the next step's pick re-runs the same decision from the same state
+///   and emits the token the plain run would have emitted: the correction
+///   token costs no extra forward pass.
+/// * Proposals can only shift *when* tokens are emitted, never *what*: a
+///   wrong draft just wastes its verify row.
+fn speculative_advance(model: &Model, seq: &mut Active, spec: &mut SpecState, t0: u32) {
+    let k_eff = spec.k.min(seq.limit - seq.tokens.len());
+    debug_assert!(k_eff >= 1, "caller guarantees capacity for at least one draft token");
+    spec.proposals.clear();
+    match &mut spec.draft {
+        Some(draft) => {
+            let (start, rows) =
+                draft_propose(draft, &seq.prefill, &seq.tokens, k_eff, &mut spec.proposals);
+            seq.work.draft_start = start;
+            seq.work.draft_rows = rows;
+        }
+        None => ngram_propose(&seq.prefill, &seq.tokens, k_eff, &mut spec.proposals),
+    }
+    if spec.proposals.is_empty() {
+        // Nothing to verify (an n-gram miss): plain decode for this step.
+        model.decode_step_into(&mut seq.state, t0, &mut seq.last_logits);
         seq.work.forwarded = true;
+        return;
+    }
+    let pos0 = seq.state.pos();
+    spec.verify.clear();
+    // tidy: allow(alloc) -- within the `k + 1` capacity reserved in SpecState
+    spec.verify.push(t0);
+    spec.verify.extend_from_slice(&spec.proposals);
+    model.verify_chunk_into(&mut seq.state, &spec.verify, &mut spec.logits);
+    seq.work.verify_start = pos0;
+    seq.work.verify_rows = spec.verify.len();
+    seq.work.drafted = spec.proposals.len();
+    // Accept the longest proposal prefix the request's own sampler
+    // reproduces; row `i` holds the logits after `t0, d1..di`.
+    let mut accepted = 0;
+    while accepted < spec.proposals.len() {
+        // tidy: allow(alloc) -- TensorRng is a fixed-size value; cloning stays on the stack
+        let mut trial = seq.rng.clone();
+        let pick = seq.sampler.pick(spec.logits.row(accepted), &mut trial);
+        if pick != spec.proposals[accepted] {
+            break;
+        }
+        seq.rng = trial;
+        // tidy: allow(alloc) -- `tokens` reserves its generation limit at admission
+        seq.tokens.push(pick);
+        accepted += 1;
+    }
+    seq.work.accepted = accepted;
+    // The next step samples from the logits after the last committed
+    // token — exactly row `accepted`.
+    seq.last_logits.copy_from_slice(spec.logits.row(accepted));
+    // Roll back the rejected tail: keep `t0` plus the accepted rows.
+    seq.state.truncate(pos0 + 1 + accepted);
+    if let Some(draft) = &mut spec.draft {
+        // Drop draft rows past the committed stream (rejected proposals);
+        // rows the draft never computed are caught up lazily next step.
+        let committed = seq.prefill.len() + seq.tokens.len();
+        if draft.state.pos() > committed {
+            draft.state.truncate(committed);
+        }
+        draft.seen = draft.state.pos();
+    }
+}
+
+/// Drafts up to `k_eff` proposals from the truncated-depth sibling:
+/// catches the draft KV up to the committed stream (one fused pass over
+/// the gap, which also covers fresh and just-resumed sequences), then
+/// rolls the draft forward greedily. Returns `(draft_start, draft_rows)`
+/// for energy and roofline pricing. Proposals never affect output, only
+/// acceptance, so the draft always picks its own argmax regardless of the
+/// request's sampler.
+fn draft_propose(
+    draft: &mut DraftSeq,
+    prefill: &[u32],
+    tokens: &[u32],
+    k_eff: usize,
+    proposals: &mut Vec<u32>,
+) -> (usize, usize) {
+    let start = draft.seen;
+    let p = prefill.len();
+    if draft.seen < p {
+        draft.model.prefill_chunk(&mut draft.state, &prefill[draft.seen..]);
+        draft.seen = p;
+    }
+    // The step's sampled token was just pushed, so the gap is never empty.
+    // `catchup_chunk_into` keeps the chunk scratch alive — this runs every
+    // decode step, unlike a prompt's final prefill chunk.
+    draft.model.catchup_chunk_into(&mut draft.state, &tokens[draft.seen - p..], &mut draft.logits);
+    draft.seen = p + tokens.len();
+    let mut rows = draft.seen - start;
+    for i in 0..k_eff {
+        let d = argmax(&draft.logits);
+        // tidy: allow(alloc) -- within the `k` capacity reserved in SpecState
+        proposals.push(d);
+        if i + 1 < k_eff {
+            draft.model.decode_step_into(&mut draft.state, d, &mut draft.logits);
+            rows += 1;
+        }
+    }
+    (start, rows)
+}
+
+/// First-index argmax over draft logits (ties break low, matching the
+/// greedy sampler — which maximizes acceptance under greedy serving).
+fn argmax(logits: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > logits[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+/// Model-free draft: proposes the tokens that followed the most recent
+/// earlier occurrence of the committed stream's current suffix, preferring
+/// a bigram match over a unigram one. O(context) backward scan per step,
+/// no allocation; an empty result falls back to plain decode.
+fn ngram_propose(prefill: &[u32], tokens: &[u32], k_eff: usize, proposals: &mut Vec<u32>) {
+    let p = prefill.len();
+    let n = p + tokens.len();
+    let at = |i: usize| -> u32 {
+        if i < p {
+            prefill[i]
+        } else {
+            tokens[i - p]
+        }
+    };
+    if n < 2 {
+        return;
+    }
+    let last = at(n - 1);
+    let mut hit = None;
+    if n >= 3 {
+        let prev = at(n - 2);
+        for i in (1..n - 1).rev() {
+            if at(i) == last && at(i - 1) == prev {
+                hit = Some(i);
+                break;
+            }
+        }
+    }
+    if hit.is_none() {
+        for i in (0..n - 1).rev() {
+            if at(i) == last {
+                hit = Some(i);
+                break;
+            }
+        }
+    }
+    let Some(hit) = hit else { return };
+    for j in hit + 1..n.min(hit + 1 + k_eff) {
+        // tidy: allow(alloc) -- within the `k` capacity reserved in SpecState
+        proposals.push(at(j));
     }
 }
 
@@ -807,6 +1135,9 @@ pub(crate) fn advance_sequence_guarded(model: &Model, seq: &mut Active) {
 /// drops — even with requests still queued or decoding.
 pub struct ServeEngine<'m> {
     model: &'m Model,
+    /// The truncated-depth draft sibling when [`ServeConfig::spec`] selects
+    /// [`DraftSource::Truncated`]; shares the served model's weight tensors.
+    draft_model: Option<Arc<Model>>,
     accelerator: Option<Accelerator>,
     config: ServeConfig,
     /// Lazily-spawned persistent decode workers. Declared before `active`:
@@ -838,6 +1169,13 @@ pub struct ServeEngine<'m> {
     prefill_cursor: usize,
     /// Prefix sums of per-position prefill energy (see [`PrefillEnergy`]).
     prefill_energy: PrefillEnergy,
+    /// Separate prefix sums for draft-model rows — the draft's layer count
+    /// differs, so its per-position energies cannot share `prefill_energy`.
+    draft_energy: PrefillEnergy,
+    /// Draft proposals verified (successful or not) and accepted, across
+    /// the engine lifetime; the speculation win is `accepted / drafted`.
+    drafted_total: u64,
+    accepted_total: u64,
     started_at: Option<Instant>,
     /// Injected worker-panic faults waiting for the next non-idle step
     /// (victim ranks, reduced modulo the batch at firing time).
@@ -915,6 +1253,22 @@ impl<'m> ServeEngine<'m> {
         assert!(config.max_queue > 0, "max_queue must be at least 1");
         assert!(config.block_size > 0, "block_size must be at least 1");
         assert!(config.max_blocks > 0, "max_blocks must be at least 1");
+        if let Some(spec) = &config.spec {
+            assert!(spec.k >= 1, "spec.k must be at least 1");
+            if let DraftSource::Truncated { layers } = spec.draft {
+                assert!(
+                    layers >= 1 && layers <= model.config().n_layers,
+                    "draft layers must be in 1..={}",
+                    model.config().n_layers
+                );
+            }
+        }
+        let draft_model = match config.spec {
+            Some(SpecConfig { draft: DraftSource::Truncated { layers }, .. }) => {
+                Some(Arc::new(model.draft_truncated(layers)))
+            }
+            _ => None,
+        };
         let kv_pool = Arc::new(BlockPool::with_scheme(
             config.block_size,
             model.config().d_model,
@@ -923,6 +1277,7 @@ impl<'m> ServeEngine<'m> {
         ));
         ServeEngine {
             model,
+            draft_model,
             accelerator: None,
             config,
             pool: None,
@@ -942,6 +1297,9 @@ impl<'m> ServeEngine<'m> {
             energy_j: 0.0,
             prefill_cursor: 0,
             prefill_energy: PrefillEnergy::new(),
+            draft_energy: PrefillEnergy::new(),
+            drafted_total: 0,
+            accepted_total: 0,
             started_at: None,
             armed_panics: Vec::new(),
             armed_pressure: 0,
@@ -968,6 +1326,7 @@ impl<'m> ServeEngine<'m> {
         // The prefix sums cache per-position energies of the *current*
         // accelerator; swapping models mid-life must not mix the two.
         self.prefill_energy = PrefillEnergy::new();
+        self.draft_energy = PrefillEnergy::new();
         self.accelerator = Some(accelerator);
         self
     }
@@ -1153,7 +1512,12 @@ impl<'m> ServeEngine<'m> {
         // headroom. If even that exceeds the pool, no amount of eviction or
         // preemption could ever let this request finish — reject it now
         // rather than deadlock the scheduler later.
-        let positions = request.prompt.len().saturating_add(limit).saturating_sub(1);
+        // Speculation appends up to `k` transient verify rows past the last
+        // committed position before rolling back; size the feasibility bound
+        // for that peak so a lone speculative sequence can always progress.
+        let spec_rows = self.config.spec.map_or(0, |s| s.k);
+        let positions =
+            request.prompt.len().saturating_add(limit).saturating_add(spec_rows).saturating_sub(1);
         let required = self
             .model
             .config()
@@ -1333,12 +1697,48 @@ impl<'m> ServeEngine<'m> {
                 deadline: q.deadline,
                 failed: None,
                 panic_next: false,
+                spec: self.new_spec_state(),
             });
             admitted += 1;
             planned += need;
         }
         self.peak_batch = self.peak_batch.max(self.active.len());
         admitted
+    }
+
+    /// Builds the per-sequence speculation state for a newly-admitted (or
+    /// re-admitted) sequence, or `None` when speculation is off.
+    ///
+    /// A truncated-depth draft gets a *private, unbounded* KV pool: draft
+    /// blocks are scratch that speculation may discard wholesale, so they
+    /// must never compete with committed sequence state for
+    /// [`ServeConfig::max_blocks`] or show up in [`ServeEngine::audit`].
+    /// Resume after preemption rebuilds this state from scratch (`seen: 0`)
+    /// and the first speculative step re-prefills the draft lazily.
+    fn new_spec_state(&self) -> Option<Box<SpecState>> {
+        let spec = self.config.spec?;
+        let vocab = self.model.config().vocab;
+        let draft = self.draft_model.as_ref().map(|dm| {
+            let pool = Arc::new(BlockPool::with_scheme(
+                self.config.block_size,
+                dm.config().d_model,
+                usize::MAX,
+                KvScheme::Exact,
+            ));
+            DraftSeq {
+                state: dm.begin_decode_paged(&pool),
+                model: Arc::clone(dm),
+                logits: vec![0.0; vocab],
+                seen: 0,
+            }
+        });
+        Some(Box::new(SpecState {
+            k: spec.k,
+            draft,
+            proposals: Vec::with_capacity(spec.k),
+            verify: Vec::with_capacity(spec.k + 1),
+            logits: Matrix::zeros(spec.k + 1, vocab),
+        }))
     }
 
     /// Runs one scheduler step: admit what fits, hand out the step's
@@ -1482,7 +1882,9 @@ impl<'m> ServeEngine<'m> {
 
         for seq in &self.active {
             summary.prefilled += seq.work.prefilled;
-            summary.generated += usize::from(seq.work.sampled);
+            summary.generated += usize::from(seq.work.sampled) + seq.work.accepted;
+            summary.drafted += seq.work.drafted;
+            summary.accepted += seq.work.accepted;
         }
         // Charge energy post-join, in batch order, so the f64 accumulation
         // is independent of thread scheduling — prefill charges before
@@ -1499,13 +1901,30 @@ impl<'m> ServeEngine<'m> {
                 }
             }
             for seq in &self.active {
-                if seq.work.forwarded {
+                let w = seq.work;
+                if w.draft_rows > 0 {
+                    // tidy: allow(panic) -- draft rows imply a Truncated
+                    // draft, so the sibling model always exists.
+                    let dm = self.draft_model.as_ref().expect("draft rows without draft model");
+                    self.energy_j +=
+                        self.draft_energy.range_j(acc, dm.config(), w.draft_start, w.draft_rows);
+                }
+                if w.verify_rows > 0 {
+                    // A verify pass is energetically a prefill chunk over
+                    // the appended rows — including the rows later rolled
+                    // back, whose compute was still spent.
+                    self.energy_j +=
+                        self.prefill_energy.range_j(acc, config, w.verify_start, w.verify_rows);
+                }
+                if w.forwarded {
                     self.energy_j += acc.energy_per_token(config, seq.state.pos()).total_j();
                 }
             }
         }
         self.prefill_tokens += summary.prefilled as u64;
         self.generated_tokens += summary.generated as u64;
+        self.drafted_total += summary.drafted as u64;
+        self.accepted_total += summary.accepted as u64;
         self.steps += 1;
 
         // Stamp per-token timing and capture the realized schedule before
@@ -1515,7 +1934,12 @@ impl<'m> ServeEngine<'m> {
         for seq in &mut self.active {
             let w = seq.work;
             if w.sampled {
-                seq.token_steps.push(now_step);
+                // Accepted draft tokens commit in the same step as the
+                // sampled token; each gets its own stamp so `token_steps`
+                // stays parallel to `tokens` (resume depends on that).
+                for _ in 0..1 + w.accepted {
+                    seq.token_steps.push(now_step);
+                }
                 if seq.ttft.is_none() {
                     seq.ttft = Some(seq.submitted_at.elapsed());
                 }
@@ -1525,6 +1949,12 @@ impl<'m> ServeEngine<'m> {
                 prefilled: w.prefilled,
                 sampled: w.sampled,
                 decode_context: if w.forwarded { Some(seq.state.pos()) } else { None },
+                drafted: w.drafted,
+                accepted: w.accepted,
+                verify_start: w.verify_start,
+                verify_rows: w.verify_rows,
+                draft_start: w.draft_start,
+                draft_rows: w.draft_rows,
             });
         }
 
@@ -1892,19 +2322,32 @@ impl<'m> ServeEngine<'m> {
     }
 
     /// Blocks a decoding sequence's forward pass will allocate this step:
-    /// one per layer when the appended position opens a new block or must
-    /// copy-on-write a shared tail, zero otherwise (including when the
-    /// sequence retires at its limit without another forward pass).
+    /// new blocks the appended rows open plus a copy-on-write of a shared
+    /// tail, all × layers; zero when the sequence retires at its limit
+    /// without another forward pass.
+    ///
+    /// With speculation on, a verify pass appends up to `1 + k` rows before
+    /// rolling back, so the reservation covers that transient peak. The row
+    /// count computed here matches `speculative_advance`'s `k_eff` exactly
+    /// (this method is only consulted for sequences already decoding at
+    /// planning time, which is the same gate the advance uses), and an
+    /// n-gram draft that proposes fewer rows merely under-uses the
+    /// reservation — never exceeds it.
     fn decode_block_need(&self, seq: &Active) -> usize {
         if seq.tokens.len() + 1 >= seq.limit {
             return 0;
         }
+        let rows = match &seq.spec {
+            // `tokens.len() + 1` mirrors the post-push count the advance
+            // sees when it computes `k_eff`.
+            Some(spec) => 1 + spec.k.min(seq.limit - seq.tokens.len() - 1),
+            None => 1,
+        };
+        let bs = self.config.block_size;
         let pos = seq.state.pos();
-        if pos.is_multiple_of(self.config.block_size) || seq.state.tail_block_shared() {
-            self.model.config().n_layers
-        } else {
-            0
-        }
+        let new_blocks = (pos + rows).div_ceil(bs) - pos.div_ceil(bs);
+        let cow = usize::from(!pos.is_multiple_of(bs) && seq.state.tail_block_shared());
+        self.model.config().n_layers * (new_blocks + cow)
     }
 
     /// Blocks a prefill grant of `granted` positions will allocate: new
@@ -2178,6 +2621,8 @@ impl<'m> ServeEngine<'m> {
             prefill_tokens: self.prefill_tokens,
             shared_prefill_tokens: self.shared_tokens,
             generated_tokens: self.generated_tokens,
+            drafted_tokens: self.drafted_total,
+            accepted_tokens: self.accepted_total,
             peak_batch: self.peak_batch,
             blocks_peak: self.kv_pool.peak(),
             preemptions: self.preemptions,

@@ -65,8 +65,9 @@ mod report;
 mod trie;
 
 pub use engine::{
-    AuditReport, DegradedConfig, PrefillBudget, Request, RequestId, SamplingParams, SeqStepWork,
-    ServeConfig, ServeEngine, ServeError, StepMode, StepSummary, REORDER_STARVATION_BOUND,
+    AuditReport, DegradedConfig, DraftSource, PrefillBudget, Request, RequestId, SamplingParams,
+    SeqStepWork, ServeConfig, ServeEngine, ServeError, SpecConfig, StepMode, StepSummary,
+    REORDER_STARVATION_BOUND,
 };
 pub use opal_model::{AdoptError, KvScheme};
 pub use report::{FinishReason, RejectionCounts, RequestReport, ServeReport};

@@ -139,6 +139,12 @@ pub struct ServeReport {
     pub shared_prefill_tokens: u64,
     /// Tokens generated across all requests.
     pub generated_tokens: u64,
+    /// Draft tokens proposed and verified by speculative decoding (zero
+    /// when `ServeConfig::spec` is off).
+    pub drafted_tokens: u64,
+    /// Draft tokens accepted by verification — each one is a generated
+    /// token that skipped its own sequential decode pass.
+    pub accepted_tokens: u64,
     /// Largest concurrent batch observed.
     pub peak_batch: usize,
     /// High-water mark of KV blocks allocated from the engine's pool
@@ -201,6 +207,16 @@ impl ServeReport {
         total / self.requests.len() as u32
     }
 
+    /// Fraction of drafted tokens the verifier accepted, or zero when
+    /// speculation never drafted (off, or every step fell back).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.drafted_tokens == 0 {
+            0.0
+        } else {
+            self.accepted_tokens as f64 / self.drafted_tokens as f64
+        }
+    }
+
     /// Energy per generated token in joules, or zero without accounting.
     pub fn energy_per_generated_token(&self) -> f64 {
         if self.generated_tokens == 0 {
@@ -246,6 +262,15 @@ impl std::fmt::Display for ServeReport {
                 self.rejections.queue_full,
                 self.rejections.insufficient_blocks,
                 self.rejections.invalid
+            )?;
+        }
+        if self.drafted_tokens > 0 {
+            writeln!(
+                f,
+                "  speculation: {} drafted, {} accepted ({:.1}% acceptance)",
+                self.drafted_tokens,
+                self.accepted_tokens,
+                100.0 * self.acceptance_rate()
             )?;
         }
         writeln!(

@@ -22,7 +22,7 @@ use crate::Matrix;
 /// assert_eq!(a.normal_matrix(2, 3, 0.0, 1.0).as_slice(),
 ///            b.normal_matrix(2, 3, 0.0, 1.0).as_slice());
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TensorRng {
     rng: StdRng,
 }
